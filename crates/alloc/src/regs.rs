@@ -1,0 +1,434 @@
+//! Bit-level register allocation.
+//!
+//! The paper's storage savings come from a simple observation: a result bit
+//! only needs a register if some operation consumes it in a *later* cycle
+//! than the one producing it. In the transformed specification most bits
+//! are consumed in their own cycle by the chained successor fragment, so
+//! only fragment boundary bits (top sum bits and carries) survive a cycle
+//! edge — "just C5 and E4 plus the 3 carry outs must be stored" (§2).
+//!
+//! Transparent glue (wiring, inverters, muxes) is traced through: storing
+//! happens at the *producing* additive operation, not at the wires.
+
+use crate::fu::class_of;
+use bittrans_ir::prelude::*;
+use bittrans_rtl::Component;
+use bittrans_sched::Schedule;
+
+/// Per-value, per-bit memo of base-bit resolutions (see [`resolve_base`]).
+pub(crate) type ResolveMemo = Vec<Vec<Option<Vec<(ValueId, u32)>>>>;
+
+/// A contiguous run of stored bits of one value sharing a lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitGroup {
+    /// The producing value.
+    pub value: ValueId,
+    /// The stored bits.
+    pub range: BitRange,
+    /// Producing cycle.
+    pub def: u32,
+    /// Last consuming cycle (exclusive end of the lifetime is this cycle).
+    pub last_use: u32,
+}
+
+/// A physical register holding one or more bit groups with disjoint
+/// lifetimes.
+#[derive(Clone, Debug)]
+pub struct RegisterInstance {
+    /// Width in bits (the widest group stored).
+    pub width: u32,
+    /// The stored groups, in assignment order.
+    pub groups: Vec<BitGroup>,
+}
+
+impl RegisterInstance {
+    /// The RTL component realising this register.
+    pub fn component(&self) -> Component {
+        Component::Register { width: self.width }
+    }
+}
+
+/// `true` for operations whose results are storable producers; `false` for
+/// transparent wiring/glue that the analysis traces through.
+pub(crate) fn is_base_producer(kind: OpKind) -> bool {
+    class_of(kind).is_some()
+        || matches!(kind, OpKind::RedOr | OpKind::RedAnd | OpKind::Eq | OpKind::Ne)
+}
+
+/// Pure wiring: zero hardware, *always* traced through — it makes no sense
+/// to register the output of a concatenation or constant shift.
+pub(crate) fn is_wiring(kind: OpKind) -> bool {
+    matches!(kind, OpKind::Concat | OpKind::Shl(_) | OpKind::Shr(_) | OpKind::Not)
+}
+
+/// Resolves bit `i` of `value` through transparent glue down to base bits
+/// (input-port bits or base-producer result bits).
+pub(crate) fn resolve_base(
+    spec: &Spec,
+    value: ValueId,
+    i: u32,
+    memo: &mut ResolveMemo,
+) -> Vec<(ValueId, u32)> {
+    if let Some(cached) = &memo[value.index()][i as usize] {
+        return cached.clone();
+    }
+    let result = match spec.value(value).defining_op() {
+        None => vec![(value, i)], // input port
+        Some(op_id) => {
+            let op = spec.op(op_id);
+            if is_base_producer(op.kind()) {
+                vec![(value, i)]
+            } else {
+                let mut out = Vec::new();
+                for (operand, bit) in glue_bit_inputs(spec, op, i) {
+                    if let Operand::Value { value: v, range } = operand {
+                        let base = range.map_or(0, |r| r.lo());
+                        out.extend(resolve_base(spec, v, base + bit, memo));
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    };
+    memo[value.index()][i as usize] = Some(result.clone());
+    result
+}
+
+/// The operand bits a transparent glue operation's output bit `i` depends
+/// on, as `(operand, bit-within-operand)` pairs.
+pub(crate) fn glue_bit_inputs(spec: &Spec, op: &Operation, i: u32) -> Vec<(Operand, u32)> {
+    let in_bit = |operand: &Operand, j: u32| -> Option<(Operand, u32)> {
+        let w = spec.operand_width(operand);
+        if j < w {
+            Some((operand.clone(), j))
+        } else if op.signedness().is_signed() && w > 0 {
+            Some((operand.clone(), w - 1))
+        } else {
+            None
+        }
+    };
+    match op.kind() {
+        OpKind::Not => in_bit(&op.operands()[0], i).into_iter().collect(),
+        OpKind::And | OpKind::Or | OpKind::Xor => op
+            .operands()
+            .iter()
+            .filter_map(|o| in_bit(o, i))
+            .collect(),
+        OpKind::Mux => {
+            let mut v: Vec<_> = in_bit(&op.operands()[0], 0).into_iter().collect();
+            v.extend(in_bit(&op.operands()[1], i));
+            v.extend(in_bit(&op.operands()[2], i));
+            v
+        }
+        OpKind::Shl(k) => {
+            if i >= k {
+                in_bit(&op.operands()[0], i - k).into_iter().collect()
+            } else {
+                Vec::new()
+            }
+        }
+        OpKind::Shr(k) => in_bit(&op.operands()[0], i + k).into_iter().collect(),
+        OpKind::Concat => {
+            let mut base = 0;
+            for operand in op.operands() {
+                let ow = spec.operand_width(operand);
+                if i < base + ow {
+                    return in_bit(operand, i - base).into_iter().collect();
+                }
+                base += ow;
+            }
+            Vec::new()
+        }
+        other => unreachable!("{other} is a base producer"),
+    }
+}
+
+/// Records that bit `bit` of `value` is consumed in cycle `k_use`: base
+/// producer bits get their lifetime extended; glue computed in the same
+/// cycle is traced through transparently; glue computed in an earlier
+/// cycle is registered at the boundary and its own inputs are only charged
+/// in the glue's cycle.
+fn record_use(
+    spec: &Spec,
+    schedule: &Schedule,
+    value: ValueId,
+    bit: u32,
+    k_use: u32,
+    last_use: &mut [Vec<u32>],
+    visited: &mut std::collections::HashSet<(u32, u32, u32)>,
+) {
+    let Some(def_op) = spec.value(value).defining_op() else {
+        return; // input port: excluded from storage
+    };
+    let op = spec.op(def_op);
+    if is_base_producer(op.kind()) {
+        let slot = &mut last_use[value.index()][bit as usize];
+        *slot = (*slot).max(k_use);
+        return;
+    }
+    if is_wiring(op.kind()) {
+        if visited.insert((value.index() as u32, bit, k_use)) {
+            for (operand, j) in glue_bit_inputs(spec, op, bit) {
+                if let Operand::Value { value: v, range } = operand {
+                    let base = range.map_or(0, |r| r.lo());
+                    record_use(spec, schedule, v, base + j, k_use, last_use, visited);
+                }
+            }
+        }
+        return;
+    }
+    let gk = schedule.cycle_of(def_op).unwrap_or(1);
+    if gk < k_use {
+        // Boundary crossing: the gate-glue bit itself is registered.
+        let slot = &mut last_use[value.index()][bit as usize];
+        *slot = (*slot).max(k_use);
+        // Its inputs are only needed when the glue computes (cycle gk).
+        if visited.insert((value.index() as u32, bit, gk)) {
+            for (operand, j) in glue_bit_inputs(spec, op, bit) {
+                if let Operand::Value { value: v, range } = operand {
+                    let base = range.map_or(0, |r| r.lo());
+                    record_use(spec, schedule, v, base + j, gk, last_use, visited);
+                }
+            }
+        }
+    } else if visited.insert((value.index() as u32, bit, k_use)) {
+        // Same-cycle wiring: transparent.
+        for (operand, j) in glue_bit_inputs(spec, op, bit) {
+            if let Operand::Value { value: v, range } = operand {
+                let base = range.map_or(0, |r| r.lo());
+                record_use(spec, schedule, v, base + j, k_use, last_use, visited);
+            }
+        }
+    }
+}
+
+/// Computes the physical registers for `spec` under `schedule`.
+///
+/// Uses are traced through glue *within a cycle*; a glue result consumed in
+/// a **later** cycle than the one it is computed in gets registered at the
+/// boundary (register-after-the-array: a carry-save tree's sum/carry
+/// vectors are stored rather than recomputed, which frees the array for
+/// other operations — the storage-vs-recompute choice real datapaths make).
+///
+/// I/O-port bits are excluded (the paper does not count port-holding
+/// registers). Bit groups with disjoint lifetimes share registers
+/// (left-edge).
+pub fn allocate_registers(spec: &Spec, schedule: &Schedule) -> Vec<RegisterInstance> {
+    let mut last_use: Vec<Vec<u32>> = spec
+        .values()
+        .iter()
+        .map(|v| vec![0; v.width() as usize])
+        .collect();
+    // Guards repeated same-cycle traversals of glue bits.
+    let mut visited: std::collections::HashSet<(u32, u32, u32)> =
+        std::collections::HashSet::new();
+    for op in spec.ops() {
+        if !is_base_producer(op.kind()) {
+            continue; // transparent glue consumes nothing by itself
+        }
+        let k = schedule.cycle_of(op.id()).unwrap_or(1);
+        for operand in op.operands() {
+            if let Operand::Value { value, range } = operand {
+                let (lo, w) = match range {
+                    Some(r) => (r.lo(), r.width()),
+                    None => (0, spec.value(*value).width()),
+                };
+                for j in 0..w {
+                    record_use(spec, schedule, *value, lo + j, k, &mut last_use, &mut visited);
+                }
+            }
+        }
+    }
+    // Build per-value stored-bit groups (base producers and
+    // boundary-crossing glue alike).
+    let mut groups: Vec<BitGroup> = Vec::new();
+    for value in spec.values() {
+        let Some(def_op) = value.defining_op() else {
+            continue; // input ports: excluded
+        };
+        let def = schedule.cycle_of(def_op).unwrap_or(1);
+        let mut current: Option<BitGroup> = None;
+        for i in 0..value.width() {
+            let lu = last_use[value.id().index()][i as usize];
+            if lu > def {
+                match &mut current {
+                    Some(g) if g.last_use == lu && g.range.end() == i => {
+                        g.range = BitRange::new(g.range.lo(), g.range.width() + 1);
+                    }
+                    _ => {
+                        if let Some(g) = current.take() {
+                            groups.push(g);
+                        }
+                        current = Some(BitGroup {
+                            value: value.id(),
+                            range: BitRange::new(i, 1),
+                            def,
+                            last_use: lu,
+                        });
+                    }
+                }
+            } else if let Some(g) = current.take() {
+                groups.push(g);
+            }
+        }
+        if let Some(g) = current.take() {
+            groups.push(g);
+        }
+    }
+    // Left-edge assignment into register instances.
+    groups.sort_by_key(|g| (g.def, g.value, g.range.lo()));
+    let mut instances: Vec<(RegisterInstance, u32)> = Vec::new(); // (reg, free_at)
+    for g in groups {
+        let slot = instances
+            .iter_mut()
+            .filter(|(_, free_at)| *free_at <= g.def)
+            .min_by_key(|(reg, _)| {
+                (g.range.width().saturating_sub(reg.width), reg.width)
+            });
+        match slot {
+            Some((reg, free_at)) => {
+                reg.width = reg.width.max(g.range.width());
+                reg.groups.push(g);
+                *free_at = g.last_use;
+            }
+            None => instances.push((
+                RegisterInstance { width: g.range.width(), groups: vec![g] },
+                g.last_use,
+            )),
+        }
+    }
+    instances.into_iter().map(|(reg, _)| reg).collect()
+}
+
+/// Multiplexers in front of registers fed from more than one source group.
+pub fn register_muxes(registers: &[RegisterInstance]) -> Vec<Component> {
+    registers
+        .iter()
+        .filter(|r| r.groups.len() >= 2)
+        .map(|r| Component::Mux { inputs: r.groups.len() as u32, width: r.width })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bittrans_sched::conventional::{schedule_conventional, ConventionalOptions};
+
+    fn three_adds() -> Spec {
+        Spec::parse(
+            "spec ex { input A: u16; input B: u16; input D: u16; input F: u16;
+              C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conventional_shares_one_register() {
+        let spec = three_adds();
+        let sched = schedule_conventional(&spec, &ConventionalOptions::with_latency(3)).unwrap();
+        let regs = allocate_registers(&spec, &sched);
+        // C lives [1,2), E lives [2,3): one shared 16-bit register.
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].width, 16);
+        assert_eq!(regs[0].groups.len(), 2);
+        let muxes = register_muxes(&regs);
+        assert_eq!(muxes, vec![Component::Mux { inputs: 2, width: 16 }]);
+    }
+
+    #[test]
+    fn chained_schedule_stores_nothing() {
+        let spec = three_adds();
+        let sched = schedule_conventional(&spec, &ConventionalOptions::with_latency(1)).unwrap();
+        assert!(allocate_registers(&spec, &sched).is_empty());
+    }
+
+    #[test]
+    fn same_cycle_use_is_not_stored() {
+        let spec = Spec::parse(
+            "spec s { input a: u8; input b: u8;
+              x: u8 = a + b;
+              y: u8 = x + b;
+              output y; }",
+        )
+        .unwrap();
+        // λ=1: x chains into y combinationally.
+        let sched = schedule_conventional(&spec, &ConventionalOptions::with_latency(1)).unwrap();
+        assert!(allocate_registers(&spec, &sched).is_empty());
+    }
+
+    #[test]
+    fn glue_is_traced_to_producer() {
+        let spec = Spec::parse(
+            "spec s { input a: u8; input b: u8;
+              x: u8 = a + b;
+              n: u8 = ~x;
+              y: u8 = n + b;
+              output y; }",
+        )
+        .unwrap();
+        let sched = schedule_conventional(
+            &spec,
+            &ConventionalOptions {
+                latency: 2,
+                cycle_override: Some(9),
+                chaining: bittrans_sched::conventional::Chaining::Disabled,
+                balance: false,
+            },
+        )
+        .unwrap();
+        let regs = allocate_registers(&spec, &sched);
+        // Inverters are wiring-class glue: the stored value is x (the
+        // adder result), traced through the inverter.
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].width, 8);
+        assert_eq!(regs[0].groups[0].value, spec.ops()[0].result());
+    }
+
+    #[test]
+    fn partial_bit_storage() {
+        // Only the high nibble of x crosses the cycle boundary.
+        let spec = Spec::parse(
+            "spec s { input a: u8; input b: u8; input c1: u4;
+              x: u8 = a + b;
+              lo: u8 = x + b;
+              hi: u4 = x[7:4] + c1;
+              output lo; output hi; }",
+        )
+        .unwrap();
+        let sched = schedule_conventional(
+            &spec,
+            &ConventionalOptions {
+                latency: 2,
+                cycle_override: Some(10),
+                chaining: bittrans_sched::conventional::Chaining::BitLevel,
+                balance: false,
+            },
+        )
+        .unwrap();
+        // lo chains with x in cycle 1; hi must wait depending on placement.
+        let regs = allocate_registers(&spec, &sched);
+        let stored: u32 = regs.iter().map(|r| r.width).sum();
+        assert!(stored <= 8, "at most x is stored, got {stored}");
+    }
+
+    #[test]
+    fn output_ports_are_not_stored() {
+        let spec = Spec::parse(
+            "spec s { input a: u8; input b: u8; x: u8 = a + b; output x; }",
+        )
+        .unwrap();
+        let sched = schedule_conventional(
+            &spec,
+            &ConventionalOptions {
+                latency: 3,
+                cycle_override: Some(8),
+                chaining: bittrans_sched::conventional::Chaining::BitLevel,
+                balance: false,
+            },
+        )
+        .unwrap();
+        assert!(allocate_registers(&spec, &sched).is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates the three ablation studies (adder architecture, fragment
+//! balancing, multiplier lowering strategy) and benchmarks one of them.
+
+use bittrans_bench::{ablation_adders, ablation_balance, ablation_mul};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (t, _) = ablation_adders();
+    eprintln!("\n{t}");
+    let (t, _) = ablation_balance();
+    eprintln!("{t}");
+    let (t, _) = ablation_mul();
+    eprintln!("{t}");
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("mul_strategy_pair", |b| {
+        b.iter(|| std::hint::black_box(ablation_mul()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

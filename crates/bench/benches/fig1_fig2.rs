@@ -1,0 +1,22 @@
+//! Regenerates the schedules of the paper's Figs. 1 and 2 and benchmarks
+//! the schedulers that produce them.
+
+use bittrans_bench::fig1_fig2_schedules;
+use bittrans_benchmarks::three_adds;
+use bittrans_core::{optimize, CompareOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    eprintln!("\n{}", fig1_fig2_schedules());
+    let mut g = c.benchmark_group("fig1_fig2");
+    g.sample_size(30);
+    let spec = three_adds();
+    let opts = CompareOptions { verify_vectors: 0, ..Default::default() };
+    g.bench_function("optimize_three_adds", |b| {
+        b.iter(|| std::hint::black_box(optimize(&spec, 3, &opts).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

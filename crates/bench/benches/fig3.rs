@@ -1,0 +1,26 @@
+//! Regenerates the paper's Fig. 3 (fragmentation of the 8-addition DFG,
+//! mobilities, balanced schedule, and the Fig. 3 h area comparison) and
+//! benchmarks fragmentation itself.
+
+use bittrans_bench::fig3;
+use bittrans_benchmarks::fig3_dfg;
+use bittrans_frag::{fragment, FragmentOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    eprintln!("\n=== Fig. 3 ===\n{}", fig3());
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(50);
+    let spec = fig3_dfg();
+    g.bench_function("fragment_fig3_dfg", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                fragment(&spec, &FragmentOptions::with_latency(3)).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Fig. 4 (cycle length of both flows across the
+//! latency range) and benchmarks the sweep.
+
+use bittrans_bench::fig4;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (text, points) = fig4();
+    eprintln!("\n=== Fig. 4 ===\n{text}");
+    assert!(points.len() >= 10, "sweep covers the λ range");
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("latency_sweep_elliptic", |b| {
+        b.iter(|| std::hint::black_box(fig4()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

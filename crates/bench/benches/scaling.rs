@@ -1,0 +1,24 @@
+//! Scaling of the optimiser itself: wall-clock of the full pipeline
+//! (kernel extraction → fragmentation → scheduling → allocation) across
+//! growing random DFGs. This benchmarks the *tool*, complementing the
+//! per-table benches that benchmark the *designs*.
+
+use bittrans_benchmarks::{random_spec, RandomSpecOptions};
+use bittrans_core::{optimize, CompareOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling");
+    g.sample_size(10);
+    let opts = CompareOptions { verify_vectors: 0, ..Default::default() };
+    for ops in [10usize, 20, 40] {
+        let spec = random_spec(7, &RandomSpecOptions { ops, ..Default::default() });
+        g.bench_with_input(BenchmarkId::new("optimize_lambda4", ops), &spec, |b, spec| {
+            b.iter(|| std::hint::black_box(optimize(spec, 4, &opts).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table I and benchmarks the three flows behind it.
+
+use bittrans_bench::table1;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (text, _) = table1();
+    eprintln!("\n=== Table I — motivational example ===\n{text}");
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+    g.bench_function("three_implementations", |b| b.iter(|| std::hint::black_box(table1())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates the paper's Table II (classical HLS benchmarks) and
+//! benchmarks the full compare pipeline per row.
+
+use bittrans_bench::table2;
+use bittrans_benchmarks::elliptic;
+use bittrans_core::{compare, CompareOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (text, _) = table2();
+    eprintln!("\n=== Table II — classical HLS benchmarks ===\n{text}");
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    let spec = elliptic();
+    let opts = CompareOptions { verify_vectors: 0, ..Default::default() };
+    g.bench_function("elliptic_lambda11", |b| {
+        b.iter(|| std::hint::black_box(compare(&spec, 11, &opts).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

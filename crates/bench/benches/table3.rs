@@ -1,0 +1,23 @@
+//! Regenerates the paper's Table III (ADPCM G.721 modules) and benchmarks
+//! one module's full pipeline.
+
+use bittrans_bench::table3;
+use bittrans_benchmarks::opfc_sca;
+use bittrans_core::{compare, CompareOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (text, _) = table3();
+    eprintln!("\n=== Table III — ADPCM G.721 modules ===\n{text}");
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(20);
+    let spec = opfc_sca();
+    let opts = CompareOptions { verify_vectors: 0, ..Default::default() };
+    g.bench_function("opfc_sca_lambda12", |b| {
+        b.iter(|| std::hint::black_box(compare(&spec, 12, &opts).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

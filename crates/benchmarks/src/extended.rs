@@ -1,0 +1,131 @@
+//! Additional classical HLS workloads beyond the paper's Table II set,
+//! used by the extended sweeps and the scaling benches.
+
+use bittrans_ir::Spec;
+
+fn parse(src: &str) -> Spec {
+    Spec::parse(src).expect("extended benchmark sources are well-formed")
+}
+
+/// Second-order auto-regressive lattice filter (the classic `AR lattice`
+/// HLS benchmark shape): alternating multiply/add stages with cross
+/// coupling — deep, multiplier-rich, little parallelism.
+pub fn ar_lattice() -> Spec {
+    parse(
+        "spec ar_lattice {
+            input x: u16;
+            input s1: u16; input s2: u16;
+            input k1: u16; input k2: u16;
+            // stage 2 (outermost reflection coefficient)
+            p1: u32 = k2 * s2;
+            e1: u16 = x - p1[30:15];
+            p2: u32 = k2 * e1;
+            b2: u16 = s2 + p2[30:15];
+            // stage 1
+            p3: u32 = k1 * s1;
+            e0: u16 = e1 - p3[30:15];
+            p4: u32 = k1 * e0;
+            b1: u16 = s1 + p4[30:15];
+            output e0; output b1; output b2;
+        }",
+    )
+}
+
+/// A 4-point DCT-like butterfly kernel (Loeffler-style first stage):
+/// add/sub butterflies feeding constant rotations — wide parallelism at
+/// shallow depth, the opposite shape of [`ar_lattice`].
+pub fn dct4() -> Spec {
+    parse(
+        "spec dct4 {
+            input x0: u16; input x1: u16; input x2: u16; input x3: u16;
+            input c1: u16; input c3: u16;
+            // butterflies
+            a0: u16 = x0 + x3;
+            a1: u16 = x1 + x2;
+            a2: u16 = x1 - x2;
+            a3: u16 = x0 - x3;
+            // even part
+            y0: u16 = a0 + a1;
+            y2: u16 = a0 - a1;
+            // odd part: rotations by c1/c3
+            m0: u32 = c1 * a2;
+            m1: u32 = c3 * a3;
+            m2: u32 = c3 * a2;
+            m3: u32 = c1 * a3;
+            y1: u16 = m0[30:15] + m1[30:15];
+            y3: u16 = m3[30:15] - m2[30:15];
+            output y0; output y1; output y2; output y3;
+        }",
+    )
+}
+
+/// A CORDIC-style iteration chain: three shift-add rotation steps — pure
+/// add/sub + wiring, no multipliers, the best case for fragmentation.
+pub fn cordic3() -> Spec {
+    parse(
+        "spec cordic3 {
+            input x: u16; input y: u16; input z: u16;
+            input a0: u16; input a1: u16; input a2: u16;
+            input d0: u1; input d1: u1; input d2: u1;
+            // iteration 0 (shift by 0)
+            x1: u16 = mux(d0, x - y, x + y);
+            y1: u16 = mux(d0, y + x, y - x);
+            z1: u16 = mux(d0, z - a0, z + a0);
+            // iteration 1 (shift by 1)
+            x2: u16 = mux(d1, x1 - (y1 >> 1), x1 + (y1 >> 1));
+            y2: u16 = mux(d1, y1 + (x1 >> 1), y1 - (x1 >> 1));
+            z2: u16 = mux(d1, z1 - a1, z1 + a1);
+            // iteration 2 (shift by 2)
+            x3: u16 = mux(d2, x2 - (y2 >> 2), x2 + (y2 >> 2));
+            y3: u16 = mux(d2, y2 + (x2 >> 2), y2 - (x2 >> 2));
+            z3: u16 = mux(d2, z2 - a2, z2 + a2);
+            output x3; output y3; output z3;
+        }",
+    )
+}
+
+/// The extended benchmark set with representative latencies.
+pub fn extended_benchmarks() -> Vec<crate::Benchmark> {
+    vec![
+        crate::Benchmark { name: "ar_lattice", spec: ar_lattice(), latencies: vec![8, 5] },
+        crate::Benchmark { name: "dct4", spec: dct4(), latencies: vec![6, 4] },
+        crate::Benchmark { name: "cordic3", spec: cordic3(), latencies: vec![6, 3] },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bittrans_ir::OpKind;
+    use bittrans_sim::{evaluate, vectors::random_vectors};
+
+    #[test]
+    fn shapes() {
+        let ar = ar_lattice();
+        assert_eq!(ar.ops().iter().filter(|o| o.kind() == OpKind::Mul).count(), 4);
+        let dct = dct4();
+        assert_eq!(dct.ops().iter().filter(|o| o.kind() == OpKind::Mul).count(), 4);
+        assert_eq!(dct.outputs().len(), 4);
+        let cordic = cordic3();
+        assert_eq!(cordic.ops().iter().filter(|o| o.kind() == OpKind::Mul).count(), 0);
+        assert!(cordic.ops().iter().filter(|o| o.kind() == OpKind::Mux).count() >= 9);
+    }
+
+    #[test]
+    fn all_simulate() {
+        for spec in [ar_lattice(), dct4(), cordic3()] {
+            for iv in random_vectors(&spec, 5, 8) {
+                evaluate(&spec, &iv).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn catalog() {
+        let set = extended_benchmarks();
+        assert_eq!(set.len(), 3);
+        for b in &set {
+            b.spec.validate().unwrap();
+        }
+    }
+}

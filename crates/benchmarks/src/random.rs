@@ -1,0 +1,135 @@
+//! Seeded random DFG generation for property tests and scaling sweeps.
+
+use bittrans_ir::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for [`random_spec`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomSpecOptions {
+    /// Number of (non-glue) operations to generate.
+    pub ops: usize,
+    /// Number of input ports.
+    pub inputs: usize,
+    /// Minimum operand width.
+    pub min_width: u32,
+    /// Maximum operand width.
+    pub max_width: u32,
+    /// Probability (0..=1) of a multiplication; the rest are additive
+    /// operations and occasional comparisons.
+    pub mul_prob: f64,
+}
+
+impl Default for RandomSpecOptions {
+    fn default() -> Self {
+        RandomSpecOptions { ops: 20, inputs: 6, min_width: 4, max_width: 16, mul_prob: 0.15 }
+    }
+}
+
+/// Generates a random, valid, connected specification. The same
+/// `(seed, options)` pair always yields the same spec.
+///
+/// # Panics
+///
+/// Panics if `options.ops` or `options.inputs` is zero, or the width range
+/// is empty.
+pub fn random_spec(seed: u64, options: &RandomSpecOptions) -> Spec {
+    assert!(options.ops > 0 && options.inputs > 0, "need at least one op and input");
+    assert!(
+        0 < options.min_width && options.min_width <= options.max_width,
+        "width range is empty"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SpecBuilder::new(format!("random_{seed}"));
+    let mut pool: Vec<ValueId> = (0..options.inputs)
+        .map(|i| {
+            let w = rng.gen_range(options.min_width..=options.max_width);
+            b.input(format!("in{i}"), w)
+        })
+        .collect();
+    let mut sinks: Vec<ValueId> = Vec::new();
+    for i in 0..options.ops {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let c = pool[rng.gen_range(0..pool.len())];
+        let wa = b.width_of(a);
+        let wc = b.width_of(c);
+        let name = format!("n{i}");
+        let v = if rng.gen_bool(options.mul_prob) {
+            let w = (wa + wc).min(options.max_width * 2);
+            b.mul(&name, a, c, w, Signedness::Unsigned).expect("valid random mul")
+        } else {
+            match rng.gen_range(0..6u8) {
+                0 => b
+                    .sub(&name, a, c, wa.max(wc), Signedness::Unsigned)
+                    .expect("valid random sub"),
+                1 => b.lt(&name, a, c, Signedness::Unsigned).expect("valid random lt"),
+                2 => b
+                    .op(
+                        OpKind::Max,
+                        vec![a.into(), c.into()],
+                        wa.max(wc),
+                        Signedness::Unsigned,
+                        Some(&name),
+                    )
+                    .expect("valid random max"),
+                _ => b.add(&name, a, c, wa.max(wc) + 1).expect("valid random add"),
+            }
+        };
+        sinks.retain(|&s| s != a && s != c);
+        sinks.push(v);
+        pool.push(v);
+        // Bias towards recent values so the graph has depth.
+        if pool.len() > 8 {
+            pool.remove(rng.gen_range(0..2));
+        }
+    }
+    for (i, s) in sinks.iter().enumerate() {
+        b.output(format!("out{i}"), *s);
+    }
+    b.finish().expect("random specs are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = random_spec(7, &RandomSpecOptions::default());
+        let b = random_spec(7, &RandomSpecOptions::default());
+        assert_eq!(a, b);
+        let c = random_spec(8, &RandomSpecOptions::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn valid_and_sized() {
+        for seed in 0..20 {
+            let s = random_spec(seed, &RandomSpecOptions::default());
+            s.validate().unwrap();
+            assert_eq!(s.stats().non_glue(), 20);
+            assert!(!s.outputs().is_empty());
+        }
+    }
+
+    #[test]
+    fn simulates() {
+        use bittrans_sim::{evaluate, vectors::random_vectors};
+        let s = random_spec(3, &RandomSpecOptions::default());
+        for iv in random_vectors(&s, 9, 10) {
+            evaluate(&s, &iv).unwrap();
+        }
+    }
+
+    #[test]
+    fn respects_op_count_options() {
+        let s = random_spec(1, &RandomSpecOptions { ops: 5, ..Default::default() });
+        assert_eq!(s.stats().non_glue(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_ops() {
+        random_spec(0, &RandomSpecOptions { ops: 0, ..Default::default() });
+    }
+}

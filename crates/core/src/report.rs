@@ -1,0 +1,127 @@
+//! Textual rendering of the paper's tables and figures.
+
+use crate::{Comparison, Implementation, SweepPoint};
+use std::fmt::Write as _;
+
+/// Renders a Table I-style comparison of up to three implementations
+/// (conventional, chained, optimized).
+pub fn render_table1(columns: &[(&str, &Implementation)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<18}{}", "", columns.iter().map(|(n, _)| format!("{n:>16}")).collect::<String>());
+    let row = |label: &str, f: &dyn Fn(&Implementation) -> String| {
+        let mut line = format!("{label:<18}");
+        for (_, imp) in columns {
+            let _ = write!(line, "{:>16}", f(imp));
+        }
+        line
+    };
+    let _ = writeln!(out, "{}", row("Latency", &|i| i.latency.to_string()));
+    let _ = writeln!(out, "{}", row("Cycle (δ)", &|i| i.cycle_delta.to_string()));
+    let _ = writeln!(out, "{}", row("Cycle (ns)", &|i| format!("{:.2}", i.cycle_ns)));
+    let _ = writeln!(out, "{}", row("Execution (ns)", &|i| format!("{:.2}", i.execution_ns)));
+    // Normalise (negative) near-zero so empty cost categories print as "0".
+    let nz = |x: f64| if x.abs() < 0.5 { 0.0 } else { x };
+    let _ = writeln!(out, "{}", row("FU (gates)", &|i| format!("{:.0}", nz(i.area.fu))));
+    let _ = writeln!(out, "{}", row("Registers", &|i| format!("{:.0}", nz(i.area.registers))));
+    let _ = writeln!(out, "{}", row("Routing", &|i| format!("{:.0}", nz(i.area.routing))));
+    let _ = writeln!(out, "{}", row("Controller", &|i| format!("{:.0}", nz(i.area.controller))));
+    let _ = writeln!(out, "{}", row("Total (gates)", &|i| format!("{:.0}", nz(i.area.total()))));
+    out
+}
+
+/// One labelled row of a Table II/III-style report.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct BenchRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Latency λ.
+    pub latency: u32,
+    /// Comparison at that latency.
+    pub comparison: Comparison,
+}
+
+/// Renders Table II/III rows: cycle durations, saved %, area delta %.
+pub fn render_bench_table(title: &str, rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<12}{:>4}{:>14}{:>14}{:>10}{:>12}{:>10}",
+        "bench", "λ", "orig (ns)", "opt (ns)", "saved", "area Δ", "ops Δ"
+    );
+    for r in rows {
+        let c = &r.comparison;
+        let _ = writeln!(
+            out,
+            "{:<12}{:>4}{:>14.2}{:>14.2}{:>9.1}%{:>11.1}%{:>9.0}%",
+            r.bench,
+            r.latency,
+            c.original.cycle_ns,
+            c.optimized.cycle_ns,
+            c.cycle_saved_pct(),
+            c.area_delta_pct(),
+            c.op_growth_pct(),
+        );
+    }
+    out
+}
+
+/// Renders the Fig. 4 series as aligned columns (latency, original ns,
+/// optimized ns).
+pub fn render_sweep(title: &str, points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{:>4}{:>14}{:>14}", "λ", "orig (ns)", "opt (ns)");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>4}{:>14.2}{:>14.2}",
+            p.latency, p.original_ns, p.optimized_ns
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compare, CompareOptions};
+    use bittrans_ir::Spec;
+
+    fn spec() -> Spec {
+        Spec::parse(
+            "spec ex { input A: u16; input B: u16; input D: u16; input F: u16;
+              C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_renders_columns() {
+        let cmp = compare(&spec(), 3, &CompareOptions::default()).unwrap();
+        let text = render_table1(&[
+            ("Original", &cmp.original),
+            ("Optimized", &cmp.optimized),
+        ]);
+        assert!(text.contains("Latency"));
+        assert!(text.contains("Total (gates)"));
+        assert!(text.contains("Original"));
+    }
+
+    #[test]
+    fn bench_table_renders_rows() {
+        let cmp = compare(&spec(), 3, &CompareOptions::default()).unwrap();
+        let rows = vec![BenchRow { bench: "ex".into(), latency: 3, comparison: cmp }];
+        let text = render_bench_table("Table II", &rows);
+        assert!(text.contains("Table II"));
+        assert!(text.contains("ex"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn sweep_renders_points() {
+        let points = crate::latency_sweep(&spec(), 2..=4, &CompareOptions::default());
+        let text = render_sweep("Fig 4", &points);
+        assert!(text.lines().count() >= points.len() + 2);
+    }
+}

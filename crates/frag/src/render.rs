@@ -1,0 +1,123 @@
+//! Paper-style rendering of fragmentation results: which bits of which
+//! source operation compute in every cycle (the pictures of Fig. 2 b/c and
+//! Fig. 3 c–g).
+
+use crate::Fragmented;
+use bittrans_ir::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the per-cycle bit waves of a scheduled fragmentation, in the
+/// shape of the paper's Fig. 2 b): one line per cycle listing each source
+/// operation's bit range computed there (`C[5:0] E[4:0] G[3:0]`).
+///
+/// `cycle_of` maps each fragment op (of `f.spec`) to its 1-based cycle —
+/// pass `|op| schedule.cycle_of(op)` from a
+/// [`Schedule`](../../bittrans_sched/struct.Schedule.html).
+pub fn render_waves(
+    f: &Fragmented,
+    kernel: &Spec,
+    cycle_of: impl Fn(OpId) -> Option<u32>,
+) -> String {
+    // cycle -> source label -> ranges
+    let mut per_cycle: BTreeMap<u32, BTreeMap<String, Vec<BitRange>>> = BTreeMap::new();
+    for (source, ids) in &f.per_source {
+        let label = kernel.op(*source).label();
+        for id in ids {
+            let info = &f.fragments[id];
+            let Some(k) = cycle_of(*id) else { continue };
+            per_cycle
+                .entry(k)
+                .or_default()
+                .entry(label.clone())
+                .or_default()
+                .push(info.range);
+        }
+    }
+    let mut out = String::new();
+    for (k, ops) in &per_cycle {
+        let mut parts: Vec<String> = Vec::new();
+        for (label, ranges) in ops {
+            for r in ranges {
+                parts.push(format!("{label}{r}"));
+            }
+        }
+        let _ = writeln!(out, "cycle {k}: {}", parts.join("  "));
+    }
+    out
+}
+
+/// Renders the mobility table of the unscheduled fragments (the paper's
+/// Fig. 3 f): every fragment with ASAP ≠ ALAP and its window.
+pub fn render_mobilities(f: &Fragmented, kernel: &Spec) -> String {
+    let mut out = String::new();
+    for (source, ids) in &f.per_source {
+        let label = kernel.op(*source).label();
+        let mobile: Vec<String> = ids
+            .iter()
+            .filter_map(|id| {
+                let info = &f.fragments[id];
+                (!info.is_fixed())
+                    .then(|| format!("{label}{} ∈ [{}, {}]", info.range, info.asap, info.alap))
+            })
+            .collect();
+        if !mobile.is_empty() {
+            let _ = writeln!(out, "{}", mobile.join("  "));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(all fragments fixed)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fragment, FragmentOptions};
+
+    fn three_adds() -> Spec {
+        Spec::parse(
+            "spec ex { input A: u16; input B: u16; input D: u16; input F: u16;
+              C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn waves_match_fig2() {
+        let spec = three_adds();
+        let f = fragment(&spec, &FragmentOptions::with_latency(3)).unwrap();
+        // ASAP rendering: every fragment at its earliest cycle.
+        let text = render_waves(&f, &spec, |op| f.fragments.get(&op).map(|i| i.asap));
+        assert!(text.contains("cycle 1: C[5:0]  E[4:0]  G[3:0]"), "{text}");
+        assert!(text.contains("cycle 2: C[11:6]  E[10:5]  G[9:4]"), "{text}");
+        assert!(text.contains("cycle 3: C[15:12]  E[15:11]  G[15:10]"), "{text}");
+    }
+
+    #[test]
+    fn mobilities_report_windows() {
+        let spec = Spec::parse(
+            "spec s { input i5: u5; input i6: u5; A: u5 = i5 + i6;
+              input j1: u8; input j2: u8; input j3: u8; input j4: u8;
+              F: u8 = j1 + j2; G: u8 = j3 + j4; H: u8 = F + G;
+              output A; output H; }",
+        )
+        .unwrap();
+        let f = fragment(&spec, &FragmentOptions::with_latency(3)).unwrap();
+        let text = render_mobilities(&f, &spec);
+        assert!(text.contains("A["), "{text}");
+        assert!(text.contains("∈ ["), "{text}");
+    }
+
+    #[test]
+    fn fixed_only_case() {
+        let spec = Spec::parse(
+            "spec s { input a: u6; input b: u6; X: u6 = a + b; output X; }",
+        )
+        .unwrap();
+        let f = fragment(&spec, &FragmentOptions::with_latency(3)).unwrap();
+        let text = render_mobilities(&f, &spec);
+        assert!(text.contains("all fragments fixed"), "{text}");
+    }
+}

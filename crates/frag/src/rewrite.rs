@@ -1,0 +1,222 @@
+//! Construction of the transformed specification from a fragmentation plan.
+//!
+//! Produces the paper's Fig. 2 a): every fragment becomes an independent
+//! small addition whose carry out feeds the next fragment's carry in, and
+//! the original value is reassembled by (cost-free) concatenation wiring.
+
+use crate::FragmentInfo;
+use bittrans_ir::prelude::*;
+use std::collections::BTreeMap;
+
+/// Rewrites `spec` according to `plan` (fragments per addition, LSB
+/// fragment first; additions absent from the plan are impossible — every
+/// `Add` must have an entry).
+///
+/// Returns the new spec, per-new-op fragment metadata, and the
+/// source-op → new-ops index.
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from spec construction; a valid plan cannot
+/// trigger one.
+#[allow(clippy::type_complexity)]
+pub fn rewrite(
+    spec: &Spec,
+    plan: &BTreeMap<OpId, Vec<FragmentInfo>>,
+) -> Result<(Spec, BTreeMap<OpId, FragmentInfo>, BTreeMap<OpId, Vec<OpId>>), IrError> {
+    let mut builder = SpecBuilder::new(format!("{}_frag", spec.name()));
+    let mut map: Vec<Option<Operand>> = vec![None; spec.values().len()];
+    for &input in spec.inputs() {
+        let v = builder.input(spec.input_name(input), spec.value(input).width());
+        map[input.index()] = Some(Operand::value(v));
+    }
+    let translate = |map: &[Option<Operand>], operand: &Operand| -> Operand {
+        match operand {
+            Operand::Const(b) => Operand::Const(b.clone()),
+            Operand::Value { value, range } => {
+                let base = map[value.index()]
+                    .clone()
+                    .expect("operand defined before use");
+                match range {
+                    None => base,
+                    Some(r) => base.subrange(*r),
+                }
+            }
+        }
+    };
+    let mut fragments = BTreeMap::new();
+    let mut per_source: BTreeMap<OpId, Vec<OpId>> = BTreeMap::new();
+
+    for op in spec.ops() {
+        match plan.get(&op.id()) {
+            Some(frags) => {
+                debug_assert_eq!(op.kind(), OpKind::Add);
+                let a = translate(&map, &op.operands()[0]);
+                let b = translate(&map, &op.operands()[1]);
+                let source_cin = op.operands().get(2).map(|c| translate(&map, c));
+                let result = emit_fragments(
+                    &mut builder,
+                    spec,
+                    op,
+                    frags,
+                    a,
+                    b,
+                    source_cin,
+                    &mut fragments,
+                    &mut per_source,
+                )?;
+                map[op.result().index()] = Some(result);
+            }
+            None => {
+                // Glue: re-emit unchanged.
+                let args: Vec<Operand> =
+                    op.operands().iter().map(|o| translate(&map, o)).collect();
+                let v = builder.op_with_origin(
+                    op.kind(),
+                    args,
+                    op.width(),
+                    op.signedness(),
+                    op.name(),
+                    Some(op.id()),
+                )?;
+                map[op.result().index()] = Some(v.into());
+            }
+        }
+    }
+    for port in spec.outputs() {
+        let operand = translate(&map, port.operand());
+        builder.output(port.name(), operand);
+    }
+    Ok((builder.finish()?, fragments, per_source))
+}
+
+/// Emits the fragment additions of one source addition; returns the operand
+/// reassembling the source result.
+#[allow(clippy::too_many_arguments)]
+fn emit_fragments(
+    builder: &mut SpecBuilder,
+    spec: &Spec,
+    op: &Operation,
+    frags: &[FragmentInfo],
+    a: Operand,
+    b: Operand,
+    source_cin: Option<Operand>,
+    fragments: &mut BTreeMap<OpId, FragmentInfo>,
+    per_source: &mut BTreeMap<OpId, Vec<OpId>>,
+) -> Result<Operand, IrError> {
+    let a_width = operand_width(builder, spec, &a);
+    let b_width = operand_width(builder, spec, &b);
+    if frags.len() == 1 {
+        // Unsplit: one addition, carried over as-is.
+        let mut args = vec![a, b];
+        if let Some(c) = source_cin {
+            args.push(c);
+        }
+        let v = builder.op_with_origin(
+            OpKind::Add,
+            args,
+            op.width(),
+            Signedness::Unsigned,
+            op.name(),
+            Some(op.id()),
+        )?;
+        let new_id = OpId::from_index(builder.op_count() - 1);
+        fragments.insert(new_id, frags[0]);
+        per_source.insert(op.id(), vec![new_id]);
+        return Ok(v.into());
+    }
+    let mut parts: Vec<Operand> = Vec::with_capacity(frags.len());
+    let mut carry = source_cin;
+    let mut new_ids = Vec::with_capacity(frags.len());
+    for (k, fr) in frags.iter().enumerate() {
+        let last = k == frags.len() - 1;
+        let size = fr.range.width();
+        // Intermediate fragments keep their carry out as an extra top bit.
+        let frag_width = if last { size } else { size + 1 };
+        let mut args = vec![
+            slice_clamped(&a, a_width, fr.range),
+            slice_clamped(&b, b_width, fr.range),
+        ];
+        if let Some(c) = carry.take() {
+            args.push(c);
+        }
+        let name = format!("{}_f{}", op.label(), k);
+        let v = builder.op_with_origin(
+            OpKind::Add,
+            args,
+            frag_width,
+            Signedness::Unsigned,
+            Some(&name),
+            Some(op.id()),
+        )?;
+        let new_id = OpId::from_index(builder.op_count() - 1);
+        fragments.insert(new_id, *fr);
+        new_ids.push(new_id);
+        if !last {
+            carry = Some(Operand::slice(v, BitRange::new(size, 1)));
+        }
+        parts.push(if last {
+            v.into()
+        } else {
+            Operand::slice(v, BitRange::new(0, size))
+        });
+    }
+    per_source.insert(op.id(), new_ids);
+    // Reassemble the source result by wiring (cost-free concatenation).
+    let full = builder.op_with_origin(
+        OpKind::Concat,
+        parts,
+        op.width(),
+        Signedness::Unsigned,
+        op.name(),
+        Some(op.id()),
+    )?;
+    Ok(full.into())
+}
+
+/// Width of a translated operand in the *new* spec.
+fn operand_width(builder: &SpecBuilder, _spec: &Spec, operand: &Operand) -> u32 {
+    match operand {
+        Operand::Const(b) => b.width() as u32,
+        Operand::Value { value, range: Some(r) } => {
+            let _ = value;
+            r.width()
+        }
+        Operand::Value { value, range: None } => builder.width_of(*value),
+    }
+}
+
+/// Slices `operand` to the bits a fragment reads, clamping to the operand's
+/// real width: bits beyond it are zeros of the source addition's implicit
+/// zero extension, which the fragment addition re-creates by itself.
+fn slice_clamped(operand: &Operand, width: u32, range: BitRange) -> Operand {
+    if range.lo() >= width {
+        return Operand::Const(Bits::zero(1));
+    }
+    let end = range.end().min(width);
+    operand.subrange(BitRange::new(range.lo(), end - range.lo()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_clamped_cases() {
+        let v = ValueId::from_index(0);
+        let op = Operand::value(v);
+        // fully inside
+        assert_eq!(
+            slice_clamped(&op, 16, BitRange::new(4, 4)).range(),
+            Some(BitRange::new(4, 4))
+        );
+        // partially beyond: clamped
+        assert_eq!(
+            slice_clamped(&op, 10, BitRange::new(8, 4)).range(),
+            Some(BitRange::new(8, 2))
+        );
+        // fully beyond: a zero constant
+        let c = slice_clamped(&op, 8, BitRange::new(8, 4));
+        assert!(c.as_const().unwrap().is_zero());
+    }
+}

@@ -1,0 +1,171 @@
+//! Graphviz (DOT) emission of dataflow graphs.
+//!
+//! Renders a [`Spec`] as a `digraph` for visual inspection of benchmark
+//! structure and of the transformations' output — handy when debugging a
+//! fragmentation plan or documenting a workload.
+
+use crate::spec::{Spec, ValueDef};
+use crate::Operand;
+use std::fmt::Write as _;
+
+/// Options for [`emit`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Include glue (wiring/bitwise) operations; off by default to keep
+    /// kernel graphs readable.
+    pub show_glue: bool,
+}
+
+/// Renders `spec` as a Graphviz digraph.
+///
+/// Inputs are boxes, operations are ellipses (glue dashed, when shown),
+/// outputs are double octagons. Edges through hidden glue are collapsed to
+/// their producing non-glue sources.
+///
+/// # Examples
+///
+/// ```
+/// use bittrans_ir::{dot, Spec};
+///
+/// let spec = Spec::parse(
+///     "spec ex { input a: u8; input b: u8; s: u8 = a + b; output s; }",
+/// ).unwrap();
+/// let text = dot::emit(&spec, &dot::DotOptions::default());
+/// assert!(text.contains("digraph ex"));
+/// ```
+pub fn emit(spec: &Spec, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(spec.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    for &input in spec.inputs() {
+        let v = spec.value(input);
+        let _ = writeln!(
+            out,
+            "  v{} [shape=box, label=\"{}: u{}\"];",
+            input.index(),
+            spec.input_name(input),
+            v.width()
+        );
+    }
+    for op in spec.ops() {
+        let hidden = op.kind().is_glue() && !options.show_glue;
+        if hidden {
+            continue;
+        }
+        let style = if op.kind().is_glue() { ", style=dashed" } else { "" };
+        let _ = writeln!(
+            out,
+            "  v{} [label=\"{} {}\\nu{}\"{}];",
+            op.result().index(),
+            op.label(),
+            op.kind(),
+            op.width(),
+            style
+        );
+        for operand in op.operands() {
+            for src in visible_sources(spec, operand, options) {
+                let _ = writeln!(out, "  v{src} -> v{};", op.result().index());
+            }
+        }
+    }
+    for (i, port) in spec.outputs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  out{i} [shape=doubleoctagon, label=\"{}\"];",
+            port.name()
+        );
+        for src in visible_sources(spec, port.operand(), options) {
+            let _ = writeln!(out, "  v{src} -> out{i};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// The visible producers an operand connects to, tracing through hidden
+/// glue.
+fn visible_sources(spec: &Spec, operand: &Operand, options: &DotOptions) -> Vec<usize> {
+    let Some(v) = operand.value_id() else {
+        return Vec::new();
+    };
+    let visible = match spec.value(v).def() {
+        ValueDef::Input { .. } => true,
+        ValueDef::Op(op) => options.show_glue || !spec.op(*op).kind().is_glue(),
+    };
+    if visible {
+        return vec![v.index()];
+    }
+    // Hidden glue: recurse into its operands (dedup to keep edges tidy).
+    let ValueDef::Op(op) = spec.value(v).def() else {
+        unreachable!("non-input hidden value has a defining op")
+    };
+    let mut sources: Vec<usize> = spec
+        .op(*op)
+        .operands()
+        .iter()
+        .flat_map(|o| visible_sources(spec, o, options))
+        .collect();
+    sources.sort_unstable();
+    sources.dedup();
+    sources
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Spec {
+        Spec::parse(
+            "spec g { input a: u8; input b: u8;
+              n: u8 = ~a;
+              s: u8 = n + b;
+              p: u16 = s * b;
+              output p; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hides_glue_by_default() {
+        let text = emit(&spec(), &DotOptions::default());
+        assert!(text.contains("digraph g {"));
+        assert!(!text.contains("not"), "glue hidden:\n{text}");
+        // The edge from a bypasses the inverter.
+        assert!(text.contains("v0 -> v3"), "{text}");
+    }
+
+    #[test]
+    fn shows_glue_on_request() {
+        let text = emit(&spec(), &DotOptions { show_glue: true });
+        assert!(text.contains("not"), "{text}");
+        assert!(text.contains("style=dashed"));
+    }
+
+    #[test]
+    fn outputs_are_rendered() {
+        let text = emit(&spec(), &DotOptions::default());
+        assert!(text.contains("doubleoctagon"));
+        assert!(text.contains("out0"));
+    }
+
+    #[test]
+    fn kinds_are_labelled() {
+        let text = emit(&spec(), &DotOptions::default());
+        assert!(text.contains("mul"));
+        assert!(text.contains("u16"));
+    }
+
+    #[test]
+    fn sanitizes_names() {
+        let s = Spec::parse("spec a1 { input x: u4; output o = x + 1; }").unwrap();
+        let text = emit(&s, &DotOptions::default());
+        assert!(text.starts_with("digraph a1 {"));
+    }
+}

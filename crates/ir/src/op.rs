@@ -1,0 +1,284 @@
+//! Operation kinds and the [`Operation`] node of the dataflow graph.
+
+use crate::operand::Operand;
+use crate::types::{OpId, Signedness, ValueId};
+use std::fmt;
+
+/// The kind of an operation node.
+///
+/// Kinds are split in three families that later passes treat differently:
+///
+/// * **Additive kernel** ([`OpKind::is_additive`]): operations whose cost is
+///   dominated by a carry-propagating addition. These are what the paper's
+///   kernel extraction reduces everything to, and what fragmentation breaks
+///   up.
+/// * **Glue** ([`OpKind::is_glue`]): bitwise/wiring logic introduced by
+///   kernel extraction (inverters, partial-product ANDs, muxes, …). Glue
+///   carries no δ-delay in the paper's timing model but does cost area.
+/// * **Macro operations**: `Mul`, `Sub`, comparisons, `Max`/`Min`, … — the
+///   user-facing operations that kernel extraction rewrites away.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Addition: `a + b (+ cin)`, modulo `2^width`.
+    ///
+    /// Takes two operands plus an optional third 1-bit carry-in operand.
+    /// Making the result one bit wider than the operands preserves the
+    /// carry out, which fragments rely on.
+    Add,
+    /// Subtraction `a - b`, modulo `2^width`.
+    Sub,
+    /// Negation `-a`, modulo `2^width`.
+    Neg,
+    /// Multiplication `a * b`, modulo `2^width`; operands are interpreted
+    /// per the operation's [`Signedness`].
+    Mul,
+    /// Absolute value of a signed operand, modulo `2^width`.
+    Abs,
+    /// `a < b` (1-bit result, zero-extended to `width`).
+    Lt,
+    /// `a <= b`.
+    Le,
+    /// `a > b`.
+    Gt,
+    /// `a >= b`.
+    Ge,
+    /// `a == b`.
+    Eq,
+    /// `a != b`.
+    Ne,
+    /// The larger of `a` and `b` per the operation's signedness.
+    Max,
+    /// The smaller of `a` and `b` per the operation's signedness.
+    Min,
+    /// Left shift by a constant amount (zero fill).
+    Shl(u32),
+    /// Right shift by a constant amount (zero or sign fill per signedness).
+    Shr(u32),
+    /// Bitwise NOT (glue).
+    Not,
+    /// Bitwise AND (glue).
+    And,
+    /// Bitwise OR (glue).
+    Or,
+    /// Bitwise XOR (glue).
+    Xor,
+    /// Two-way multiplexer: operands `[sel, a, b]`, result `sel ? a : b`
+    /// (glue).
+    Mux,
+    /// OR-reduction of the single operand to one bit (glue).
+    RedOr,
+    /// AND-reduction of the single operand to one bit (glue).
+    RedAnd,
+    /// Concatenation of operands, first operand lowest (wiring glue).
+    Concat,
+}
+
+impl OpKind {
+    /// Number of operands the kind accepts, as `(min, max)`.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            OpKind::Add => (2, 3),
+            OpKind::Sub | OpKind::Mul | OpKind::Lt | OpKind::Le | OpKind::Gt
+            | OpKind::Ge | OpKind::Eq | OpKind::Ne | OpKind::Max | OpKind::Min
+            | OpKind::And | OpKind::Or | OpKind::Xor => (2, 2),
+            OpKind::Neg | OpKind::Abs | OpKind::Not | OpKind::RedOr
+            | OpKind::RedAnd | OpKind::Shl(_) | OpKind::Shr(_) => (1, 1),
+            OpKind::Mux => (3, 3),
+            OpKind::Concat => (1, usize::MAX),
+        }
+    }
+
+    /// `true` for operations whose kernel is a carry-propagating addition
+    /// (the paper's "additive operations"): `Add`, `Sub`, `Neg`, `Mul`,
+    /// `Abs`, ordered comparisons, `Max`, `Min`.
+    pub fn is_additive(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add
+                | OpKind::Sub
+                | OpKind::Neg
+                | OpKind::Mul
+                | OpKind::Abs
+                | OpKind::Lt
+                | OpKind::Le
+                | OpKind::Gt
+                | OpKind::Ge
+                | OpKind::Max
+                | OpKind::Min
+        )
+    }
+
+    /// `true` for zero-δ bitwise/wiring logic.
+    pub fn is_glue(self) -> bool {
+        matches!(
+            self,
+            OpKind::Not
+                | OpKind::And
+                | OpKind::Or
+                | OpKind::Xor
+                | OpKind::Mux
+                | OpKind::RedOr
+                | OpKind::RedAnd
+                | OpKind::Concat
+                | OpKind::Shl(_)
+                | OpKind::Shr(_)
+        )
+    }
+
+    /// `true` for the 1-bit-result relational operations.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge | OpKind::Eq | OpKind::Ne
+        )
+    }
+
+    /// Short mnemonic used in textual dumps (`add`, `mul`, `mux`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Neg => "neg",
+            OpKind::Mul => "mul",
+            OpKind::Abs => "abs",
+            OpKind::Lt => "lt",
+            OpKind::Le => "le",
+            OpKind::Gt => "gt",
+            OpKind::Ge => "ge",
+            OpKind::Eq => "eq",
+            OpKind::Ne => "ne",
+            OpKind::Max => "max",
+            OpKind::Min => "min",
+            OpKind::Shl(_) => "shl",
+            OpKind::Shr(_) => "shr",
+            OpKind::Not => "not",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Mux => "mux",
+            OpKind::RedOr => "redor",
+            OpKind::RedAnd => "redand",
+            OpKind::Concat => "concat",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Shl(k) => write!(f, "shl<{k}>"),
+            OpKind::Shr(k) => write!(f, "shr<{k}>"),
+            other => write!(f, "{}", other.mnemonic()),
+        }
+    }
+}
+
+/// A node of the dataflow graph: one operation producing one value.
+///
+/// Operations are stored inside a [`Spec`](crate::spec::Spec) in topological
+/// order (operands always reference earlier values); fields are read through
+/// accessors to protect the spec's invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Operation {
+    pub(crate) id: OpId,
+    pub(crate) kind: OpKind,
+    pub(crate) operands: Vec<Operand>,
+    pub(crate) width: u32,
+    pub(crate) signedness: Signedness,
+    pub(crate) result: ValueId,
+    pub(crate) name: Option<String>,
+    /// The operation of the *source* spec this node derives from, when the
+    /// spec was produced by a transformation (kernel extraction keeps
+    /// provenance so fragmentation can report per-original-op results).
+    pub(crate) origin: Option<OpId>,
+}
+
+impl Operation {
+    /// This operation's id within its spec.
+    pub fn id(&self) -> OpId {
+        self.id
+    }
+
+    /// The operation kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// The input operands, in kind-specific order.
+    pub fn operands(&self) -> &[Operand] {
+        &self.operands
+    }
+
+    /// Result width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Operand interpretation.
+    pub fn signedness(&self) -> Signedness {
+        self.signedness
+    }
+
+    /// The value this operation defines.
+    pub fn result(&self) -> ValueId {
+        self.result
+    }
+
+    /// Optional human-readable label (e.g. the variable name in the source).
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Provenance: the source-spec operation this one derives from, if any.
+    pub fn origin(&self) -> Option<OpId> {
+        self.origin
+    }
+
+    /// The label used in diagnostics: the name when present, otherwise the id.
+    pub fn label(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => self.id.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_table() {
+        assert_eq!(OpKind::Add.arity(), (2, 3));
+        assert_eq!(OpKind::Mux.arity(), (3, 3));
+        assert_eq!(OpKind::Not.arity(), (1, 1));
+        assert_eq!(OpKind::Concat.arity().0, 1);
+    }
+
+    #[test]
+    fn families_are_disjoint() {
+        let all = [
+            OpKind::Add, OpKind::Sub, OpKind::Neg, OpKind::Mul, OpKind::Abs,
+            OpKind::Lt, OpKind::Le, OpKind::Gt, OpKind::Ge, OpKind::Eq,
+            OpKind::Ne, OpKind::Max, OpKind::Min, OpKind::Shl(1), OpKind::Shr(2),
+            OpKind::Not, OpKind::And, OpKind::Or, OpKind::Xor, OpKind::Mux,
+            OpKind::RedOr, OpKind::RedAnd, OpKind::Concat,
+        ];
+        for k in all {
+            assert!(
+                !(k.is_additive() && k.is_glue()),
+                "{k} is both additive and glue"
+            );
+        }
+        // Eq/Ne are comparisons but not additive (XOR-based, no carry chain).
+        assert!(OpKind::Eq.is_comparison() && !OpKind::Eq.is_additive());
+        assert!(OpKind::Lt.is_comparison() && OpKind::Lt.is_additive());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OpKind::Add.to_string(), "add");
+        assert_eq!(OpKind::Shl(3).to_string(), "shl<3>");
+        assert_eq!(OpKind::RedAnd.mnemonic(), "redand");
+    }
+}

@@ -1,0 +1,185 @@
+//! Operation inputs: value references (optionally bit-sliced) and constants.
+
+use crate::bits::Bits;
+use crate::types::{BitRange, ValueId};
+use std::fmt;
+
+/// An input to an operation.
+///
+/// Operands either reference a [`ValueId`] — the result of an earlier
+/// operation or an input port, optionally restricted to a [`BitRange`] —
+/// or embed a constant [`Bits`] literal.
+///
+/// # Examples
+///
+/// ```
+/// use bittrans_ir::prelude::*;
+///
+/// let mut b = SpecBuilder::new("ex");
+/// let a = b.input("A", 16);
+/// // Full-width reference:
+/// let full: Operand = a.into();
+/// // Bit-sliced reference, A[11:6]:
+/// let hi = Operand::slice(a, BitRange::inclusive(11, 6));
+/// assert_eq!(hi.range().unwrap().width(), 6);
+/// let _ = full;
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// A reference to a value, possibly restricted to a bit range.
+    ///
+    /// A `range` of `None` means the full width of the referenced value.
+    Value {
+        /// The referenced value.
+        value: ValueId,
+        /// Bits read from the value; `None` reads all of them.
+        range: Option<BitRange>,
+    },
+    /// An inline constant.
+    Const(Bits),
+}
+
+impl Operand {
+    /// Full-width reference to `value`.
+    pub fn value(value: ValueId) -> Self {
+        Operand::Value { value, range: None }
+    }
+
+    /// Reference to bits `range` of `value`.
+    pub fn slice(value: ValueId, range: BitRange) -> Self {
+        Operand::Value { value, range: Some(range) }
+    }
+
+    /// Constant operand holding the low `width` bits of `v`.
+    pub fn const_u64(v: u64, width: usize) -> Self {
+        Operand::Const(Bits::from_u64(v, width))
+    }
+
+    /// A single-bit constant.
+    pub fn const_bit(bit: bool) -> Self {
+        Operand::Const(Bits::from(bit))
+    }
+
+    /// The referenced value id, if this is a value operand.
+    pub fn value_id(&self) -> Option<ValueId> {
+        match self {
+            Operand::Value { value, .. } => Some(*value),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// The explicit bit range, if this is a sliced value operand.
+    pub fn range(&self) -> Option<BitRange> {
+        match self {
+            Operand::Value { range, .. } => *range,
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// The constant payload, if this is a constant operand.
+    pub fn as_const(&self) -> Option<&Bits> {
+        match self {
+            Operand::Const(bits) => Some(bits),
+            Operand::Value { .. } => None,
+        }
+    }
+
+    /// `true` if this operand is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Operand::Const(_))
+    }
+
+    /// Narrows this operand to `sub`, a range expressed *relative to the
+    /// operand itself* (bit 0 of `sub` is the operand's own bit 0).
+    ///
+    /// For constants the slice is taken eagerly. Useful when fragmenting
+    /// operations: a fragment covering bits `[hi:lo]` reads `operand.subrange(..)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slicing a constant out of range. Value operands are not
+    /// bounds-checked here (the spec validates them).
+    pub fn subrange(&self, sub: BitRange) -> Operand {
+        match self {
+            Operand::Value { value, range } => {
+                let base = range.map_or(0, |r| r.lo());
+                Operand::Value {
+                    value: *value,
+                    range: Some(BitRange::new(base + sub.lo(), sub.width())),
+                }
+            }
+            Operand::Const(bits) => {
+                Operand::Const(bits.slice(sub.lo() as usize, sub.width() as usize))
+            }
+        }
+    }
+}
+
+impl From<ValueId> for Operand {
+    fn from(v: ValueId) -> Self {
+        Operand::value(v)
+    }
+}
+
+impl From<Bits> for Operand {
+    fn from(b: Bits) -> Self {
+        Operand::Const(b)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Value { value, range: None } => write!(f, "{value}"),
+            Operand::Value { value, range: Some(r) } => write!(f, "{value}{r}"),
+            Operand::Const(bits) => write!(f, "{bits}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let v = ValueId::from_index(2);
+        assert_eq!(Operand::value(v).value_id(), Some(v));
+        assert_eq!(Operand::value(v).range(), None);
+        let s = Operand::slice(v, BitRange::new(4, 8));
+        assert_eq!(s.range().unwrap().lo(), 4);
+        let c = Operand::const_u64(5, 3);
+        assert!(c.is_const());
+        assert_eq!(c.as_const().unwrap().to_u64(), 5);
+        assert_eq!(Operand::const_bit(true).as_const().unwrap().to_u64(), 1);
+    }
+
+    #[test]
+    fn subrange_composes() {
+        let v = ValueId::from_index(0);
+        let base = Operand::slice(v, BitRange::new(6, 6)); // v[11:6]
+        let sub = base.subrange(BitRange::new(2, 3)); // bits 2..5 of the slice
+        assert_eq!(sub.range(), Some(BitRange::new(8, 3))); // v[10:8]
+
+        let full: Operand = v.into();
+        assert_eq!(full.subrange(BitRange::new(1, 2)).range(), Some(BitRange::new(1, 2)));
+    }
+
+    #[test]
+    fn subrange_of_const() {
+        let c = Operand::const_u64(0b110100, 6);
+        let s = c.subrange(BitRange::new(2, 3));
+        assert_eq!(s.as_const().unwrap().to_u64(), 0b101);
+    }
+
+    #[test]
+    fn display() {
+        let v = ValueId::from_index(3);
+        assert_eq!(Operand::value(v).to_string(), "v3");
+        assert_eq!(
+            Operand::slice(v, BitRange::inclusive(5, 0)).to_string(),
+            "v3[5:0]"
+        );
+        assert_eq!(Operand::const_u64(2, 3).to_string(), "3'b010");
+    }
+}

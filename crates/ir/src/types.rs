@@ -1,0 +1,236 @@
+//! Fundamental identifier and attribute types shared by the whole IR.
+
+use std::fmt;
+
+/// Identifies a value (an input port or an operation result) inside a
+/// [`Spec`](crate::spec::Spec).
+///
+/// Value ids are dense indices assigned in creation order; they are only
+/// meaningful relative to the spec that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub(crate) u32);
+
+impl ValueId {
+    /// The dense index of this value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `ValueId` from an index obtained via
+    /// [`index`](Self::index). Intended for tables keyed by value.
+    pub fn from_index(index: usize) -> Self {
+        ValueId(u32::try_from(index).expect("value index overflow"))
+    }
+}
+
+impl fmt::Debug for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifies an operation inside a [`Spec`](crate::spec::Spec).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// The dense index of this operation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an `OpId` from an index obtained via
+    /// [`index`](Self::index).
+    pub fn from_index(index: usize) -> Self {
+        OpId(u32::try_from(index).expect("op index overflow"))
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Number representation used when an operation interprets its operands.
+///
+/// `Unsigned` operands are zero-extended, `Signed` operands sign-extended;
+/// comparisons and multiplications follow the corresponding ordering and
+/// product rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Signedness {
+    /// Pure binary interpretation (zero extension).
+    #[default]
+    Unsigned,
+    /// Two's-complement interpretation (sign extension).
+    Signed,
+}
+
+impl Signedness {
+    /// `true` for [`Signedness::Signed`].
+    pub fn is_signed(self) -> bool {
+        matches!(self, Signedness::Signed)
+    }
+}
+
+impl fmt::Display for Signedness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Signedness::Unsigned => write!(f, "unsigned"),
+            Signedness::Signed => write!(f, "signed"),
+        }
+    }
+}
+
+/// A contiguous range of bits `[lo, lo + width)` within a value.
+///
+/// Ranges use hardware conventions: bit 0 is the least-significant bit, and
+/// the display form is `hi:lo` (inclusive), e.g. `[11:6]` for
+/// `BitRange::new(6, 6)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitRange {
+    lo: u32,
+    width: u32,
+}
+
+impl BitRange {
+    /// Creates a range of `width` bits starting at bit `lo`.
+    pub fn new(lo: u32, width: u32) -> Self {
+        BitRange { lo, width }
+    }
+
+    /// Creates the range covering bits `lo..=hi` (inclusive bounds, hardware
+    /// style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo`.
+    pub fn inclusive(hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "bit range {hi}:{lo} has hi < lo");
+        BitRange { lo, width: hi - lo + 1 }
+    }
+
+    /// Lowest bit index covered.
+    pub fn lo(self) -> u32 {
+        self.lo
+    }
+
+    /// Highest bit index covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn hi(self) -> u32 {
+        assert!(self.width > 0, "empty bit range has no hi bit");
+        self.lo + self.width - 1
+    }
+
+    /// Number of bits covered.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// One past the highest bit covered (`lo + width`).
+    pub fn end(self) -> u32 {
+        self.lo + self.width
+    }
+
+    /// `true` if the range covers no bits.
+    pub fn is_empty(self) -> bool {
+        self.width == 0
+    }
+
+    /// `true` if `bit` falls inside the range.
+    pub fn contains(self, bit: u32) -> bool {
+        bit >= self.lo && bit < self.end()
+    }
+
+    /// `true` if the two ranges share at least one bit.
+    ///
+    /// Empty ranges overlap nothing.
+    pub fn overlaps(self, other: BitRange) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.lo < other.end()
+            && other.lo < self.end()
+    }
+}
+
+impl fmt::Display for BitRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 0 {
+            write!(f, "[empty@{}]", self.lo)
+        } else if self.width == 1 {
+            write!(f, "[{}]", self.lo)
+        } else {
+            write!(f, "[{}:{}]", self.hi(), self.lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitrange_bounds() {
+        let r = BitRange::inclusive(11, 6);
+        assert_eq!(r.lo(), 6);
+        assert_eq!(r.hi(), 11);
+        assert_eq!(r.width(), 6);
+        assert_eq!(r.end(), 12);
+        assert!(r.contains(6) && r.contains(11));
+        assert!(!r.contains(5) && !r.contains(12));
+    }
+
+    #[test]
+    fn bitrange_overlap() {
+        let a = BitRange::new(0, 4);
+        let b = BitRange::new(3, 2);
+        let c = BitRange::new(4, 2);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert!(!a.overlaps(BitRange::new(1, 0)));
+    }
+
+    #[test]
+    fn bitrange_display() {
+        assert_eq!(BitRange::new(6, 6).to_string(), "[11:6]");
+        assert_eq!(BitRange::new(3, 1).to_string(), "[3]");
+        assert_eq!(BitRange::new(3, 0).to_string(), "[empty@3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "hi < lo")]
+    fn bitrange_inclusive_validates() {
+        BitRange::inclusive(2, 5);
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        assert_eq!(ValueId::from_index(7).index(), 7);
+        assert_eq!(OpId::from_index(3).index(), 3);
+        assert_eq!(format!("{}", ValueId::from_index(7)), "v7");
+        assert_eq!(format!("{:?}", OpId::from_index(3)), "op3");
+    }
+
+    #[test]
+    fn signedness_helpers() {
+        assert!(Signedness::Signed.is_signed());
+        assert!(!Signedness::Unsigned.is_signed());
+        assert_eq!(Signedness::default(), Signedness::Unsigned);
+        assert_eq!(Signedness::Signed.to_string(), "signed");
+    }
+}

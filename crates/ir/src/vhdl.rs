@@ -1,0 +1,267 @@
+//! Behavioural VHDL emission.
+//!
+//! Renders a [`Spec`] as a synthesisable-style VHDL entity/architecture pair
+//! in the shape of the paper's Figures 1 a) and 2 a): one process, one
+//! variable per operation result, `std_logic_vector` ports. This makes the
+//! transformed specifications inspectable in the same form the paper prints
+//! them.
+
+use crate::op::OpKind;
+use crate::operand::Operand;
+use crate::spec::{Spec, ValueDef};
+use crate::types::ValueId;
+use std::fmt::Write as _;
+
+/// Renders `spec` as behavioural VHDL.
+///
+/// The output is deterministic and intended for human inspection and
+/// golden-file tests; it is not run through a VHDL simulator in this
+/// repository (the functional simulator in `bittrans-sim` plays that role).
+///
+/// # Examples
+///
+/// ```
+/// use bittrans_ir::prelude::*;
+/// use bittrans_ir::vhdl;
+///
+/// let spec = Spec::parse(
+///     "spec ex { input A: u8; input B: u8; C: u8 = A + B; output C; }",
+/// ).unwrap();
+/// let text = vhdl::emit(&spec);
+/// assert!(text.contains("entity ex is"));
+/// assert!(text.contains("C := "));
+/// ```
+pub fn emit(spec: &Spec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ieee;");
+    let _ = writeln!(out, "use ieee.std_logic_1164.all;");
+    let _ = writeln!(out, "use ieee.numeric_std.all;");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "entity {} is", spec.name());
+    let _ = writeln!(out, "  port (clk: in std_logic;");
+    let mut ports = Vec::new();
+    for &input in spec.inputs() {
+        let v = spec.value(input);
+        ports.push(format!(
+            "        {}: in std_logic_vector({} downto 0)",
+            spec.input_name(input),
+            v.width() - 1
+        ));
+    }
+    for port in spec.outputs() {
+        let w = spec.operand_width(port.operand());
+        ports.push(format!(
+            "        {}: out std_logic_vector({} downto 0)",
+            port.name(),
+            w - 1
+        ));
+    }
+    let _ = writeln!(out, "{});", ports.join(";\n"));
+    let _ = writeln!(out, "end {};", spec.name());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "architecture beh of {} is", spec.name());
+    let _ = writeln!(out, "begin");
+    let _ = writeln!(out, "  main: process");
+    for op in spec.ops() {
+        let _ = writeln!(
+            out,
+            "    variable {}: std_logic_vector({} downto 0);",
+            var_name(spec, op.result()),
+            op.width() - 1
+        );
+    }
+    let _ = writeln!(out, "  begin");
+    for op in spec.ops() {
+        let rhs = render_op(spec, op.id().index());
+        let _ = writeln!(out, "    {} := {};", var_name(spec, op.result()), rhs);
+    }
+    for port in spec.outputs() {
+        let _ = writeln!(
+            out,
+            "    {} <= {};",
+            port.name(),
+            render_operand(spec, port.operand())
+        );
+    }
+    let _ = writeln!(out, "    wait on clk;");
+    let _ = writeln!(out, "  end process main;");
+    let _ = writeln!(out, "end beh;");
+    out
+}
+
+/// The VHDL variable name for a value: its operation name when present,
+/// otherwise a positional `v<n>` name; inputs use their port name.
+fn var_name(spec: &Spec, v: ValueId) -> String {
+    match spec.value(v).def() {
+        ValueDef::Input { name } => name.clone(),
+        ValueDef::Op(op) => match spec.op(*op).name() {
+            Some(n) => n.to_string(),
+            None => format!("v{}", v.index()),
+        },
+    }
+}
+
+fn render_operand(spec: &Spec, operand: &Operand) -> String {
+    match operand {
+        Operand::Value { value, range: None } => var_name(spec, *value),
+        Operand::Value { value, range: Some(r) } => {
+            if r.width() == 1 {
+                format!("{}({})", var_name(spec, *value), r.lo())
+            } else {
+                format!("{}({} downto {})", var_name(spec, *value), r.hi(), r.lo())
+            }
+        }
+        Operand::Const(bits) => format!("\"{bits:b}\""),
+    }
+}
+
+fn render_op(spec: &Spec, op_index: usize) -> String {
+    let op = &spec.ops()[op_index];
+    let args: Vec<String> = op
+        .operands()
+        .iter()
+        .map(|o| render_operand(spec, o))
+        .collect();
+    let unsigned = |s: &str| format!("unsigned({s})");
+    match op.kind() {
+        OpKind::Add => {
+            let mut expr = format!("{} + {}", unsigned(&args[0]), unsigned(&args[1]));
+            if args.len() == 3 {
+                let _ = write!(expr, " + {}", unsigned(&args[2]));
+            }
+            format!("std_logic_vector(resize({expr}, {}))", op.width())
+        }
+        OpKind::Sub => format!(
+            "std_logic_vector(resize({} - {}, {}))",
+            unsigned(&args[0]),
+            unsigned(&args[1]),
+            op.width()
+        ),
+        OpKind::Neg => format!("std_logic_vector(resize(-signed({}), {}))", args[0], op.width()),
+        OpKind::Mul => format!(
+            "std_logic_vector(resize({} * {}, {}))",
+            unsigned(&args[0]),
+            unsigned(&args[1]),
+            op.width()
+        ),
+        OpKind::Abs => format!("std_logic_vector(resize(abs(signed({})), {}))", args[0], op.width()),
+        OpKind::Lt => bool_expr(&format!("{} < {}", unsigned(&args[0]), unsigned(&args[1])), op.width()),
+        OpKind::Le => bool_expr(&format!("{} <= {}", unsigned(&args[0]), unsigned(&args[1])), op.width()),
+        OpKind::Gt => bool_expr(&format!("{} > {}", unsigned(&args[0]), unsigned(&args[1])), op.width()),
+        OpKind::Ge => bool_expr(&format!("{} >= {}", unsigned(&args[0]), unsigned(&args[1])), op.width()),
+        OpKind::Eq => bool_expr(&format!("{} = {}", args[0], args[1]), op.width()),
+        OpKind::Ne => bool_expr(&format!("{} /= {}", args[0], args[1]), op.width()),
+        OpKind::Max => format!("maximum({}, {})", args[0], args[1]),
+        OpKind::Min => format!("minimum({}, {})", args[0], args[1]),
+        OpKind::Shl(k) => format!(
+            "std_logic_vector(resize(shift_left({}, {k}), {}))",
+            unsigned(&args[0]),
+            op.width()
+        ),
+        OpKind::Shr(k) => format!(
+            "std_logic_vector(resize(shift_right({}, {k}), {}))",
+            unsigned(&args[0]),
+            op.width()
+        ),
+        OpKind::Not => format!("not {}", args[0]),
+        OpKind::And => format!("{} and {}", args[0], args[1]),
+        OpKind::Or => format!("{} or {}", args[0], args[1]),
+        OpKind::Xor => format!("{} xor {}", args[0], args[1]),
+        OpKind::Mux => format!("{} when {} = \"1\" else {}", args[1], args[0], args[2]),
+        OpKind::RedOr => format!("(others => or_reduce({}))", args[0]),
+        OpKind::RedAnd => format!("(others => and_reduce({}))", args[0]),
+        OpKind::Concat => {
+            // VHDL concatenation is MSB-first; our operand order is LSB-first.
+            let mut rev = args.clone();
+            rev.reverse();
+            rev.join(" & ")
+        }
+    }
+}
+
+fn bool_expr(cond: &str, width: u32) -> String {
+    let ones = "1".repeat(width as usize);
+    let zeros = "0".repeat(width as usize);
+    format!("\"{ones}\" when {cond} else \"{zeros}\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_paper_shape() {
+        let spec = Spec::parse(
+            "spec example {
+                input A: u16; input B: u16; input D: u16; input F: u16;
+                C: u16 = A + B;
+                E: u16 = C + D;
+                G: u16 = E + F;
+                output G;
+            }",
+        )
+        .unwrap();
+        let text = emit(&spec);
+        assert!(text.contains("entity example is"));
+        assert!(text.contains("A: in std_logic_vector(15 downto 0)"));
+        assert!(text.contains("G: out std_logic_vector(15 downto 0)"));
+        assert!(text.contains("C := "));
+        assert!(text.contains("main: process"));
+        assert!(text.contains("end beh;"));
+    }
+
+    #[test]
+    fn emits_slices_like_fig2() {
+        let spec = Spec::parse(
+            "spec beh2 {
+                input A: u16; input B: u16;
+                C: u7 = A[5:0] + B[5:0];
+                C2: u7 = A[11:6] + B[11:6] + C[6];
+                output C2;
+            }",
+        )
+        .unwrap();
+        let text = emit(&spec);
+        assert!(text.contains("A(5 downto 0)"), "{text}");
+        assert!(text.contains("A(11 downto 6)"));
+        assert!(text.contains("C(6)"));
+    }
+
+    #[test]
+    fn emits_all_kinds_without_panic() {
+        let spec = Spec::parse(
+            "spec all {
+                input a: u8; input b: u8; input s: u1;
+                add: u9 = a + b;
+                sub: u8 = a - b;
+                mul: u16 = a * b;
+                ltr: u1 = a < b;
+                ler: u1 = a <= b;
+                gtr: u1 = a > b;
+                ger: u1 = a >= b;
+                eqr: u1 = a == b;
+                ner: u1 = a != b;
+                mx: u8 = max(a, b);
+                mn: u8 = min(a, b);
+                ng: i9 = -a;
+                ab: i8 = abs(a);
+                sl: u10 = a << 2;
+                sr: u8 = a >> 1;
+                nt: u8 = ~a;
+                an: u8 = a & b;
+                orr: u8 = a | b;
+                xo: u8 = a ^ b;
+                mu: u8 = mux(s, a, b);
+                ro: u1 = redor(a);
+                ra: u1 = redand(a);
+                cc: u16 = concat(a, b);
+                output cc;
+            }",
+        )
+        .unwrap();
+        let text = emit(&spec);
+        for needle in ["abs(", "maximum(", "shift_left(", "or_reduce(", " & ", "when"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

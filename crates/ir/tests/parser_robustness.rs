@@ -1,0 +1,108 @@
+//! Robustness of the textual frontend: arbitrary input must produce a
+//! clean `ParseError`, never a panic, and valid programs round-trip
+//! through the validator.
+
+use bittrans_ir::{Spec, SpecBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic the lexer/parser.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,200}") {
+        let _ = Spec::parse(&input);
+    }
+
+    /// Arbitrary DSL-flavoured token soup never panics either.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("spec".to_string()),
+                Just("input".to_string()),
+                Just("output".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(";".to_string()),
+                Just(":".to_string()),
+                Just("=".to_string()),
+                Just("+".to_string()),
+                Just("*".to_string()),
+                Just("u8".to_string()),
+                Just("i16".to_string()),
+                Just("a".to_string()),
+                Just("b".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("mux".to_string()),
+                Just("<<".to_string()),
+                Just("3".to_string()),
+                Just("16'd42".to_string()),
+                Just("8'hff".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let _ = Spec::parse(&tokens.join(" "));
+    }
+
+    /// Every successfully parsed spec passes structural validation.
+    #[test]
+    fn parsed_specs_validate(
+        width_a in 1u32..24,
+        width_b in 1u32..24,
+        out_width in 1u32..32,
+        op in prop_oneof![Just("+"), Just("-"), Just("*"), Just("&"), Just("<")],
+    ) {
+        let src = format!(
+            "spec p {{ input a: u{width_a}; input b: u{width_b};
+              r: u{out_width} = a {op} b;
+              output r; }}"
+        );
+        let spec = Spec::parse(&src).expect("generated source is valid");
+        spec.validate().expect("parsed specs are structurally valid");
+        prop_assert_eq!(spec.ops().last().unwrap().width(), out_width);
+    }
+
+    /// Deep expression nesting parses without stack trouble.
+    #[test]
+    fn deep_nesting_is_fine(depth in 1usize..60) {
+        let mut expr = "a".to_string();
+        for _ in 0..depth {
+            expr = format!("({expr} + b)");
+        }
+        let src = format!(
+            "spec deep {{ input a: u8; input b: u8; output o = {expr}; }}"
+        );
+        let spec = Spec::parse(&src).expect("nested adds are valid");
+        prop_assert_eq!(spec.ops().len(), depth);
+    }
+}
+
+/// Error positions point into the source.
+#[test]
+fn error_positions_are_in_range() {
+    let src = "spec s {\n  input a: u8;\n  b: u8 = a @@ a;\n  output b;\n}";
+    let err = Spec::parse(src).unwrap_err();
+    assert!(err.line >= 1 && err.line <= 5, "line {}", err.line);
+    assert!(err.col >= 1);
+}
+
+/// The builder rejects what the parser rejects.
+#[test]
+fn builder_and_parser_agree_on_zero_width() {
+    assert!(Spec::parse("spec s { input a: u0; output o = a; }").is_err());
+    let mut b = SpecBuilder::new("s");
+    let a = b.input("a", 4);
+    let err = b.op(
+        bittrans_ir::OpKind::Not,
+        vec![a.into()],
+        0,
+        bittrans_ir::Signedness::Unsigned,
+        None,
+    );
+    assert!(err.is_err());
+}

@@ -1,0 +1,246 @@
+//! Helper for emitting additive-form IR: tracks the builder plus the
+//! mapping from source values to target operands.
+
+use bittrans_ir::prelude::*;
+
+/// Emits operations into a new spec while translating operands of the
+/// source spec.
+///
+/// Every emitted operation may carry an `origin` pointing at the source
+/// operation it implements, so downstream passes (fragmentation, reporting)
+/// can attribute kernel additions to the user's operations.
+pub struct Emitter {
+    builder: SpecBuilder,
+    /// `map[old_value] = operand in the new spec` holding the same bits.
+    map: Vec<Option<Operand>>,
+}
+
+impl Emitter {
+    /// Starts emission for a transformation of `source`, copying its input
+    /// ports.
+    pub fn new(source: &Spec, name_suffix: &str) -> Self {
+        let mut builder = SpecBuilder::new(format!("{}{}", source.name(), name_suffix));
+        let mut map = vec![None; source.values().len()];
+        for &input in source.inputs() {
+            let v = builder.input(source.input_name(input), source.value(input).width());
+            map[input.index()] = Some(Operand::value(v));
+        }
+        Emitter { builder, map }
+    }
+
+    /// Translates an operand of the source spec into the new spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand references a source value that has not been
+    /// lowered yet (cannot happen when lowering in topological order).
+    pub fn translate(&self, operand: &Operand) -> Operand {
+        match operand {
+            Operand::Const(b) => Operand::Const(b.clone()),
+            Operand::Value { value, range } => {
+                let base = self.map[value.index()]
+                    .clone()
+                    .expect("operand lowered before its definition");
+                match range {
+                    None => base,
+                    Some(r) => base.subrange(*r),
+                }
+            }
+        }
+    }
+
+    /// Records that source value `old` is now computed by `operand`.
+    pub fn bind(&mut self, old: ValueId, operand: Operand) {
+        self.map[old.index()] = Some(operand);
+    }
+
+    /// Registers an output port.
+    pub fn output(&mut self, name: &str, operand: Operand) {
+        self.builder.output(name, operand);
+    }
+
+    /// Finishes the new spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation errors (ports, widths).
+    pub fn finish(self) -> Result<Spec, IrError> {
+        self.builder.finish()
+    }
+
+    /// Width of an operand in the new spec.
+    pub fn width_of(&self, operand: &Operand) -> u32 {
+        match operand {
+            Operand::Const(b) => b.width() as u32,
+            Operand::Value { value, range: Some(r) } => {
+                let _ = value;
+                r.width()
+            }
+            Operand::Value { value, range: None } => self.builder.width_of(*value),
+        }
+    }
+
+    // --- emission helpers (all unsigned ops / glue) -----------------------
+
+    /// Unsigned addition `a + b (+ cin)` of `width` bits.
+    pub fn add(
+        &mut self,
+        a: Operand,
+        b: Operand,
+        cin: Option<Operand>,
+        width: u32,
+        name: Option<&str>,
+        origin: Option<OpId>,
+    ) -> Operand {
+        let mut args = vec![a, b];
+        if let Some(c) = cin {
+            args.push(c);
+        }
+        self.builder
+            .op_with_origin(OpKind::Add, args, width, Signedness::Unsigned, name, origin)
+            .expect("emitted add is valid")
+            .into()
+    }
+
+    /// Glue operation of `width` bits.
+    pub fn glue(
+        &mut self,
+        kind: OpKind,
+        args: Vec<Operand>,
+        width: u32,
+        origin: Option<OpId>,
+    ) -> Operand {
+        debug_assert!(kind.is_glue(), "{kind} is not glue");
+        self.builder
+            .op_with_origin(kind, args, width, Signedness::Unsigned, None, origin)
+            .expect("emitted glue is valid")
+            .into()
+    }
+
+    /// Bitwise NOT of `operand`, zero-extending to `width` first.
+    pub fn not(&mut self, operand: Operand, width: u32, origin: Option<OpId>) -> Operand {
+        self.glue(OpKind::Not, vec![operand], width, origin)
+    }
+
+    /// Two-way mux.
+    pub fn mux(
+        &mut self,
+        sel: Operand,
+        then: Operand,
+        otherwise: Operand,
+        width: u32,
+        origin: Option<OpId>,
+    ) -> Operand {
+        self.glue(OpKind::Mux, vec![sel, then, otherwise], width, origin)
+    }
+
+    /// Zero-extends `operand` to `width` (no-op when already that wide,
+    /// truncates when wider).
+    pub fn zext(&mut self, operand: Operand, width: u32, origin: Option<OpId>) -> Operand {
+        let w = self.width_of(&operand);
+        if w == width {
+            operand
+        } else if w > width {
+            operand.subrange(BitRange::new(0, width))
+        } else {
+            let zeros = Operand::Const(Bits::zero((width - w) as usize));
+            self.glue(OpKind::Concat, vec![operand, zeros], width, origin)
+        }
+    }
+
+    /// Sign-extends `operand` to `width` using a sign-replication mux
+    /// (truncates when wider).
+    pub fn sext(&mut self, operand: Operand, width: u32, origin: Option<OpId>) -> Operand {
+        let w = self.width_of(&operand);
+        if w >= width {
+            return self.zext(operand, width, origin);
+        }
+        let sign = operand.subrange(BitRange::new(w - 1, 1));
+        let ext = width - w;
+        let fill = self.mux(
+            sign,
+            Operand::Const(Bits::ones(ext as usize)),
+            Operand::Const(Bits::zero(ext as usize)),
+            ext,
+            origin,
+        );
+        self.glue(OpKind::Concat, vec![operand, fill], width, origin)
+    }
+
+    /// Extends per `signed` to `width`.
+    pub fn ext(
+        &mut self,
+        operand: Operand,
+        width: u32,
+        signed: bool,
+        origin: Option<OpId>,
+    ) -> Operand {
+        if signed {
+            self.sext(operand, width, origin)
+        } else {
+            self.zext(operand, width, origin)
+        }
+    }
+
+    /// Concatenates operands, first-lowest.
+    pub fn concat(&mut self, parts: Vec<Operand>, origin: Option<OpId>) -> Operand {
+        let width: u32 = parts.iter().map(|p| self.width_of(p)).sum();
+        if parts.len() == 1 {
+            return parts.into_iter().next().expect("one part");
+        }
+        self.glue(OpKind::Concat, parts, width, origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source() -> Spec {
+        Spec::parse("spec s { input A: u8; input B: u4; output o = A + B; }").unwrap()
+    }
+
+    #[test]
+    fn translate_maps_inputs() {
+        let src = source();
+        let em = Emitter::new(&src, "_kernel");
+        let a_old = src.input_by_name("A").unwrap();
+        let t = em.translate(&Operand::value(a_old));
+        assert!(t.value_id().is_some());
+        let sliced = em.translate(&Operand::slice(a_old, BitRange::new(2, 3)));
+        assert_eq!(sliced.range(), Some(BitRange::new(2, 3)));
+    }
+
+    #[test]
+    fn zext_and_sext_emit_glue() {
+        let src = source();
+        let mut em = Emitter::new(&src, "_k");
+        let b_old = src.input_by_name("B").unwrap();
+        let b = em.translate(&Operand::value(b_old));
+        let z = em.zext(b.clone(), 8, None);
+        assert_eq!(em.width_of(&z), 8);
+        let s = em.sext(b.clone(), 8, None);
+        assert_eq!(em.width_of(&s), 8);
+        // same-width ext is the identity
+        let same = em.zext(b.clone(), 4, None);
+        assert_eq!(same, b);
+        // over-wide input truncates
+        let t = em.zext(z, 2, None);
+        assert_eq!(em.width_of(&t), 2);
+    }
+
+    #[test]
+    fn emitted_spec_is_valid() {
+        let src = source();
+        let mut em = Emitter::new(&src, "_k");
+        let a_old = src.input_by_name("A").unwrap();
+        let b_old = src.input_by_name("B").unwrap();
+        let a = em.translate(&Operand::value(a_old));
+        let b = em.translate(&Operand::value(b_old));
+        let sum = em.add(a, b, Some(Operand::const_bit(true)), 9, Some("S"), None);
+        em.output("o", sum);
+        let spec = em.finish().unwrap();
+        assert!(spec.is_additive_form());
+        assert_eq!(spec.ops().len(), 1);
+    }
+}

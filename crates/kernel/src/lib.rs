@@ -1,0 +1,686 @@
+//! # bittrans-kernel
+//!
+//! **Operative kernel extraction** — phase 1 of the paper's optimisation
+//! method (§3.1 of Ruiz-Sautua et al., DATE 2005).
+//!
+//! The pass rewrites a behavioural specification so that every non-glue
+//! operation is an **unsigned addition**: the "additive kernel". Signed
+//! operations become unsigned ones, and additive macro-operations
+//! (subtraction, comparison, max/min, multiplication, …) become additions
+//! plus glue logic:
+//!
+//! | source operation | kernel |
+//! |---|---|
+//! | signed `Add` | sign-extension glue + unsigned `Add` |
+//! | `Sub a b` | `a + ~b + 1` (one add, one inverter) |
+//! | `Neg a` | `~a + 1` |
+//! | `Abs a` | `~a + 1` and a sign mux |
+//! | `Lt/Le/Gt/Ge` | one add (`x + ~y + 1`), carry-out read |
+//! | `Max/Min` | the comparison add + a selection mux |
+//! | unsigned `Mul m×n` | carry-save tree (glue) + **one** `m+n`-bit addition (default; see [`MulStrategy`]) |
+//! | signed `Mul m×n` | unsigned `(m−1)×(n−1)` core + two correction adds (the paper's Baugh–Wooley variant) |
+//! | `Eq/Ne` | XOR + OR-reduction glue (non-additive, no kernel) |
+//!
+//! The transformation is *behaviour-preserving*: this crate's tests
+//! co-simulate source and kernel with `bittrans-sim` on seeded vectors.
+//!
+//! ```
+//! use bittrans_ir::prelude::*;
+//! use bittrans_kernel::extract;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = Spec::parse(
+//!     "spec s { input a: i8; input b: i8; output d = a - b; }",
+//! )?;
+//! let kernel = extract(&spec)?;
+//! assert!(kernel.is_additive_form());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emitter;
+
+use bittrans_ir::prelude::*;
+use emitter::Emitter;
+
+/// How multiplications are reduced to their additive kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MulStrategy {
+    /// Carry-save tree of partial products (pure glue) feeding **one**
+    /// carry-propagate addition of `m + n` bits — the paper's \[8\]-style
+    /// kernel, keeping the operation-count growth small.
+    #[default]
+    CsaTree,
+    /// Linear shift-add rows: `min(m, n) − 1` chained additions. More
+    /// additions to fragment, but every one is narrow. Used by the
+    /// multiplier-strategy ablation bench.
+    ShiftAdd,
+}
+
+/// Options for [`extract_with_options`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct ExtractOptions {
+    /// Multiplication lowering strategy.
+    pub mul_strategy: MulStrategy,
+}
+
+/// Rewrites `spec` into additive form (unsigned additions + glue) with
+/// default options.
+///
+/// Input and output ports are preserved by name and width; every kernel
+/// operation records the source operation it implements as its `origin`.
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from spec construction; a valid input spec cannot
+/// actually trigger one.
+pub fn extract(spec: &Spec) -> Result<Spec, IrError> {
+    extract_with_options(spec, &ExtractOptions::default())
+}
+
+/// [`extract`] with explicit [`ExtractOptions`].
+///
+/// # Errors
+///
+/// As [`extract`].
+pub fn extract_with_options(spec: &Spec, options: &ExtractOptions) -> Result<Spec, IrError> {
+    let mut em = Emitter::new(spec, "_kernel");
+    for op in spec.ops() {
+        let result = lower_op(&mut em, op, options);
+        em.bind(op.result(), result);
+    }
+    for port in spec.outputs() {
+        let operand = em.translate(port.operand());
+        em.output(port.name(), operand);
+    }
+    let out = em.finish()?;
+    debug_assert!(out.is_additive_form());
+    Ok(out)
+}
+
+fn lower_op(em: &mut Emitter, op: &Operation, options: &ExtractOptions) -> Operand {
+    let w = op.width();
+    let signed = op.signedness().is_signed();
+    let origin = Some(op.id());
+    let name = op.name();
+    let args: Vec<Operand> = op.operands().iter().map(|o| em.translate(o)).collect();
+    match op.kind() {
+        OpKind::Add => {
+            let a = em.ext(args[0].clone(), w, signed, origin);
+            let b = em.ext(args[1].clone(), w, signed, origin);
+            let cin = args.get(2).cloned();
+            em.add(a, b, cin, w, name, origin)
+        }
+        OpKind::Sub => {
+            let a = em.ext(args[0].clone(), w, signed, origin);
+            let b = em.ext(args[1].clone(), w, signed, origin);
+            let bn = em.not(b, w, origin);
+            em.add(a, bn, Some(Operand::const_bit(true)), w, name, origin)
+        }
+        OpKind::Neg => {
+            let a = em.ext(args[0].clone(), w, signed, origin);
+            let an = em.not(a, w, origin);
+            em.add(
+                an,
+                Operand::Const(Bits::zero(1)),
+                Some(Operand::const_bit(true)),
+                w,
+                name,
+                origin,
+            )
+        }
+        OpKind::Abs => {
+            let wa = em.width_of(&args[0]);
+            let sign = args[0].subrange(BitRange::new(wa - 1, 1));
+            let an = em.not(args[0].clone(), wa, origin);
+            let neg = em.add(
+                an,
+                Operand::Const(Bits::zero(1)),
+                Some(Operand::const_bit(true)),
+                wa,
+                name,
+                origin,
+            );
+            let mag = em.mux(sign, neg, args[0].clone(), wa, origin);
+            em.zext(mag, w, origin)
+        }
+        OpKind::Lt => lower_cmp(em, &args, w, signed, origin, name, false, true),
+        OpKind::Ge => lower_cmp(em, &args, w, signed, origin, name, false, false),
+        OpKind::Gt => lower_cmp(em, &args, w, signed, origin, name, true, true),
+        OpKind::Le => lower_cmp(em, &args, w, signed, origin, name, true, false),
+        OpKind::Max | OpKind::Min => {
+            let w_in = em.width_of(&args[0]).max(em.width_of(&args[1]));
+            let a = em.ext(args[0].clone(), w_in, signed, origin);
+            let b = em.ext(args[1].clone(), w_in, signed, origin);
+            let ge = compare_ge_bit(em, a.clone(), b.clone(), w_in, signed, origin, name);
+            let (t, f) = if op.kind() == OpKind::Max { (a, b) } else { (b, a) };
+            let picked = em.mux(ge, t, f, w_in, origin);
+            em.ext(picked, w, signed, origin)
+        }
+        OpKind::Mul => {
+            let product = if signed {
+                lower_mul_signed(em, args[0].clone(), args[1].clone(), origin, name, options)
+            } else {
+                lower_mul_unsigned(em, args[0].clone(), args[1].clone(), origin, name, options)
+            };
+            // The full product is never narrower than w in well-formed specs;
+            // if the user asked for fewer bits, truncate, else zero-extend
+            // (signed products at full width need no sign extension).
+            let needs_sext = signed && em.width_of(&product) < w;
+            em.ext(product, w, needs_sext, origin)
+        }
+        OpKind::Eq | OpKind::Ne => {
+            let w_in = em.width_of(&args[0]).max(em.width_of(&args[1]));
+            let a = em.ext(args[0].clone(), w_in, signed, origin);
+            let b = em.ext(args[1].clone(), w_in, signed, origin);
+            let x = em.glue(OpKind::Xor, vec![a, b], w_in, origin);
+            let any = em.glue(OpKind::RedOr, vec![x], 1, origin);
+            let bit = if op.kind() == OpKind::Eq {
+                em.not(any, 1, origin)
+            } else {
+                any
+            };
+            em.zext(bit, w, origin)
+        }
+        // Glue: re-emit unsigned, materialising sign extension when the
+        // source operation relied on signed operand extension.
+        OpKind::Not | OpKind::And | OpKind::Or | OpKind::Xor => {
+            let ext_args: Vec<Operand> = args
+                .iter()
+                .map(|a| em.ext(a.clone(), w, signed, origin))
+                .collect();
+            em.glue(op.kind(), ext_args, w, origin)
+        }
+        OpKind::Mux => {
+            let sel = args[0].clone();
+            let t = em.ext(args[1].clone(), w, signed, origin);
+            let f = em.ext(args[2].clone(), w, signed, origin);
+            em.mux(sel, t, f, w, origin)
+        }
+        OpKind::Shl(k) => {
+            let a = em.ext(args[0].clone(), w, signed, origin);
+            em.glue(OpKind::Shl(k), vec![a], w, origin)
+        }
+        OpKind::Shr(k) => {
+            let a = em.ext(args[0].clone(), w, signed, origin);
+            if !signed || k == 0 {
+                em.glue(OpKind::Shr(k), vec![a], w, origin)
+            } else if k >= w {
+                // Pure sign fill.
+                let sign = a.subrange(BitRange::new(w - 1, 1));
+                em.mux(
+                    sign,
+                    Operand::Const(Bits::ones(w as usize)),
+                    Operand::Const(Bits::zero(w as usize)),
+                    w,
+                    origin,
+                )
+            } else {
+                // Arithmetic shift: body bits plus replicated sign fill.
+                let sign = a.subrange(BitRange::new(w - 1, 1));
+                let body = a.subrange(BitRange::new(k, w - k));
+                let fill = em.mux(
+                    sign,
+                    Operand::Const(Bits::ones(k as usize)),
+                    Operand::Const(Bits::zero(k as usize)),
+                    k,
+                    origin,
+                );
+                em.concat(vec![body, fill], origin)
+            }
+        }
+        OpKind::RedOr | OpKind::RedAnd | OpKind::Concat => {
+            em.glue(op.kind(), args, w, origin)
+        }
+    }
+}
+
+/// Emits the `a >= b` bit for unsigned `a`, `b` of equal width `w_in`
+/// (already extended); `signed` selects two's-complement ordering via the
+/// classic sign-bit flip.
+fn compare_ge_bit(
+    em: &mut Emitter,
+    a: Operand,
+    b: Operand,
+    w_in: u32,
+    signed: bool,
+    origin: Option<OpId>,
+    name: Option<&str>,
+) -> Operand {
+    let (a, b) = if signed {
+        (flip_msb(em, a, w_in, origin), flip_msb(em, b, w_in, origin))
+    } else {
+        (a, b)
+    };
+    // a >= b  ⟺  carry-out of a + ~b + 1.
+    let bn = em.not(b, w_in, origin);
+    let sum = em.add(a, bn, Some(Operand::const_bit(true)), w_in + 1, name, origin);
+    sum.subrange(BitRange::new(w_in, 1))
+}
+
+/// Lowers an ordered comparison. `swap` exchanges the operands first
+/// (`a > b` is `b < a`); `invert` negates the `>=` carry (`<` is `!(>=)`).
+#[allow(clippy::too_many_arguments)]
+fn lower_cmp(
+    em: &mut Emitter,
+    args: &[Operand],
+    w: u32,
+    signed: bool,
+    origin: Option<OpId>,
+    name: Option<&str>,
+    swap: bool,
+    invert: bool,
+) -> Operand {
+    let w_in = em.width_of(&args[0]).max(em.width_of(&args[1]));
+    let a = em.ext(args[0].clone(), w_in, signed, origin);
+    let b = em.ext(args[1].clone(), w_in, signed, origin);
+    let (x, y) = if swap { (b, a) } else { (a, b) };
+    let ge = compare_ge_bit(em, x, y, w_in, signed, origin, name);
+    let bit = if invert { em.not(ge, 1, origin) } else { ge };
+    em.zext(bit, w, origin)
+}
+
+/// Flips the most-significant bit (biases a signed value into unsigned
+/// order).
+fn flip_msb(em: &mut Emitter, x: Operand, w: u32, origin: Option<OpId>) -> Operand {
+    let msb = x.subrange(BitRange::new(w - 1, 1));
+    let flipped = em.not(msb, 1, origin);
+    if w == 1 {
+        flipped
+    } else {
+        let low = x.subrange(BitRange::new(0, w - 1));
+        em.concat(vec![low, flipped], origin)
+    }
+}
+
+/// Unsigned multiplication dispatch.
+fn lower_mul_unsigned(
+    em: &mut Emitter,
+    a: Operand,
+    b: Operand,
+    origin: Option<OpId>,
+    name: Option<&str>,
+    options: &ExtractOptions,
+) -> Operand {
+    match options.mul_strategy {
+        MulStrategy::CsaTree => lower_mul_csa(em, a, b, origin, name),
+        MulStrategy::ShiftAdd => lower_mul_shift_add(em, a, b, origin, name),
+    }
+}
+
+/// Unsigned multiplication as a carry-save tree: the partial-product rows
+/// are reduced to two vectors by 3:2 carry-save compressors — pure glue
+/// (`xor`/`and`/`or`), no carry propagation — and a **single**
+/// carry-propagate addition of `m + n` bits finishes the product. This is
+/// the paper's multiplier kernel shape ([8]): one fragmentable addition per
+/// multiplication.
+fn lower_mul_csa(
+    em: &mut Emitter,
+    a: Operand,
+    b: Operand,
+    origin: Option<OpId>,
+    name: Option<&str>,
+) -> Operand {
+    let (a, b) = if em.width_of(&b) > em.width_of(&a) { (b, a) } else { (a, b) };
+    let m = em.width_of(&a);
+    let n = em.width_of(&b);
+    let w = m + n;
+    let zeros_m = Operand::Const(Bits::zero(m as usize));
+    // Partial-product rows at full product width: (b_j ? a : 0) << j.
+    let mut rows: Vec<Operand> = (0..n)
+        .map(|j| {
+            let bj = b.subrange(BitRange::new(j, 1));
+            let pp = em.mux(bj, a.clone(), zeros_m.clone(), m, origin);
+            let mut parts = Vec::new();
+            if j > 0 {
+                parts.push(Operand::Const(Bits::zero(j as usize)));
+            }
+            parts.push(pp);
+            let shifted = em.concat(parts, origin);
+            em.zext(shifted, w, origin)
+        })
+        .collect();
+    if rows.len() == 1 {
+        return rows.pop().expect("one row");
+    }
+    // 3:2 compression until two vectors remain.
+    while rows.len() > 2 {
+        let r0 = rows.remove(0);
+        let r1 = rows.remove(0);
+        let r2 = rows.remove(0);
+        let x = em.glue(OpKind::Xor, vec![r0.clone(), r1.clone()], w, origin);
+        let sum = em.glue(OpKind::Xor, vec![x, r2.clone()], w, origin);
+        let g1 = em.glue(OpKind::And, vec![r0.clone(), r1.clone()], w, origin);
+        let g2 = em.glue(OpKind::And, vec![r1, r2.clone()], w, origin);
+        let g3 = em.glue(OpKind::And, vec![r0, r2], w, origin);
+        let o1 = em.glue(OpKind::Or, vec![g1, g2], w, origin);
+        let maj = em.glue(OpKind::Or, vec![o1, g3], w, origin);
+        let carry = em.glue(OpKind::Shl(1), vec![maj], w, origin);
+        rows.push(sum);
+        rows.push(carry);
+    }
+    let lo = rows.remove(0);
+    let hi = rows.remove(0);
+    em.add(lo, hi, None, w, name, origin)
+}
+
+/// Unsigned multiplication as chained shift-add rows: the additive kernel
+/// of an `m×n` multiplier is `min(m,n) − 1` additions of about `max(m,n)`
+/// bits (plus the partial-product muxes, which are glue).
+fn lower_mul_shift_add(
+    em: &mut Emitter,
+    a: Operand,
+    b: Operand,
+    origin: Option<OpId>,
+    name: Option<&str>,
+) -> Operand {
+    // Fewer rows when the narrower operand drives the partial products.
+    let (a, b) = if em.width_of(&b) > em.width_of(&a) { (b, a) } else { (a, b) };
+    let m = em.width_of(&a);
+    let n = em.width_of(&b);
+    let zeros_m = Operand::Const(Bits::zero(m as usize));
+    let pp = |em: &mut Emitter, j: u32| {
+        let bj = b.subrange(BitRange::new(j, 1));
+        em.mux(bj, a.clone(), zeros_m.clone(), m, origin)
+    };
+    if n == 1 {
+        let p = pp(em, 0);
+        return em.zext(p, m + 1, origin);
+    }
+    let mut s = pp(em, 0); // m bits
+    let mut low_bits: Vec<Operand> = vec![s.subrange(BitRange::new(0, 1))];
+    for j in 1..n {
+        let sw = em.width_of(&s);
+        let high = s.subrange(BitRange::new(1, sw - 1));
+        let row = pp(em, j);
+        s = em.add(high, row, None, m + 1, name, origin);
+        if j < n - 1 {
+            low_bits.push(s.subrange(BitRange::new(0, 1)));
+        }
+    }
+    // Product = collected low bits (n−1 of them) ++ the final accumulator.
+    low_bits.push(s);
+    em.concat(low_bits, origin)
+}
+
+/// Signed multiplication via the paper's Baugh–Wooley-style decomposition:
+/// an unsigned `(m−1)×(n−1)` core plus two correction additions.
+///
+/// With `A = ap − aₘ·2^(m−1)` and `B = bp − bₙ·2^(n−1)`:
+///
+/// ```text
+/// A·B = ap·bp − bₙ·2^(n−1)·ap − aₘ·2^(m−1)·B      (mod 2^(m+n))
+/// ```
+///
+/// and each subtraction becomes `+ mux(sign, ~X, 0) + sign` — one unsigned
+/// addition with the sign bit as carry-in.
+fn lower_mul_signed(
+    em: &mut Emitter,
+    a: Operand,
+    b: Operand,
+    origin: Option<OpId>,
+    name: Option<&str>,
+    options: &ExtractOptions,
+) -> Operand {
+    let m = em.width_of(&a);
+    let n = em.width_of(&b);
+    let w = m + n;
+    if m == 1 || n == 1 {
+        // A 1-bit signed value is 0 or −1: the product is a conditional
+        // negation of the other operand.
+        let (bit, other) = if m == 1 { (a, b) } else { (b, a) };
+        let oe = em.sext(other, w, origin);
+        let on = em.not(oe, w, origin);
+        let t = em.mux(bit.clone(), on, Operand::Const(Bits::zero(w as usize)), w, origin);
+        return em.add(t, Operand::Const(Bits::zero(1)), Some(bit), w, name, origin);
+    }
+    let ap = a.subrange(BitRange::new(0, m - 1));
+    let an = a.subrange(BitRange::new(m - 1, 1));
+    let bp = b.subrange(BitRange::new(0, n - 1));
+    let bn = b.subrange(BitRange::new(n - 1, 1));
+    let core = lower_mul_unsigned(em, ap.clone(), bp, origin, name, options); // m+n−2 bits
+    let p0 = em.zext(core, w, origin);
+    // term 1: − bₙ · 2^(n−1) · ap
+    let x1 = {
+        let shifted = em.concat(
+            vec![Operand::Const(Bits::zero((n - 1) as usize)), ap],
+            origin,
+        );
+        em.zext(shifted, w, origin)
+    };
+    let x1n = em.not(x1, w, origin);
+    let t1 = em.mux(bn.clone(), x1n, Operand::Const(Bits::zero(w as usize)), w, origin);
+    let s1 = em.add(p0, t1, Some(bn), w, name, origin);
+    // term 2: − aₘ · 2^(m−1) · B  (B sign-extended)
+    let bs = em.sext(b, w, origin);
+    let x2 = {
+        let body = bs.subrange(BitRange::new(0, w - (m - 1)));
+        em.concat(
+            vec![Operand::Const(Bits::zero((m - 1) as usize)), body],
+            origin,
+        )
+    };
+    let x2n = em.not(x2, w, origin);
+    let t2 = em.mux(an.clone(), x2n, Operand::Const(Bits::zero(w as usize)), w, origin);
+    em.add(s1, t2, Some(an), w, name, origin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bittrans_sim::equivalence::check_equivalence;
+
+    fn assert_extract_equivalent(src: &str) -> (Spec, Spec) {
+        let spec = Spec::parse(src).unwrap();
+        let kernel = extract(&spec).unwrap();
+        assert!(kernel.is_additive_form(), "not additive:\n{kernel}");
+        for op in kernel.ops() {
+            if op.kind() == OpKind::Add {
+                assert_eq!(op.signedness(), Signedness::Unsigned, "signed add leaked");
+            }
+        }
+        check_equivalence(&spec, &kernel, 0xBEEF, 200)
+            .unwrap_or_else(|e| panic!("{e}\nsource:\n{spec}\nkernel:\n{kernel}"));
+        (spec, kernel)
+    }
+
+    #[test]
+    fn add_passthrough() {
+        let (_, k) = assert_extract_equivalent(
+            "spec s { input a: u8; input b: u8; output o = a + b; }",
+        );
+        assert_eq!(k.stats().adds, 1);
+    }
+
+    #[test]
+    fn signed_add_with_extension() {
+        assert_extract_equivalent(
+            "spec s { input a: i4; input b: i8; c: i10 = a + b; output c; }",
+        );
+    }
+
+    #[test]
+    fn sub_unsigned_and_signed() {
+        let (_, k) = assert_extract_equivalent(
+            "spec s { input a: u8; input b: u8; output o = a - b; }",
+        );
+        assert_eq!(k.stats().adds, 1);
+        assert_extract_equivalent(
+            "spec s { input a: i8; input b: i8; output o = a - b; }",
+        );
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        assert_extract_equivalent("spec s { input a: i8; output o = -a; }");
+        assert_extract_equivalent("spec s { input a: i8; output o = abs(a); }");
+    }
+
+    #[test]
+    fn comparisons_unsigned() {
+        for cmp in ["<", "<=", ">", ">="] {
+            assert_extract_equivalent(&format!(
+                "spec s {{ input a: u8; input b: u8; output o = a {cmp} b; }}"
+            ));
+        }
+    }
+
+    #[test]
+    fn comparisons_signed() {
+        for cmp in ["<", "<=", ">", ">="] {
+            assert_extract_equivalent(&format!(
+                "spec s {{ input a: i8; input b: i8; output o = a {cmp} b; }}"
+            ));
+        }
+    }
+
+    #[test]
+    fn comparison_one_add_each() {
+        let (_, k) = assert_extract_equivalent(
+            "spec s { input a: u8; input b: u8; output o = a < b; }",
+        );
+        assert_eq!(k.stats().adds, 1, "comparison kernel is one addition");
+    }
+
+    #[test]
+    fn eq_ne_have_no_kernel() {
+        let (_, k) = assert_extract_equivalent(
+            "spec s { input a: u8; input b: u8; output e = a == b; output n = a != b; }",
+        );
+        assert_eq!(k.stats().adds, 0, "equality is pure glue");
+    }
+
+    #[test]
+    fn max_min() {
+        assert_extract_equivalent(
+            "spec s { input a: u8; input b: u8; output o = max(a, b); }",
+        );
+        assert_extract_equivalent(
+            "spec s { input a: i8; input b: i8; output o = min(a, b); }",
+        );
+        assert_extract_equivalent(
+            "spec s { input a: i4; input b: i8; output o = max(a, b); }",
+        );
+    }
+
+    #[test]
+    fn mul_unsigned() {
+        let (_, k) = assert_extract_equivalent(
+            "spec s { input a: u8; input b: u8; output p = a * b; }",
+        );
+        // CSA tree: the whole multiplication folds into ONE addition.
+        assert_eq!(k.stats().adds, 1);
+        assert_extract_equivalent("spec s { input a: u8; input b: u3; output p = a * b; }");
+        assert_extract_equivalent("spec s { input a: u2; input b: u8; output p = a * b; }");
+        assert_extract_equivalent("spec s { input a: u1; input b: u8; output p = a * b; }");
+    }
+
+    #[test]
+    fn mul_shift_add_strategy() {
+        let spec = Spec::parse("spec s { input a: u8; input b: u8; output p = a * b; }").unwrap();
+        let k = extract_with_options(
+            &spec,
+            &ExtractOptions { mul_strategy: MulStrategy::ShiftAdd },
+        )
+        .unwrap();
+        assert!(k.is_additive_form());
+        // min(m,n) − 1 = 7 additions.
+        assert_eq!(k.stats().adds, 7);
+        bittrans_sim::equivalence::check_equivalence(&spec, &k, 0xACE, 200).unwrap();
+    }
+
+    #[test]
+    fn mul_signed() {
+        let (_, k) = assert_extract_equivalent(
+            "spec s { input a: i8; input b: i8; output p = a * b; }",
+        );
+        // CSA core: 1 add, plus two Baugh–Wooley correction adds.
+        assert_eq!(k.stats().adds, 3);
+        assert_extract_equivalent("spec s { input a: i4; input b: i8; output p = a * b; }");
+        assert_extract_equivalent("spec s { input a: i1; input b: i8; output p = a * b; }");
+        assert_extract_equivalent("spec s { input a: i8; input b: i1; output p = a * b; }");
+        assert_extract_equivalent("spec s { input a: i1; input b: i1; output p = a * b; }");
+        assert_extract_equivalent("spec s { input a: i2; input b: i2; output p = a * b; }");
+    }
+
+    #[test]
+    fn shifts() {
+        assert_extract_equivalent("spec s { input a: u8; output o = a << 3; }");
+        assert_extract_equivalent("spec s { input a: i8; x: i8 = a >> 2; output x; }");
+        assert_extract_equivalent("spec s { input a: u8; x: u8 = a >> 2; output x; }");
+        assert_extract_equivalent("spec s { input a: i4; x: i8 = a >> 9; output x; }");
+    }
+
+    #[test]
+    fn glue_passthrough() {
+        assert_extract_equivalent(
+            "spec s { input a: u8; input b: u8; input se: u1;
+              x: u8 = (a & b) | ~(a ^ b);
+              m: u8 = mux(se, a, b);
+              r: u1 = redor(a); q: u1 = redand(b);
+              c: u16 = concat(a, b);
+              output x; output m; output r; output q; output c; }",
+        );
+    }
+
+    #[test]
+    fn diffeq_like_composite() {
+        // The HAL differential-equation benchmark shape: muls, adds, subs
+        // and a comparison, chained.
+        assert_extract_equivalent(
+            "spec hal { input x: u8; input y: u8; input u: u8; input dx: u8; input a: u8;
+              x1: u8 = x + dx;
+              t1: u8 = 3 * x;
+              t2: u8 = u * dx;
+              t3: u8 = t1 * t2;
+              t4: u8 = 3 * y;
+              t5: u8 = t4 * dx;
+              u1: u8 = u - t3 - t5;
+              y1: u8 = y + t2;
+              c: u1 = x1 < a;
+              output x1; output u1; output y1; output c; }",
+        );
+    }
+
+    #[test]
+    fn origins_are_recorded() {
+        let spec = Spec::parse(
+            "spec s { input a: u8; input b: u8; output p = a * b; }",
+        )
+        .unwrap();
+        let kernel = extract(&spec).unwrap();
+        let mul_id = spec.ops()[0].id();
+        assert!(
+            kernel
+                .ops()
+                .iter()
+                .filter(|o| o.kind() == OpKind::Add)
+                .all(|o| o.origin() == Some(mul_id)),
+            "all kernel adds must point at the source multiplication"
+        );
+    }
+
+    #[test]
+    fn ports_preserved() {
+        let spec = Spec::parse(
+            "spec s { input alpha: u8; input beta: u4; output gamma = alpha - beta; }",
+        )
+        .unwrap();
+        let kernel = extract(&spec).unwrap();
+        assert!(kernel.input_by_name("alpha").is_some());
+        assert!(kernel.input_by_name("beta").is_some());
+        assert_eq!(kernel.outputs()[0].name(), "gamma");
+    }
+
+    #[test]
+    fn motivational_example_unchanged_shape() {
+        let (spec, k) = assert_extract_equivalent(
+            "spec ex { input A: u16; input B: u16; input D: u16; input F: u16;
+              C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+        );
+        assert_eq!(spec.stats().adds, k.stats().adds);
+    }
+}

@@ -1,0 +1,232 @@
+//! Structural netlists: named component instances plus structural-VHDL
+//! emission of the allocated datapath skeleton.
+//!
+//! Allocation (`bittrans-alloc`) assembles a [`Netlist`] so a user can
+//! inspect — or hand to downstream tooling — exactly which units, registers
+//! and muxes the priced area report consists of.
+
+use crate::{AreaReport, Component};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A named component instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instance {
+    /// Instance name, unique within the netlist.
+    pub name: String,
+    /// The component.
+    pub component: Component,
+    /// Which cost category the instance is billed to.
+    pub category: Category,
+}
+
+/// Cost categories matching the paper's Table I rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// Functional units.
+    Fu,
+    /// Storage.
+    Register,
+    /// Interconnect and glue.
+    Routing,
+    /// The FSM controller.
+    Controller,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Fu => write!(f, "fu"),
+            Category::Register => write!(f, "register"),
+            Category::Routing => write!(f, "routing"),
+            Category::Controller => write!(f, "controller"),
+        }
+    }
+}
+
+/// A structural netlist: the component-level view of one implementation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    /// All instances, FU first, in insertion order.
+    pub instances: Vec<Instance>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), instances: Vec::new() }
+    }
+
+    /// Adds an instance with an auto-generated unique name.
+    pub fn push(&mut self, category: Category, component: Component) -> &Instance {
+        let n = self
+            .instances
+            .iter()
+            .filter(|i| i.category == category)
+            .count();
+        let name = format!("{category}_{n}");
+        self.instances.push(Instance { name, component, category });
+        self.instances.last().expect("just pushed")
+    }
+
+    /// Number of instances in a category.
+    pub fn count(&self, category: Category) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.category == category)
+            .count()
+    }
+
+    /// Recomputes the area report from the instances.
+    pub fn area(&self) -> AreaReport {
+        let mut a = AreaReport::default();
+        for i in &self.instances {
+            let g = i.component.area_gates();
+            match i.category {
+                Category::Fu => a.fu += g,
+                Category::Register => a.registers += g,
+                Category::Routing => a.routing += g,
+                Category::Controller => a.controller += g,
+            }
+        }
+        a
+    }
+
+    /// Renders a human-readable bill of materials.
+    pub fn bill_of_materials(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "netlist {} ({:.0} gates)", self.name, self.area().total());
+        for cat in [Category::Fu, Category::Register, Category::Routing, Category::Controller] {
+            for i in self.instances.iter().filter(|i| i.category == cat) {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:<32} {:>7.1} gates",
+                    i.name,
+                    i.component.to_string(),
+                    i.component.area_gates()
+                );
+            }
+        }
+        out
+    }
+
+    /// Emits a structural-VHDL skeleton: entity, component instances and an
+    /// FSM process stub. Interconnect details (port maps) are left to the
+    /// integrator — the skeleton documents the datapath's structure.
+    pub fn to_vhdl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "library ieee;");
+        let _ = writeln!(out, "use ieee.std_logic_1164.all;");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "entity {}_datapath is", self.name);
+        let _ = writeln!(out, "  port (clk: in std_logic; rst: in std_logic);");
+        let _ = writeln!(out, "end {}_datapath;", self.name);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "architecture structural of {}_datapath is", self.name);
+        let _ = writeln!(out, "begin");
+        for i in &self.instances {
+            if i.category == Category::Controller {
+                continue;
+            }
+            let _ = writeln!(out, "  {}: entity work.{};  -- {}", i.name, entity_of(&i.component), i.component);
+        }
+        if let Some(ctrl) = self
+            .instances
+            .iter()
+            .find(|i| i.category == Category::Controller)
+        {
+            if let Component::Controller { states, signals } = ctrl.component {
+                let _ = writeln!(out, "  -- controller: {states} states, {signals} control signals");
+                let _ = writeln!(out, "  fsm: process (clk, rst)");
+                let _ = writeln!(out, "  begin");
+                let _ = writeln!(out, "    if rst = '1' then null; -- state <= s1;");
+                let _ = writeln!(out, "    elsif rising_edge(clk) then null; -- next state");
+                let _ = writeln!(out, "    end if;");
+                let _ = writeln!(out, "  end process fsm;");
+            }
+        }
+        let _ = writeln!(out, "end structural;");
+        out
+    }
+}
+
+fn entity_of(c: &Component) -> String {
+    match *c {
+        Component::Adder { arch, width } => format!(
+            "adder_{}_{width}",
+            match arch {
+                crate::AdderArch::RippleCarry => "rca",
+                crate::AdderArch::CarryLookahead => "cla",
+                crate::AdderArch::CarrySelect => "csel",
+            }
+        ),
+        Component::Multiplier { a_width, b_width } => format!("mult_{a_width}x{b_width}"),
+        Component::Register { width } => format!("reg_{width}"),
+        Component::Mux { inputs, width } => format!("mux{inputs}_{width}"),
+        Component::Gate { kind, width } => format!("{:?}_{width}", kind).to_lowercase(),
+        Component::Controller { .. } => "controller".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdderArch;
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new("ex");
+        n.push(Category::Fu, Component::adder(AdderArch::RippleCarry, 16));
+        n.push(Category::Fu, Component::adder(AdderArch::RippleCarry, 6));
+        n.push(Category::Register, Component::Register { width: 16 });
+        n.push(Category::Routing, Component::Mux { inputs: 3, width: 16 });
+        n.push(Category::Controller, Component::Controller { states: 3, signals: 6 });
+        n
+    }
+
+    #[test]
+    fn names_are_unique_per_category() {
+        let n = sample();
+        assert_eq!(n.instances[0].name, "fu_0");
+        assert_eq!(n.instances[1].name, "fu_1");
+        assert_eq!(n.instances[2].name, "register_0");
+        assert_eq!(n.count(Category::Fu), 2);
+    }
+
+    #[test]
+    fn area_matches_components() {
+        let n = sample();
+        let a = n.area();
+        assert_eq!(a.fu.round(), (162.0f64 + 60.75).round());
+        assert!((a.registers - 81.0).abs() < 1.0);
+        assert_eq!(a.routing, 64.0);
+        assert!(a.total() > 360.0);
+    }
+
+    #[test]
+    fn bill_of_materials_lists_everything() {
+        let n = sample();
+        let bom = n.bill_of_materials();
+        assert!(bom.contains("fu_0"));
+        assert!(bom.contains("ripple-carry adder ⊕16"));
+        assert!(bom.contains("controller"));
+    }
+
+    #[test]
+    fn vhdl_skeleton() {
+        let n = sample();
+        let v = n.to_vhdl();
+        assert!(v.contains("entity ex_datapath is"));
+        assert!(v.contains("fu_0: entity work.adder_rca_16;"));
+        assert!(v.contains("fsm: process"));
+        assert!(v.contains("end structural;"));
+    }
+
+    #[test]
+    fn empty_netlist_is_fine() {
+        let n = Netlist::new("empty");
+        assert_eq!(n.area().total(), 0.0);
+        assert!(n.to_vhdl().contains("entity empty_datapath"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Behavioural equivalence checking between two specifications.
+//!
+//! The transformations in this workspace (kernel extraction, fragmentation)
+//! must preserve the input/output behaviour of the specification. This
+//! module decides equivalence by co-simulation on shared input vectors —
+//! the same role RTL-vs-behaviour simulation played for the paper's
+//! authors.
+
+use crate::vectors::random_vectors;
+use crate::{evaluate, InputVector, SimError};
+use bittrans_ir::prelude::*;
+use std::fmt;
+
+/// Why two specifications were judged non-equivalent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Inequivalence {
+    /// The input port lists differ (names or widths).
+    PortMismatch {
+        /// Human-readable description of the difference.
+        detail: String,
+    },
+    /// Simulation of one side failed.
+    SimFailed(SimError),
+    /// The outputs differ on a concrete vector.
+    Counterexample {
+        /// The distinguishing input vector.
+        inputs: InputVector,
+        /// The differing output port.
+        output: String,
+        /// Output of the left spec.
+        left: Bits,
+        /// Output of the right spec.
+        right: Bits,
+    },
+}
+
+impl fmt::Display for Inequivalence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inequivalence::PortMismatch { detail } => write!(f, "port mismatch: {detail}"),
+            Inequivalence::SimFailed(e) => write!(f, "simulation failed: {e}"),
+            Inequivalence::Counterexample { output, left, right, .. } => write!(
+                f,
+                "output `{output}` differs: {left} vs {right}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Inequivalence {}
+
+impl From<SimError> for Inequivalence {
+    fn from(e: SimError) -> Self {
+        Inequivalence::SimFailed(e)
+    }
+}
+
+/// Checks that `left` and `right` agree on every supplied vector.
+///
+/// Output ports are matched by name; the comparison is on *values*
+/// (zero-extended to the wider of the two declared widths), so a transformed
+/// spec may carry extra result bits (e.g. preserved carry-outs) as long as
+/// the meaningful bits agree. Extra outputs present on only one side are
+/// ignored, except that every output of `left` must exist on `right`.
+///
+/// # Errors
+///
+/// Returns the first [`Inequivalence`] found.
+pub fn check_equivalence_on(
+    left: &Spec,
+    right: &Spec,
+    vectors: &[InputVector],
+) -> Result<(), Inequivalence> {
+    check_ports(left, right)?;
+    for iv in vectors {
+        let le = evaluate(left, iv)?;
+        let re = evaluate(right, iv)?;
+        for (name, lbits) in le.outputs() {
+            let rbits = re.output(name).ok_or_else(|| Inequivalence::PortMismatch {
+                detail: format!("output `{name}` missing from `{}`", right.name()),
+            })?;
+            let w = lbits.width().max(rbits.width());
+            if lbits.zext(w) != rbits.zext(w) {
+                return Err(Inequivalence::Counterexample {
+                    inputs: iv.clone(),
+                    output: name.to_string(),
+                    left: lbits.clone(),
+                    right: rbits.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks equivalence on `count` seeded random vectors (plus the all-zeros
+/// and all-ones vectors, always included).
+///
+/// # Errors
+///
+/// Returns the first [`Inequivalence`] found; the counterexample embeds the
+/// failing inputs for reproduction.
+pub fn check_equivalence(
+    left: &Spec,
+    right: &Spec,
+    seed: u64,
+    count: usize,
+) -> Result<(), Inequivalence> {
+    let mut vectors = vec![extreme_vector(left, false), extreme_vector(left, true)];
+    vectors.extend(random_vectors(left, seed, count));
+    check_equivalence_on(left, right, &vectors)
+}
+
+fn extreme_vector(spec: &Spec, ones: bool) -> InputVector {
+    let mut iv = InputVector::new();
+    for &input in spec.inputs() {
+        let w = spec.value(input).width() as usize;
+        iv.set(
+            spec.input_name(input),
+            if ones { Bits::ones(w) } else { Bits::zero(w) },
+        );
+    }
+    iv
+}
+
+fn check_ports(left: &Spec, right: &Spec) -> Result<(), Inequivalence> {
+    for &l in left.inputs() {
+        let name = left.input_name(l);
+        match right.input_by_name(name) {
+            None => {
+                return Err(Inequivalence::PortMismatch {
+                    detail: format!("input `{name}` missing from `{}`", right.name()),
+                })
+            }
+            Some(r) => {
+                let (lw, rw) = (left.value(l).width(), right.value(r).width());
+                if lw != rw {
+                    return Err(Inequivalence::PortMismatch {
+                        detail: format!("input `{name}` is {lw} bits vs {rw} bits"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_specs_are_equivalent() {
+        let s = Spec::parse("spec s { input a: u8; input b: u8; output o = a + b; }").unwrap();
+        check_equivalence(&s, &s, 1, 50).unwrap();
+    }
+
+    #[test]
+    fn fig2_transformation_is_equivalent_to_fig1() {
+        // The paper's motivational example: beh1 (three 16-bit adds) vs
+        // beh2 (nine fragment adds with explicit carries) — Fig. 1 a) vs 2 a).
+        let beh1 = Spec::parse(
+            "spec beh1 { input A: u16; input B: u16; input D: u16; input F: u16;
+              C: u16 = A + B;
+              E: u16 = C + D;
+              G: u16 = E + F;
+              output G; }",
+        )
+        .unwrap();
+        let beh2 = Spec::parse(
+            "spec beh2 { input A: u16; input B: u16; input D: u16; input F: u16;
+              C0: u7  = A[5:0] + B[5:0];
+              E0: u6  = C0[4:0] + D[4:0];
+              G0: u5  = E0[3:0] + F[3:0];
+              C1: u7  = A[11:6] + B[11:6] + C0[6];
+              E1: u7  = concat(C0[5], C1[4:0]) + D[10:5] + E0[5];
+              G1: u7  = concat(E0[4], E1[4:0]) + F[9:4] + G0[4];
+              C2: u4  = A[15:12] + B[15:12] + C1[6];
+              E2: u5  = concat(C1[5], C2) + D[15:11] + E1[6];
+              G2: u6  = concat(E1[5], E2) + F[15:10] + G1[6];
+              output G = concat(G0[3:0], G1[5:0], G2);
+             }",
+        )
+        .unwrap();
+        check_equivalence(&beh1, &beh2, 2005, 300).unwrap();
+    }
+
+    #[test]
+    fn detects_counterexample() {
+        let good = Spec::parse("spec a { input x: u8; output o = x + 1; }").unwrap();
+        let bad = Spec::parse("spec b { input x: u8; output o = x + 2; }").unwrap();
+        let err = check_equivalence(&good, &bad, 3, 20).unwrap_err();
+        assert!(matches!(err, Inequivalence::Counterexample { .. }));
+        assert!(err.to_string().contains("output `o` differs"));
+    }
+
+    #[test]
+    fn detects_port_mismatch() {
+        let a = Spec::parse("spec a { input x: u8; output o = x; }").unwrap();
+        let b = Spec::parse("spec b { input y: u8; output o = y; }").unwrap();
+        let err = check_equivalence(&a, &b, 3, 5).unwrap_err();
+        assert!(matches!(err, Inequivalence::PortMismatch { .. }));
+
+        let c = Spec::parse("spec c { input x: u4; output o = x; }").unwrap();
+        let err = check_equivalence(&a, &c, 3, 5).unwrap_err();
+        assert!(err.to_string().contains("8 bits vs 4 bits"));
+    }
+
+    #[test]
+    fn wider_right_output_is_tolerated() {
+        // The transformed spec may keep the carry-out (9 bits vs 8): values
+        // must still agree, which they do only when the carry is dead...
+        let narrow = Spec::parse("spec a { input x: u4; output o = x; }").unwrap();
+        // ... here the extra top bits are zero, so equivalence holds.
+        let wide = Spec::parse(
+            "spec b { input x: u4; o: u6 = x; output o; }",
+        )
+        .unwrap();
+        check_equivalence(&narrow, &wide, 9, 20).unwrap();
+    }
+
+    #[test]
+    fn missing_output_is_reported() {
+        let a = Spec::parse("spec a { input x: u4; output o = x; output p = x; }").unwrap();
+        let b = Spec::parse("spec b { input x: u4; output o = x; }").unwrap();
+        let err = check_equivalence(&a, &b, 3, 5).unwrap_err();
+        assert!(err.to_string().contains("`p` missing"));
+    }
+}

@@ -1,0 +1,439 @@
+//! Forward (ASAP) per-bit arrival times under the ripple model.
+
+use crate::bitref::{operand_bit, BitRef};
+use crate::Delta;
+use bittrans_ir::prelude::*;
+
+/// Per-bit times for every value of a spec, in δ units.
+///
+/// Produced by [`arrival_times`] (earliest availability)
+/// and [`required_times`](crate::required_times) (latest allowed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitTimes {
+    times: Vec<Vec<Delta>>,
+}
+
+impl BitTimes {
+    pub(crate) fn filled(spec: &Spec, fill: Delta) -> Self {
+        BitTimes {
+            times: spec
+                .values()
+                .iter()
+                .map(|v| vec![fill; v.width() as usize])
+                .collect(),
+        }
+    }
+
+    /// The time of bit `i` of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value or bit index is out of range.
+    pub fn bit(&self, value: ValueId, i: u32) -> Delta {
+        self.times[value.index()][i as usize]
+    }
+
+    /// All bit times of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is out of range.
+    pub fn of(&self, value: ValueId) -> &[Delta] {
+        &self.times[value.index()]
+    }
+
+    /// The largest time anywhere (for arrival times: the critical path).
+    pub fn max(&self) -> Delta {
+        self.times
+            .iter()
+            .flat_map(|v| v.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn set(&mut self, value: ValueId, i: u32, t: Delta) {
+        self.times[value.index()][i as usize] = t;
+    }
+
+    pub(crate) fn tighten(&mut self, value: ValueId, i: u32, t: Delta) {
+        let slot = &mut self.times[value.index()][i as usize];
+        *slot = (*slot).min(t);
+    }
+}
+
+/// Computes the earliest availability of every bit of every value.
+///
+/// Input-port and constant bits arrive at t = 0. `Add`-family operations
+/// ripple (`+1δ` per bit position, chained through operand arrival); glue
+/// contributes no delay, matching §3.2's "non-additive operations are not
+/// considered". `Mul` is handled conservatively (all bits at
+/// `max(inputs) + wa + wb`) — the optimisation pipeline always runs kernel
+/// extraction first, which lowers `Mul` to additions, so the conservative
+/// case only affects direct timing queries on raw specs.
+pub fn arrival_times(spec: &Spec) -> BitTimes {
+    let mut times = BitTimes::filled(spec, 0);
+    for op in spec.ops() {
+        eval_op_arrival(spec, op, &mut times);
+    }
+    times
+}
+
+fn in_time(spec: &Spec, times: &BitTimes, operand: &Operand, i: u32, signed: bool) -> Delta {
+    match operand_bit(spec, operand, i, signed) {
+        BitRef::Const => 0,
+        BitRef::Value { value, bit } => times.bit(value, bit),
+    }
+}
+
+fn max_input_time(spec: &Spec, times: &BitTimes, op: &Operation) -> Delta {
+    let mut t = 0;
+    for operand in op.operands() {
+        let w = spec.operand_width(operand);
+        for i in 0..w {
+            t = t.max(in_time(spec, times, operand, i, false));
+        }
+    }
+    t
+}
+
+fn eval_op_arrival(spec: &Spec, op: &Operation, times: &mut BitTimes) {
+    let w = op.width();
+    let z = op.result();
+    let signed = op.signedness().is_signed();
+    match op.kind() {
+        // Addition: refined ripple model. A position whose operand bits are
+        // both known-zero adds no gate delay — its sum bit *is* the carry,
+        // settling together with the previous position. This makes a
+        // fragment's carry-out bit available within the fragment's cycle,
+        // exactly as the paper's Fig. 2 assumes.
+        OpKind::Add => {
+            let profile = crate::bitref::add_profile(spec, op);
+            let mut t_carry = if profile.carry_live[0] {
+                in_time(spec, times, &op.operands()[2], 0, false)
+            } else {
+                0
+            };
+            for i in 0..w {
+                let [a_live, b_live] = profile.live[i as usize];
+                let carry_in = profile.carry_live[i as usize];
+                let ta = in_time(spec, times, &op.operands()[0], i, signed);
+                let tb = in_time(spec, times, &op.operands()[1], i, signed);
+                let t = match (a_live, b_live, carry_in) {
+                    (true, true, true) => ta.max(tb).max(t_carry) + 1,
+                    (true, true, false) => ta.max(tb) + 1,
+                    (true, false, true) => ta.max(t_carry) + 1,
+                    (false, true, true) => tb.max(t_carry) + 1,
+                    (true, false, false) => ta, // wire
+                    (false, true, false) => tb, // wire
+                    (false, false, true) => t_carry, // pure carry bit
+                    (false, false, false) => 0, // constant zero
+                };
+                times.set(z, i, t);
+                t_carry = if profile.carry_live[i as usize + 1] { t } else { 0 };
+            }
+        }
+        // Other carry-chain operations: conservative ripple, +1δ per bit.
+        // (Kernel extraction lowers these to Add before the pipeline ever
+        // times them.)
+        OpKind::Sub | OpKind::Neg | OpKind::Abs => {
+            let mut prev = 0;
+            for i in 0..w {
+                let mut t = prev;
+                for operand in &op.operands()[..op.operands().len().min(2)] {
+                    t = t.max(in_time(spec, times, operand, i, signed));
+                }
+                prev = t + 1;
+                times.set(z, i, prev);
+            }
+        }
+        // Ordered comparisons: a full-width subtract chain, one-bit result.
+        OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge => {
+            let w_in = op
+                .operands()
+                .iter()
+                .map(|o| spec.operand_width(o))
+                .max()
+                .unwrap_or(1);
+            let mut chain = 0;
+            for i in 0..w_in {
+                let mut t = chain;
+                for operand in op.operands() {
+                    t = t.max(in_time(spec, times, operand, i, signed));
+                }
+                chain = t + 1;
+            }
+            times.set(z, 0, chain);
+            for i in 1..w {
+                times.set(z, i, 0); // zero-extension bits are constants
+            }
+        }
+        // Max/Min: compare chain, then a 0δ mux gated by the chain result.
+        OpKind::Max | OpKind::Min => {
+            let w_in = op
+                .operands()
+                .iter()
+                .map(|o| spec.operand_width(o))
+                .max()
+                .unwrap_or(1);
+            let mut chain = 0;
+            for i in 0..w_in {
+                let mut t = chain;
+                for operand in op.operands() {
+                    t = t.max(in_time(spec, times, operand, i, signed));
+                }
+                chain = t + 1;
+            }
+            for i in 0..w {
+                let mut t = chain;
+                for operand in op.operands() {
+                    t = t.max(in_time(spec, times, operand, i, signed));
+                }
+                times.set(z, i, t);
+            }
+        }
+        // Conservative multiplication: array-multiplier worst case
+        // (consistent with the shift-add decomposition's ripple path).
+        OpKind::Mul => {
+            let mut ws: Vec<Delta> = op
+                .operands()
+                .iter()
+                .map(|o| spec.operand_width(o))
+                .collect();
+            ws.sort_unstable();
+            let total: Delta = match ws.as_slice() {
+                [a, b] => b + 2 * a,
+                _ => w,
+            };
+            let start = max_input_time(spec, times, op);
+            for i in 0..w {
+                times.set(z, i, start + total);
+            }
+        }
+        // Equality: XOR/reduction tree — non-additive, 0δ like glue.
+        OpKind::Eq | OpKind::Ne | OpKind::RedOr | OpKind::RedAnd => {
+            let t = max_input_time(spec, times, op);
+            times.set(z, 0, t);
+            for i in 1..w {
+                times.set(z, i, 0);
+            }
+        }
+        // Bitwise glue: 0δ, per-bit dependence.
+        OpKind::Not => {
+            for i in 0..w {
+                times.set(z, i, in_time(spec, times, &op.operands()[0], i, signed));
+            }
+        }
+        OpKind::And | OpKind::Or | OpKind::Xor => {
+            for i in 0..w {
+                let t = in_time(spec, times, &op.operands()[0], i, signed)
+                    .max(in_time(spec, times, &op.operands()[1], i, signed));
+                times.set(z, i, t);
+            }
+        }
+        OpKind::Mux => {
+            let sel = in_time(spec, times, &op.operands()[0], 0, false);
+            for i in 0..w {
+                let t = sel
+                    .max(in_time(spec, times, &op.operands()[1], i, signed))
+                    .max(in_time(spec, times, &op.operands()[2], i, signed));
+                times.set(z, i, t);
+            }
+        }
+        OpKind::Shl(k) => {
+            for i in 0..w {
+                let t = if i >= k {
+                    in_time(spec, times, &op.operands()[0], i - k, signed)
+                } else {
+                    0
+                };
+                times.set(z, i, t);
+            }
+        }
+        OpKind::Shr(k) => {
+            for i in 0..w {
+                times.set(z, i, in_time(spec, times, &op.operands()[0], i + k, signed));
+            }
+        }
+        OpKind::Concat => {
+            let mut base = 0;
+            for operand in op.operands() {
+                let ow = spec.operand_width(operand);
+                for i in 0..ow {
+                    times.set(z, base + i, in_time(spec, times, operand, i, false));
+                }
+                base += ow;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Spec {
+        Spec::parse(src).unwrap()
+    }
+
+    #[test]
+    fn single_add_ripples() {
+        let s = parse("spec s { input A: u8; input B: u8; C: u8 = A + B; output C; }");
+        let t = arrival_times(&s);
+        let c = s.ops()[0].result();
+        let expect: Vec<Delta> = (1..=8).collect();
+        assert_eq!(t.of(c), expect.as_slice());
+    }
+
+    #[test]
+    fn fig1e_three_chained_adds_take_18_delta() {
+        // Paper Fig. 1 e): C bits at t+(i+1)δ, E at t+(i+2)δ, G at t+(i+3)δ;
+        // the chain completes after 18δ.
+        let s = parse(
+            "spec s { input A: u16; input B: u16; input D: u16; input F: u16;
+              C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+        );
+        let t = arrival_times(&s);
+        let c = s.ops()[0].result();
+        let e = s.ops()[1].result();
+        let g = s.ops()[2].result();
+        for i in 0..16u32 {
+            assert_eq!(t.bit(c, i), i + 1);
+            assert_eq!(t.bit(e, i), i + 2);
+            assert_eq!(t.bit(g, i), i + 3);
+        }
+        assert_eq!(t.max(), 18);
+    }
+
+    #[test]
+    fn fig3_rippling_makes_fh_path_critical() {
+        // Paper Fig. 3 a): B,C,E are chained 6-bit adds (8δ total); F and G
+        // are 8-bit adds feeding H (9δ total) — the true critical path.
+        let s = parse(
+            "spec s {
+               input i1: u6; input i2: u6; input i3: u6; input i4: u6;
+               input i5: u5; input i6: u5;
+               input j1: u8; input j2: u8; input j3: u8; input j4: u8;
+               B: u6 = i1 + i2;
+               C: u6 = B + i3;
+               E: u6 = C + i4;
+               A: u5 = i5 + i6;
+               D: u6 = i3 + i4;
+               F: u8 = j1 + j2;
+               G: u8 = j3 + j4;
+               H: u8 = F + G;
+               output E; output H; output A; output D;
+            }",
+        );
+        let t = arrival_times(&s);
+        let e = s.ops()[2].result();
+        let h = s.ops()[7].result();
+        assert_eq!(t.bit(e, 5), 8);
+        assert_eq!(t.bit(h, 7), 9);
+        assert_eq!(t.max(), 9);
+    }
+
+    #[test]
+    fn carry_in_contributes_to_bit0() {
+        let s = parse(
+            "spec s { input A: u4; input B: u4; input D: u4;
+              X: u5 = A + B;
+              Y: u4 = A + D + X[4];
+              output Y; }",
+        );
+        let t = arrival_times(&s);
+        let x = s.ops()[0].result();
+        // X[4] is a pure carry bit: it settles *with* X[3] at 4δ, not one
+        // δ later (the carry-out of a ripple stage is simultaneous with
+        // its sum bit).
+        assert_eq!(t.bit(x, 3), 4);
+        assert_eq!(t.bit(x, 4), 4);
+        let y = s.ops().last().unwrap().result();
+        // Y consumes the carry at 4δ, so Y[0] = 5δ.
+        assert_eq!(t.bit(y, 0), 5);
+    }
+
+    #[test]
+    fn glue_is_free() {
+        let s = parse(
+            "spec s { input A: u8; input B: u8;
+              N: u8 = ~A;
+              X: u8 = N ^ B;
+              C: u8 = X + B;
+              output C; }",
+        );
+        let t = arrival_times(&s);
+        let c = s.ops().last().unwrap().result();
+        assert_eq!(t.bit(c, 0), 1); // glue added no δ
+    }
+
+    #[test]
+    fn truncated_lsbs_shift_arrival() {
+        // Consuming only the high bits of a producer means waiting for them:
+        // E = C[7:4] + D starts at C[4]'s arrival (5δ), matching the paper's
+        // `truncated_right` correction.
+        let s = parse(
+            "spec s { input A: u8; input B: u8; input D: u4;
+              C: u8 = A + B;
+              E: u4 = C[7:4] + D;
+              output E; }",
+        );
+        let t = arrival_times(&s);
+        let e = s.ops()[1].result();
+        assert_eq!(t.bit(e, 0), 6); // C[4] at 5δ, +1δ
+        assert_eq!(t.bit(e, 3), 9);
+    }
+
+    #[test]
+    fn comparison_produces_late_single_bit() {
+        let s = parse("spec s { input A: u8; input B: u8; output L = A < B; }");
+        let t = arrival_times(&s);
+        let l = s.ops()[0].result();
+        assert_eq!(t.bit(l, 0), 8);
+    }
+
+    #[test]
+    fn max_waits_for_comparison() {
+        let s = parse("spec s { input A: u8; input B: u8; output M = max(A, B); }");
+        let t = arrival_times(&s);
+        let m = s.ops()[0].result();
+        for i in 0..8 {
+            assert_eq!(t.bit(m, i), 8);
+        }
+    }
+
+    #[test]
+    fn mul_is_conservative() {
+        let s = parse("spec s { input A: u8; input B: u8; output P = A * B; }");
+        let t = arrival_times(&s);
+        let p = s.ops()[0].result();
+        // 8×8 array: wider operand (8) + 2δ per partial-product row (16).
+        assert_eq!(t.bit(p, 0), 24);
+        assert_eq!(t.bit(p, 15), 24);
+    }
+
+    #[test]
+    fn sub_ripples_like_add() {
+        let s = parse("spec s { input A: u8; input B: u8; D: u8 = A - B; output D; }");
+        let t = arrival_times(&s);
+        let d = s.ops()[0].result();
+        assert_eq!(t.bit(d, 7), 8);
+    }
+
+    #[test]
+    fn concat_and_shift_route_times() {
+        let s = parse(
+            "spec s { input A: u4; input B: u4;
+              S: u5 = A + B;
+              W: u9 = concat(B, S);
+              X: u6 = S << 1;
+              output W; output X; }",
+        );
+        let t = arrival_times(&s);
+        let w = s.ops()[1].result();
+        assert_eq!(t.bit(w, 0), 0); // B bit
+        assert_eq!(t.bit(w, 4), 1); // S[0]
+        let x = s.ops()[2].result();
+        assert_eq!(t.bit(x, 0), 0); // shifted-in zero
+        assert_eq!(t.bit(x, 1), 1); // S[0]
+    }
+}

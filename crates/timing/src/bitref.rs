@@ -1,0 +1,179 @@
+//! Resolution of operand bits to value bits under operand extension.
+//!
+//! An operation of width `w` reads each operand *as if* extended to `w`
+//! bits. Bit `i` of the extended operand is either a real bit of the
+//! referenced value, a replicated sign bit (signed extension), or a
+//! constant. Timing passes need this mapping in both directions.
+
+use bittrans_ir::prelude::*;
+
+/// Where bit `i` of an extended operand comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BitRef {
+    /// Bit `bit` of value `value`.
+    Value {
+        /// The referenced value.
+        value: ValueId,
+        /// The bit index within that value.
+        bit: u32,
+    },
+    /// A constant bit (timing: available at t = 0).
+    Const,
+}
+
+/// Resolves bit `i` of `operand` when the operand is extended to the
+/// consuming operation's width with signedness `signed`.
+///
+/// Beyond the operand's own width, signed extension keeps referencing the
+/// operand's most-significant bit; unsigned extension yields constants.
+pub fn operand_bit(spec: &Spec, operand: &Operand, i: u32, signed: bool) -> BitRef {
+    match operand {
+        Operand::Const(_) => BitRef::Const,
+        Operand::Value { value, range } => {
+            let (lo, w) = match range {
+                Some(r) => (r.lo(), r.width()),
+                None => (0, spec.value(*value).width()),
+            };
+            if i < w {
+                BitRef::Value { value: *value, bit: lo + i }
+            } else if signed {
+                BitRef::Value { value: *value, bit: lo + w - 1 }
+            } else {
+                BitRef::Const
+            }
+        }
+    }
+}
+
+/// Whether bit `i` of the extended operand is a *known-zero* constant.
+///
+/// Known-zero bits matter to the ripple model: an adder position whose
+/// operand bits are both known zero merely forwards (or kills) the carry,
+/// adding no gate delay — the carry-out of a fragment settles together
+/// with its top sum bit.
+pub fn operand_bit_known_zero(spec: &Spec, operand: &Operand, i: u32, signed: bool) -> bool {
+    match operand {
+        Operand::Const(bits) => {
+            let w = bits.width() as u32;
+            if i < w {
+                !bits.get(i as usize)
+            } else if signed {
+                !bits.sign_bit()
+            } else {
+                true
+            }
+        }
+        Operand::Value { value, range } => {
+            let w = match range {
+                Some(r) => r.width(),
+                None => spec.value(*value).width(),
+            };
+            i >= w && !signed
+        }
+    }
+}
+
+/// Ripple-chain profile of an `Add` operation: which operand bits are live
+/// (not known-zero) at each position, and where the carry chain is alive.
+///
+/// A position with two live operand bits may *generate* a carry; with one
+/// live bit it only *propagates*; with none it *kills* the carry. Sum bits
+/// at kill positions are pure wires (the incoming carry or constant zero),
+/// so they settle **simultaneously** with the previous position — this is
+/// why a fragment's carry-out fits in the same cycle as its top sum bit.
+#[derive(Clone, Debug)]
+pub struct AddProfile {
+    /// Per position: liveness of the two addend bits.
+    pub live: Vec<[bool; 2]>,
+    /// `carry_live[i]`: the carry *into* position `i` is not known zero.
+    /// Length `width + 1`; the last entry describes the dropped carry-out.
+    pub carry_live: Vec<bool>,
+}
+
+/// Computes the [`AddProfile`] of an `Add` operation.
+///
+/// # Panics
+///
+/// Panics if `op` is not an `Add`.
+pub fn add_profile(spec: &Spec, op: &bittrans_ir::Operation) -> AddProfile {
+    assert_eq!(op.kind(), bittrans_ir::OpKind::Add, "add_profile wants an Add");
+    let w = op.width();
+    let signed = op.signedness().is_signed();
+    let cin_live = op
+        .operands()
+        .get(2)
+        .map(|c| !operand_bit_known_zero(spec, c, 0, false))
+        .unwrap_or(false);
+    let mut live = Vec::with_capacity(w as usize);
+    let mut carry_live = vec![false; w as usize + 1];
+    carry_live[0] = cin_live;
+    for i in 0..w {
+        let a_live = !operand_bit_known_zero(spec, &op.operands()[0], i, signed);
+        let b_live = !operand_bit_known_zero(spec, &op.operands()[1], i, signed);
+        live.push([a_live, b_live]);
+        carry_live[i as usize + 1] = match (a_live, b_live) {
+            (true, true) => true,                       // may generate
+            (true, false) | (false, true) => carry_live[i as usize], // propagates
+            (false, false) => false,                    // kills
+        };
+    }
+    AddProfile { live, carry_live }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_with_input(width: u32) -> (Spec, ValueId) {
+        let mut b = SpecBuilder::new("t");
+        let a = b.input("A", width);
+        let o = b.add("O", a, a, width).unwrap();
+        b.output("O", o);
+        (b.finish().unwrap(), a)
+    }
+
+    #[test]
+    fn full_operand_maps_directly() {
+        let (spec, a) = spec_with_input(8);
+        let op = Operand::value(a);
+        assert_eq!(
+            operand_bit(&spec, &op, 3, false),
+            BitRef::Value { value: a, bit: 3 }
+        );
+    }
+
+    #[test]
+    fn sliced_operand_offsets() {
+        let (spec, a) = spec_with_input(8);
+        let op = Operand::slice(a, BitRange::new(4, 3));
+        assert_eq!(
+            operand_bit(&spec, &op, 1, false),
+            BitRef::Value { value: a, bit: 5 }
+        );
+    }
+
+    #[test]
+    fn unsigned_extension_is_constant() {
+        let (spec, a) = spec_with_input(8);
+        let op = Operand::slice(a, BitRange::new(0, 4));
+        assert_eq!(operand_bit(&spec, &op, 6, false), BitRef::Const);
+    }
+
+    #[test]
+    fn signed_extension_replicates_msb() {
+        let (spec, a) = spec_with_input(8);
+        let op = Operand::slice(a, BitRange::new(0, 4));
+        assert_eq!(
+            operand_bit(&spec, &op, 6, true),
+            BitRef::Value { value: a, bit: 3 }
+        );
+    }
+
+    #[test]
+    fn constants_are_constant() {
+        let (spec, _) = spec_with_input(8);
+        let op = Operand::const_u64(5, 4);
+        assert_eq!(operand_bit(&spec, &op, 0, true), BitRef::Const);
+        assert_eq!(operand_bit(&spec, &op, 9, false), BitRef::Const);
+    }
+}

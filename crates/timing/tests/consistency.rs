@@ -1,0 +1,160 @@
+//! Cross-checks between the forward (arrival) and backward (required)
+//! bit-timing passes: duality, feasibility, and glue transparency, on both
+//! hand-built and property-generated specs.
+
+use bittrans_ir::prelude::*;
+use bittrans_timing::{arrival_times, critical_path, required_times};
+use proptest::prelude::*;
+
+/// Feasibility: with `total = critical_path`, every bit's required time is
+/// at least its arrival time.
+fn assert_feasible_at_cp(spec: &Spec) {
+    let cp = critical_path(spec);
+    let arr = arrival_times(spec);
+    let req = required_times(spec, cp);
+    for v in spec.values() {
+        for i in 0..v.width() {
+            assert!(
+                arr.bit(v.id(), i) <= req.bit(v.id(), i),
+                "{}: bit {i} of {} infeasible at its own critical path",
+                spec.name(),
+                v.id()
+            );
+        }
+    }
+}
+
+/// Slack monotonicity: increasing the budget never tightens any bit.
+fn assert_required_monotone(spec: &Spec) {
+    let cp = critical_path(spec);
+    let tight = required_times(spec, cp);
+    let loose = required_times(spec, cp + 7);
+    for v in spec.values() {
+        for i in 0..v.width() {
+            assert!(loose.bit(v.id(), i) >= tight.bit(v.id(), i));
+        }
+    }
+}
+
+#[test]
+fn glue_chain_duality() {
+    // Arrival and required agree through every glue kind when the budget
+    // equals the critical path.
+    let spec = Spec::parse(
+        "spec glue {
+            input a: u8; input b: u8; input s1: u1;
+            x: u8 = a + b;
+            n: u8 = ~x;
+            m: u8 = mux(s1, n, a);
+            w: u16 = concat(m, b);
+            sh: u16 = w << 2;
+            y: u16 = sh + b;
+            output y; }",
+    )
+    .unwrap();
+    assert_feasible_at_cp(&spec);
+    assert_required_monotone(&spec);
+}
+
+#[test]
+fn reduction_and_comparison_duality() {
+    let spec = Spec::parse(
+        "spec red {
+            input a: u8; input b: u8;
+            e: u1 = a == b;
+            l: u1 = a < b;
+            r: u1 = redor(a);
+            q: u2 = e + l;
+            z: u3 = q + r;
+            output z; }",
+    )
+    .unwrap();
+    assert_feasible_at_cp(&spec);
+    assert_required_monotone(&spec);
+}
+
+#[test]
+fn kernel_specs_stay_feasible() {
+    // The exact structures the pipeline produces: sub/cmp/mul kernels.
+    let spec = Spec::parse(
+        "spec k {
+            input a: u12; input b: u12; input c1: u12;
+            d: u12 = a - b;
+            p: u24 = d * c1;
+            m: u12 = p[22:11];
+            g: u1  = m > a;
+            output g; output m; }",
+    )
+    .unwrap();
+    let kernel = bittrans_kernel::extract(&spec).unwrap();
+    assert_feasible_at_cp(&kernel);
+    assert_required_monotone(&kernel);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random chains of additions with random widths and slices: the
+    /// forward/backward passes stay consistent.
+    #[test]
+    fn prop_chain_duality(
+        widths in proptest::collection::vec(2u32..20, 1..8),
+        budget_slack in 0u32..10,
+        slice_lo in 0u32..4,
+    ) {
+        let mut b = SpecBuilder::new("chain");
+        let w0 = widths[0];
+        let mut acc: Operand = b.input("i0", w0).into();
+        let mut acc_w = w0;
+        for (k, &w) in widths.iter().enumerate() {
+            let rhs = b.input(format!("i{}", k + 1), w);
+            // Sometimes consume a sliced (right-truncated) view, which
+            // exercises the paper's `truncated_right` rule.
+            let lhs = if slice_lo > 0 && acc_w > slice_lo + 1 {
+                acc.subrange(BitRange::new(slice_lo, acc_w - slice_lo))
+            } else {
+                acc.clone()
+            };
+            let v = b
+                .add(&format!("n{k}"), lhs, rhs, w.max(2))
+                .expect("valid chain add");
+            acc = v.into();
+            acc_w = w.max(2);
+        }
+        b.output("o", acc);
+        let spec = b.finish().expect("valid chain spec");
+
+        let cp = critical_path(&spec);
+        let arr = arrival_times(&spec);
+        let req = required_times(&spec, cp + budget_slack);
+        for v in spec.values() {
+            for i in 0..v.width() {
+                prop_assert!(
+                    arr.bit(v.id(), i) <= req.bit(v.id(), i),
+                    "bit {i} of {} infeasible (cp={cp}, slack={budget_slack})",
+                    v.id()
+                );
+            }
+        }
+        // The output's msb must be allowed no later than the budget.
+        let out = spec.ops().last().unwrap().result();
+        let w = spec.value(out).width();
+        prop_assert!(req.bit(out, w - 1) <= cp + budget_slack);
+    }
+
+    /// Critical path equals the maximum arrival bit, and is positive.
+    #[test]
+    fn prop_cp_is_max_arrival(widths in proptest::collection::vec(2u32..16, 1..6)) {
+        let mut b = SpecBuilder::new("cp");
+        let mut acc: Operand = b.input("i0", widths[0]).into();
+        for (k, &w) in widths.iter().enumerate() {
+            let rhs = b.input(format!("i{}", k + 1), w);
+            acc = b.add(&format!("n{k}"), acc, rhs, w).expect("valid").into();
+        }
+        b.output("o", acc);
+        let spec = b.finish().expect("valid");
+        let arr = arrival_times(&spec);
+        prop_assert_eq!(critical_path(&spec), arr.max());
+        prop_assert!(critical_path(&spec) >= *widths.last().unwrap());
+    }
+}

@@ -1,0 +1,52 @@
+//! The ADPCM G.721 decoder modules of the paper's Table III: optimise each
+//! module at the paper's latency and report cycle and area changes.
+//!
+//! ```text
+//! cargo run --release --example adpcm
+//! ```
+
+use bittrans::benchmarks::table3_benchmarks;
+use bittrans::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<10} {:>3} {:>12} {:>12} {:>9} {:>9}   paper",
+        "module", "λ", "orig (ns)", "opt (ns)", "saved", "area Δ"
+    );
+    for bench in table3_benchmarks() {
+        for &latency in &bench.latencies {
+            let cmp = compare(&bench.spec, latency, &CompareOptions::default())?;
+            let paper = match bench.name {
+                "IAQ" => "65.51 % saved, −2.4 % area",
+                "TTD" => "60.56 % saved, −6.25 % area",
+                _ => "74.86 % saved, −3.26 % area",
+            };
+            println!(
+                "{:<10} {:>3} {:>12.2} {:>12.2} {:>8.1}% {:>+8.1}%   {paper}",
+                bench.name,
+                latency,
+                cmp.original.cycle_ns,
+                cmp.optimized.cycle_ns,
+                cmp.cycle_saved_pct(),
+                cmp.area_delta_pct(),
+            );
+        }
+    }
+
+    // Show one module in depth: the inverse adaptive quantizer.
+    let iaq = bittrans::benchmarks::iaq();
+    let opt = optimize(&iaq, 3, &CompareOptions::default())?;
+    println!("\nIAQ in depth:");
+    println!("  kernel: {} additions + glue", opt.kernel.stats().adds);
+    println!(
+        "  cycle {}δ over λ=3 (critical path {}δ)",
+        opt.fragmented.cycle, opt.fragmented.critical_path
+    );
+    println!("  schedule:\n{}", textwrap(&opt.schedule.render(&opt.fragmented.spec)));
+    println!("  datapath: {}", opt.implementation.area);
+    Ok(())
+}
+
+fn textwrap(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}

@@ -1,0 +1,63 @@
+//! Quickstart: optimise a small behavioural specification and compare it
+//! against the conventional flow.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bittrans::core::report::render_table1;
+use bittrans::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A behavioural specification in the textual DSL: a small multiply-
+    // accumulate kernel. `u16` types, VHDL-style slices and the usual
+    // operators are available.
+    let spec = Spec::parse(
+        "spec mac {
+             input a: u16; input b: u16; input acc: u16; input limit: u16;
+             p: u32   = a * b;
+             s: u16   = acc + p[23:8];
+             sat: u1  = s > limit;
+             y: u16   = mux(sat, limit, s);
+             output y; output sat;
+         }",
+    )?;
+    println!("input specification:\n{spec}\n");
+
+    let latency = 4;
+    let options = CompareOptions::default();
+
+    // The conventional flow (Synopsys-BC-like baseline).
+    let base = baseline(&spec, latency, &options)?;
+    // The paper's flow: kernel extraction -> fragmentation -> scheduling.
+    let opt = optimize(&spec, latency, &options)?;
+
+    println!(
+        "kernel extraction: {} operations -> {} additions + glue",
+        spec.stats().non_glue(),
+        opt.kernel.stats().adds,
+    );
+    println!(
+        "fragmentation: cycle {}δ (critical path {}δ / λ={latency}), {} fragments\n",
+        opt.fragmented.cycle,
+        opt.fragmented.critical_path,
+        opt.fragmented.fragments.len(),
+    );
+
+    println!(
+        "{}",
+        render_table1(&[
+            ("Conventional", &base.implementation),
+            ("Optimized", &opt.implementation),
+        ])
+    );
+
+    let cmp = compare(&spec, latency, &options)?;
+    println!(
+        "cycle saved: {:.1} %   area change: {:+.1} %   operations: {:+.0} %",
+        cmp.cycle_saved_pct(),
+        cmp.area_delta_pct(),
+        cmp.op_growth_pct(),
+    );
+    Ok(())
+}

@@ -1,0 +1,189 @@
+//! `bittrans` — command-line front end for the presynthesis optimiser.
+//!
+//! ```text
+//! bittrans optimize  <file.spec> --latency N [--adder rca|cla|csel] [--emit-vhdl DIR] [--netlist]
+//! bittrans compare   <file.spec> --latency N
+//! bittrans sweep     <file.spec> --from N --to M
+//! bittrans fragments <file.spec> --latency N
+//! bittrans check     <file.spec>
+//! ```
+//!
+//! `<file.spec>` contains a specification in the textual DSL (see
+//! `bittrans::ir::parse`); pass `-` to read from stdin.
+
+use bittrans::core::report::{render_sweep, render_table1};
+use bittrans::prelude::*;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    command: String,
+    file: String,
+    latency: u32,
+    from: u32,
+    to: u32,
+    adder: AdderArch,
+    emit_vhdl: Option<String>,
+    netlist: bool,
+}
+
+fn usage() -> String {
+    "usage: bittrans <optimize|compare|sweep|fragments|check> <file.spec|-> \
+     [--latency N] [--from N] [--to M] [--adder rca|cla|csel] \
+     [--emit-vhdl DIR] [--netlist]"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let file = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        file,
+        latency: 3,
+        from: 2,
+        to: 10,
+        adder: AdderArch::RippleCarry,
+        emit_vhdl: None,
+        netlist: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--latency" => args.latency = value("--latency")?.parse().map_err(|e| format!("bad --latency: {e}"))?,
+            "--from" => args.from = value("--from")?.parse().map_err(|e| format!("bad --from: {e}"))?,
+            "--to" => args.to = value("--to")?.parse().map_err(|e| format!("bad --to: {e}"))?,
+            "--adder" => {
+                args.adder = match value("--adder")?.as_str() {
+                    "rca" => AdderArch::RippleCarry,
+                    "cla" => AdderArch::CarryLookahead,
+                    "csel" => AdderArch::CarrySelect,
+                    other => return Err(format!("unknown adder `{other}` (rca|cla|csel)")),
+                }
+            }
+            "--emit-vhdl" => args.emit_vhdl = Some(value("--emit-vhdl")?),
+            "--netlist" => args.netlist = true,
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn read_spec(path: &str) -> Result<Spec, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    Spec::parse(&text).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let spec = read_spec(&args.file)?;
+    let options = CompareOptions { adder_arch: args.adder, ..Default::default() };
+    match args.command.as_str() {
+        "check" => {
+            let stats = spec.stats();
+            println!(
+                "{}: {} operations ({} add, {} mul, {} other, {} glue), critical path {}δ",
+                spec.name(),
+                stats.total,
+                stats.adds,
+                stats.muls,
+                stats.other,
+                stats.glue,
+                critical_path(&extract(&spec).map_err(|e| e.to_string())?),
+            );
+            Ok(())
+        }
+        "fragments" => {
+            let opt = optimize(&spec, args.latency, &options).map_err(|e| e.to_string())?;
+            println!(
+                "cycle {}δ (critical path {}δ / λ={})",
+                opt.fragmented.cycle, opt.fragmented.critical_path, args.latency
+            );
+            for (source, ids) in &opt.fragmented.per_source {
+                let desc: Vec<String> = ids
+                    .iter()
+                    .map(|id| {
+                        let fi = &opt.fragmented.fragments[id];
+                        format!("{} @[{}..{}]", fi.range, fi.asap, fi.alap)
+                    })
+                    .collect();
+                println!("  {}: {}", opt.kernel.op(*source).label(), desc.join(", "));
+            }
+            println!("\nschedule:\n{}", opt.schedule.render(&opt.fragmented.spec));
+            Ok(())
+        }
+        "optimize" => {
+            let opt = optimize(&spec, args.latency, &options).map_err(|e| e.to_string())?;
+            println!(
+                "{}: cycle {}δ = {:.2} ns, execution {:.2} ns, area {}",
+                spec.name(),
+                opt.implementation.cycle_delta,
+                opt.implementation.cycle_ns,
+                opt.implementation.execution_ns,
+                opt.implementation.area,
+            );
+            if args.netlist {
+                println!("\n{}", opt.datapath.netlist(spec.name()).bill_of_materials());
+            }
+            if let Some(dir) = &args.emit_vhdl {
+                std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                let beh = format!("{dir}/{}_transformed.vhd", spec.name());
+                std::fs::write(&beh, bittrans::ir::vhdl::emit(&opt.fragmented.spec))
+                    .map_err(|e| e.to_string())?;
+                let st = format!("{dir}/{}_datapath.vhd", spec.name());
+                std::fs::write(&st, opt.datapath.netlist(spec.name()).to_vhdl())
+                    .map_err(|e| e.to_string())?;
+                println!("wrote {beh} and {st}");
+            }
+            Ok(())
+        }
+        "compare" => {
+            let cmp = compare(&spec, args.latency, &options).map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                render_table1(&[
+                    ("Conventional", &cmp.original),
+                    ("Optimized", &cmp.optimized),
+                ])
+            );
+            println!(
+                "cycle saved {:.1} %, area {:+.1} %, operations {:+.0} %",
+                cmp.cycle_saved_pct(),
+                cmp.area_delta_pct(),
+                cmp.op_growth_pct()
+            );
+            Ok(())
+        }
+        "sweep" => {
+            if args.from > args.to {
+                return Err("--from must not exceed --to".into());
+            }
+            let points = latency_sweep(&spec, args.from..=args.to, &options);
+            println!("{}", render_sweep(&format!("{} sweep", spec.name()), &points));
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration tests for the `bittrans` command-line tool: drive the
+//! compiled binary on the shipped `.spec` files and check its output.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // target/<profile>/bittrans, next to the test executable's directory.
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // debug|release/
+    p.push(format!("bittrans{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn repo(path: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(path)
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("bittrans binary runs (build it with the test profile)");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn check_reports_stats() {
+    let spec = repo("specs/ewf_section.spec");
+    let (ok, stdout, stderr) = run(&["check", spec.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("ewf_section"), "{stdout}");
+    assert!(stdout.contains("critical path"), "{stdout}");
+}
+
+#[test]
+fn compare_prints_table() {
+    let spec = repo("specs/saturating_mac.spec");
+    let (ok, stdout, _) = run(&["compare", spec.to_str().unwrap(), "--latency", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("Conventional"));
+    assert!(stdout.contains("Optimized"));
+    assert!(stdout.contains("cycle saved"));
+}
+
+#[test]
+fn optimize_emits_vhdl_and_netlist() {
+    let dir = std::env::temp_dir().join("bittrans_cli_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = repo("specs/ewf_section.spec");
+    let (ok, stdout, stderr) = run(&[
+        "optimize",
+        spec.to_str().unwrap(),
+        "--latency",
+        "4",
+        "--netlist",
+        "--emit-vhdl",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("netlist ewf_section"), "{stdout}");
+    let transformed = dir.join("ewf_section_transformed.vhd");
+    let datapath = dir.join("ewf_section_datapath.vhd");
+    assert!(transformed.exists() && datapath.exists());
+    let vhd = std::fs::read_to_string(transformed).unwrap();
+    assert!(vhd.contains("entity ewf_section_kernel_frag is"));
+}
+
+#[test]
+fn fragments_lists_mobilities() {
+    let spec = repo("specs/saturating_mac.spec");
+    let (ok, stdout, _) = run(&["fragments", spec.to_str().unwrap(), "--latency", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("cycle"), "{stdout}");
+    assert!(stdout.contains("schedule:"), "{stdout}");
+}
+
+#[test]
+fn sweep_prints_series() {
+    let spec = repo("specs/saturating_mac.spec");
+    let (ok, stdout, _) = run(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--from",
+        "2",
+        "--to",
+        "5",
+    ]);
+    assert!(ok);
+    assert!(stdout.lines().count() >= 5, "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (ok, _, stderr) = run(&["frobnicate", "nonexistent.spec"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"), "{stderr}");
+    let spec = repo("specs/ewf_section.spec");
+    let (ok, _, stderr) = run(&["compare", spec.to_str().unwrap(), "--latency", "zero"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --latency"));
+}
+
+#[test]
+fn parse_errors_have_positions() {
+    let dir = std::env::temp_dir().join("bittrans_cli_badspec");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.spec");
+    std::fs::write(&bad, "spec x { input a: u8; output o = a ?? a; }").unwrap();
+    let (ok, _, stderr) = run(&["check", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the complete pipeline — kernel
+//! extraction, fragmentation, scheduling, allocation — on every benchmark,
+//! with behavioural equivalence verified by co-simulation.
+
+use bittrans::benchmarks as bm;
+use bittrans::prelude::*;
+use bittrans::sched::fragment::verify_schedule;
+
+fn run_verified(spec: &Spec, latency: u32) {
+    let options = CompareOptions { verify_vectors: 60, ..Default::default() };
+    let opt = optimize(spec, latency, &options)
+        .unwrap_or_else(|e| panic!("{} λ={latency}: {e}", spec.name()));
+    // The schedule replays bit-exactly.
+    assert_eq!(
+        verify_schedule(&opt.fragmented, &opt.schedule),
+        None,
+        "{} λ={latency}: schedule fails bit-exact verification",
+        spec.name()
+    );
+    // Every fragment sits inside its mobility window.
+    for (op, info) in &opt.fragmented.fragments {
+        let k = opt.schedule.cycle_of(*op).unwrap();
+        assert!(
+            (info.asap..=info.alap).contains(&k),
+            "{} λ={latency}: {op} at {k} outside {}..={}",
+            spec.name(),
+            info.asap,
+            info.alap
+        );
+    }
+    // The baseline also synthesises, and the optimized cycle never loses.
+    let base = baseline(spec, latency, &options).unwrap();
+    assert!(
+        opt.implementation.cycle_ns <= base.implementation.cycle_ns + 1e-9,
+        "{} λ={latency}: optimized cycle worse than baseline",
+        spec.name()
+    );
+}
+
+#[test]
+fn motivational_example_all_latencies() {
+    let spec = bm::three_adds();
+    for latency in 1..=9 {
+        run_verified(&spec, latency);
+    }
+}
+
+#[test]
+fn fig3_dfg_all_latencies() {
+    let spec = bm::fig3_dfg();
+    for latency in 1..=6 {
+        run_verified(&spec, latency);
+    }
+}
+
+#[test]
+fn diffeq_pipeline() {
+    let spec = bm::diffeq();
+    for latency in [4, 5, 6] {
+        run_verified(&spec, latency);
+    }
+}
+
+#[test]
+fn fir2_pipeline() {
+    let spec = bm::fir2();
+    for latency in [3, 5] {
+        run_verified(&spec, latency);
+    }
+}
+
+#[test]
+fn iir4_pipeline() {
+    let spec = bm::iir4();
+    for latency in [5, 6] {
+        run_verified(&spec, latency);
+    }
+}
+
+#[test]
+fn elliptic_pipeline() {
+    let spec = bm::elliptic();
+    for latency in [4, 6, 11] {
+        run_verified(&spec, latency);
+    }
+}
+
+#[test]
+fn adpcm_modules_pipeline() {
+    for b in bm::table3_benchmarks() {
+        for &latency in &b.latencies {
+            run_verified(&b.spec, latency);
+        }
+    }
+}
+
+#[test]
+fn random_specs_pipeline() {
+    for seed in 0..8 {
+        let spec = bm::random_spec(
+            seed,
+            &bm::RandomSpecOptions { ops: 12, ..Default::default() },
+        );
+        for latency in [2, 4] {
+            run_verified(&spec, latency);
+        }
+    }
+}
+
+#[test]
+fn shift_add_strategy_is_equivalent_too() {
+    let spec = bm::fir2();
+    let kernel = extract_with_options(
+        &spec,
+        &ExtractOptions { mul_strategy: MulStrategy::ShiftAdd },
+    )
+    .unwrap();
+    let f = fragment(&kernel, &FragmentOptions::with_latency(5)).unwrap();
+    check_equivalence(&spec, &f.spec, 99, 150).unwrap();
+    let s = schedule_fragments(&f, &FragmentScheduleOptions::default()).unwrap();
+    assert_eq!(verify_schedule(&f, &s), None);
+}
+
+#[test]
+fn vhdl_emission_of_transformed_specs() {
+    let spec = bm::three_adds();
+    let opt = optimize(&spec, 3, &CompareOptions::default()).unwrap();
+    let text = bittrans::ir::vhdl::emit(&opt.fragmented.spec);
+    assert!(text.contains("entity example_kernel_frag is"));
+    assert!(text.contains("C_f0"));
+}

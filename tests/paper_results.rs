@@ -1,0 +1,200 @@
+//! Reproduction checks for the paper's headline numbers: these tests pin
+//! the *shape* of every table and figure (who wins, by roughly what factor,
+//! where the crossovers fall). EXPERIMENTS.md records the exact values.
+
+use bittrans::benchmarks as bm;
+use bittrans::prelude::*;
+
+fn options() -> CompareOptions {
+    CompareOptions { verify_vectors: 0, ..Default::default() }
+}
+
+/// Table I: conventional 9.4 ns / 479 gates, BLC 9.57 ns (one 18δ cycle) /
+/// 518 gates, optimized 3.55 ns / 452 gates.
+#[test]
+fn table1_numbers() {
+    let spec = bm::three_adds();
+    let conv = baseline(&spec, 3, &options()).unwrap().implementation;
+    let chained = blc(&spec, 1, &options()).unwrap().implementation;
+    let opt = optimize(&spec, 3, &options()).unwrap().implementation;
+
+    assert_eq!(conv.cycle_delta, 16);
+    assert!((conv.cycle_ns - 9.4).abs() < 0.05);
+    assert!((conv.area.total() - 479.0).abs() / 479.0 < 0.02);
+
+    assert_eq!(chained.cycle_delta, 18);
+    assert_eq!(chained.latency, 1);
+    assert!((chained.area.total() - 518.0).abs() / 518.0 < 0.02);
+
+    assert_eq!(opt.cycle_delta, 6);
+    assert!((opt.cycle_ns - 3.55).abs() < 0.05);
+    assert!((opt.area.total() - 452.0).abs() / 452.0 < 0.10);
+    assert_eq!(opt.stored_bits, 5, "C5, E4 and the three carry-outs");
+
+    // The orderings the paper's §2 narrative rests on:
+    assert!(opt.cycle_ns < conv.cycle_ns / 2.0);
+    assert!(opt.execution_ns < conv.execution_ns / 2.0);
+    assert!((opt.execution_ns - chained.execution_ns).abs() < 1.5);
+    assert!(opt.area.total() < conv.area.total());
+    assert!(opt.area.total() < chained.area.total());
+}
+
+/// Fig. 3 h: 62 % cycle reduction at λ = 3 on the 8-addition DFG.
+#[test]
+fn fig3h_cycle_reduction() {
+    let spec = bm::fig3_dfg();
+    let cmp = compare(&spec, 3, &options()).unwrap();
+    assert_eq!(cmp.original.cycle_delta, 8);
+    assert_eq!(cmp.optimized.cycle_delta, 3);
+    let saved = cmp.cycle_saved_pct();
+    assert!((saved - 62.0).abs() < 3.0, "paper: 62 %, got {saved:.1} %");
+}
+
+/// Table II: every benchmark/latency pair saves a large fraction of the
+/// cycle (the paper reports 41.75–84.67 %, average 67 %).
+#[test]
+fn table2_savings_shape() {
+    let mut savings = Vec::new();
+    for b in bm::table2_benchmarks() {
+        for &latency in &b.latencies {
+            let cmp = compare(&b.spec, latency, &options()).unwrap();
+            let saved = cmp.cycle_saved_pct();
+            assert!(
+                saved > 40.0,
+                "{} λ={latency}: only {saved:.1} % saved",
+                b.name
+            );
+            savings.push(saved);
+        }
+    }
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    assert!(avg > 60.0, "average saving {avg:.1} % below the paper's band");
+}
+
+/// Table II: savings grow (weakly) with latency per benchmark — "the cycle
+/// length saved has grown with the circuit latency".
+#[test]
+fn savings_grow_with_latency() {
+    for b in bm::table2_benchmarks() {
+        let mut latencies = b.latencies.clone();
+        latencies.sort_unstable();
+        let mut prev = -1.0;
+        for &latency in &latencies {
+            let cmp = compare(&b.spec, latency, &options()).unwrap();
+            let saved = cmp.cycle_saved_pct();
+            assert!(
+                saved >= prev - 7.0,
+                "{}: saving dropped sharply {prev:.1} -> {saved:.1} at λ={latency}",
+                b.name
+            );
+            prev = saved;
+        }
+    }
+}
+
+/// Table III: the ADPCM modules improve strongly with area close to or
+/// below the baseline (the paper: 66 % faster, 4 % smaller on average).
+#[test]
+fn table3_shape() {
+    for b in bm::table3_benchmarks() {
+        for &latency in &b.latencies {
+            let cmp = compare(&b.spec, latency, &options()).unwrap();
+            assert!(
+                cmp.cycle_saved_pct() > 30.0,
+                "{}: {:.1} %",
+                b.name,
+                cmp.cycle_saved_pct()
+            );
+            assert!(
+                cmp.area_delta_pct() < 10.0,
+                "{}: area grew {:.1} %",
+                b.name,
+                cmp.area_delta_pct()
+            );
+        }
+    }
+}
+
+/// Fig. 4: the gap between the curves widens as λ grows, because the
+/// baseline flattens at the slowest atomic operation while the optimized
+/// cycle keeps shrinking.
+#[test]
+fn fig4_divergence() {
+    let spec = bm::elliptic();
+    let points = latency_sweep(&spec, 3..=15, &options());
+    assert!(points.len() >= 12);
+    let first = &points[0];
+    let last = points.last().unwrap();
+    let gap_first = first.original_ns - first.optimized_ns;
+    let gap_last = last.original_ns - last.optimized_ns;
+    assert!(gap_first > 0.0 && gap_last > 0.0);
+    // Optimized cycle decreases monotonically (within rounding).
+    for w in points.windows(2) {
+        assert!(w[1].optimized_ns <= w[0].optimized_ns + 1e-9);
+    }
+    // The ratio original/optimized grows across the sweep.
+    let r_first = first.original_ns / first.optimized_ns;
+    let r_last = last.original_ns / last.optimized_ns;
+    assert!(
+        r_last > r_first * 1.5,
+        "ratio should widen: {r_first:.2} -> {r_last:.2}"
+    );
+}
+
+/// The paper's §1 bullet points, as executable claims on the motivational
+/// example.
+#[test]
+fn section1_claims() {
+    let spec = bm::three_adds();
+    let opt = optimize(&spec, 3, &options()).unwrap();
+    // "clock cycle duration independent of the execution times of
+    //  operations": 6δ cycle vs 16δ operations.
+    assert!(opt.schedule.cycle < 16);
+    // "one original operation may be executed in several cycles":
+    let g_frags = opt
+        .fragmented
+        .per_source
+        .values()
+        .last()
+        .unwrap()
+        .iter()
+        .map(|id| opt.schedule.cycle_of(*id).unwrap())
+        .collect::<std::collections::BTreeSet<_>>();
+    assert!(g_frags.len() >= 3);
+    // "one operation may start before its predecessors complete": E's
+    // first fragment runs in cycle 1 while C finishes in cycle 3.
+    let sources: Vec<_> = opt.fragmented.per_source.keys().copied().collect();
+    let c_last = opt.fragmented.per_source[&sources[0]]
+        .iter()
+        .map(|id| opt.schedule.cycle_of(*id).unwrap())
+        .max()
+        .unwrap();
+    let e_first = opt.fragmented.per_source[&sources[1]]
+        .iter()
+        .map(|id| opt.schedule.cycle_of(*id).unwrap())
+        .min()
+        .unwrap();
+    assert!(e_first < c_last);
+}
+
+/// Unconsecutive-cycle execution (the paper's unique capability) actually
+/// occurs on the Fig. 3 DFG: some operation has fragments in cycles 1 and
+/// 3 but not 2.
+#[test]
+fn unconsecutive_cycles_happen() {
+    let spec = bm::fig3_dfg();
+    let opt = optimize(&spec, 3, &options()).unwrap();
+    let unconsecutive = opt.fragmented.per_source.values().any(|ids| {
+        let cycles: std::collections::BTreeSet<u32> = ids
+            .iter()
+            .map(|id| opt.schedule.cycle_of(*id).unwrap())
+            .collect();
+        cycles.contains(&1) && cycles.contains(&3) && !cycles.contains(&2)
+    });
+    // The balanced schedule places A in cycles 1 and 3 (paper Fig. 3 g).
+    assert!(
+        unconsecutive,
+        "no operation executed in unconsecutive cycles:\n{}",
+        opt.schedule.render(&opt.fragmented.spec)
+    );
+}
