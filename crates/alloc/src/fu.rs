@@ -17,8 +17,16 @@ pub enum FuClass {
 /// Classifies an operation; `None` for glue (no functional unit).
 pub fn class_of(kind: OpKind) -> Option<FuClass> {
     match kind {
-        OpKind::Add | OpKind::Sub | OpKind::Neg | OpKind::Abs | OpKind::Lt | OpKind::Le
-        | OpKind::Gt | OpKind::Ge | OpKind::Max | OpKind::Min => Some(FuClass::Adder),
+        OpKind::Add
+        | OpKind::Sub
+        | OpKind::Neg
+        | OpKind::Abs
+        | OpKind::Lt
+        | OpKind::Le
+        | OpKind::Gt
+        | OpKind::Ge
+        | OpKind::Max
+        | OpKind::Min => Some(FuClass::Adder),
         OpKind::Mul => Some(FuClass::Multiplier),
         _ => None,
     }
@@ -77,11 +85,8 @@ fn op_operand_width(spec: &Spec, op: &Operation) -> u32 {
 /// 2. the free unit whose width grows the least;
 /// 3. a new unit.
 pub fn bind_fus(spec: &Spec, schedule: &Schedule) -> Vec<Fu> {
-    let mut ops: Vec<&Operation> = spec
-        .ops()
-        .iter()
-        .filter(|op| class_of(op.kind()).is_some())
-        .collect();
+    let mut ops: Vec<&Operation> =
+        spec.ops().iter().filter(|op| class_of(op.kind()).is_some()).collect();
     ops.sort_by_key(|op| {
         (
             schedule.cycle_of(op.id()).unwrap_or(u32::MAX),
@@ -94,13 +99,7 @@ pub fn bind_fus(spec: &Spec, schedule: &Schedule) -> Vec<Fu> {
         let class = class_of(op.kind()).expect("filtered to classed ops");
         let cycle = schedule.cycle_of(op.id()).unwrap_or(1);
         let w = op_operand_width(spec, op);
-        let wb = op
-            .operands()
-            .iter()
-            .take(2)
-            .map(|o| spec.operand_width(o))
-            .min()
-            .unwrap_or(w);
+        let wb = op.operands().iter().take(2).map(|o| spec.operand_width(o)).min().unwrap_or(w);
         let origin = op.origin().unwrap_or(op.id());
         let candidate = fus
             .iter_mut()
@@ -246,10 +245,8 @@ mod tests {
 
     #[test]
     fn adder_width_is_operand_width_not_result() {
-        let spec = Spec::parse(
-            "spec s { input a: u6; input b: u6; x: u7 = a + b; output x; }",
-        )
-        .unwrap();
+        let spec =
+            Spec::parse("spec s { input a: u6; input b: u6; x: u7 = a + b; output x; }").unwrap();
         let sched = schedule_conventional(&spec, &ConventionalOptions::with_latency(1)).unwrap();
         let fus = bind_fus(&spec, &sched);
         assert_eq!(fus[0].width, 6, "carry-out does not widen the adder");

@@ -160,11 +160,8 @@ pub fn allocate(spec: &Spec, schedule: &Schedule, options: &AllocOptions) -> Dat
 /// (concat, shifts by constants, slices) are free.
 fn glue_units(spec: &Spec, schedule: &bittrans_sched::Schedule) -> Vec<Component> {
     use std::collections::{BTreeMap, BTreeSet};
-    let mut memo: regs::ResolveMemo = spec
-        .values()
-        .iter()
-        .map(|v| vec![None; v.width() as usize])
-        .collect();
+    let mut memo: regs::ResolveMemo =
+        spec.values().iter().map(|v| vec![None; v.width() as usize]).collect();
     struct Block {
         components: Vec<Component>,
         cycles: BTreeSet<u32>,
@@ -198,8 +195,7 @@ fn glue_units(spec: &Spec, schedule: &bittrans_sched::Schedule) -> Vec<Component
         if block.components.is_empty() {
             continue;
         }
-        let mut sig_parts: Vec<String> =
-            block.components.iter().map(|c| format!("{c}")).collect();
+        let mut sig_parts: Vec<String> = block.components.iter().map(|c| format!("{c}")).collect();
         sig_parts.sort();
         let sig = sig_parts.join("|");
         let slots = units.entry(sig).or_default();
@@ -208,19 +204,14 @@ fn glue_units(spec: &Spec, schedule: &bittrans_sched::Schedule) -> Vec<Component
             None => slots.push((block.cycles, block.components)),
         }
     }
-    units
-        .into_values()
-        .flatten()
-        .flat_map(|(_, comps)| comps)
-        .collect()
+    units.into_values().flatten().flat_map(|(_, comps)| comps).collect()
 }
 
 /// The number of output bits of a glue op that actually depend on live
 /// data (everything else is structural zero padding and costs no gates).
 fn live_width(spec: &Spec, op: &Operation, memo: &mut regs::ResolveMemo) -> u32 {
-    (0..op.width())
-        .filter(|&i| !regs::resolve_base(spec, op.result(), i, memo).is_empty())
-        .count() as u32
+    (0..op.width()).filter(|&i| !regs::resolve_base(spec, op.result(), i, memo).is_empty()).count()
+        as u32
 }
 
 /// Positions where *both* operands of a two-input gate carry live data.
@@ -239,8 +230,7 @@ fn live_pair_width(spec: &Spec, op: &Operation, memo: &mut regs::ResolveMemo) ->
     };
     (0..op.width())
         .filter(|&i| {
-            live_at(spec, &op.operands()[0], i, memo)
-                && live_at(spec, &op.operands()[1], i, memo)
+            live_at(spec, &op.operands()[0], i, memo) && live_at(spec, &op.operands()[1], i, memo)
         })
         .count() as u32
 }
@@ -265,11 +255,7 @@ fn live_input_bits(spec: &Spec, op: &Operation, memo: &mut regs::ResolveMemo) ->
 }
 
 /// The priced glue components one operation contributes (empty for wiring).
-fn glue_components_of(
-    spec: &Spec,
-    op: &Operation,
-    memo: &mut regs::ResolveMemo,
-) -> Vec<Component> {
+fn glue_components_of(spec: &Spec, op: &Operation, memo: &mut regs::ResolveMemo) -> Vec<Component> {
     let mut out = Vec::new();
     match op.kind() {
         OpKind::Not | OpKind::Mux => {
@@ -350,10 +336,7 @@ mod tests {
         assert_eq!(dp.area.routing.round(), 176.0, "muxes: {:?}", dp.muxes);
         assert!((dp.area.controller - 60.0).abs() < 3.0);
         let total = dp.area.total();
-        assert!(
-            (total - 479.0).abs() / 479.0 < 0.02,
-            "total {total} vs paper 479"
-        );
+        assert!((total - 479.0).abs() / 479.0 < 0.02, "total {total} vs paper 479");
     }
 
     /// Paper Table I, column 2 (chained BLC schedule, Fig. 1 d):
@@ -368,10 +351,7 @@ mod tests {
         assert!(dp.registers.is_empty(), "everything chains in one cycle");
         assert!(dp.muxes.is_empty(), "single source per port");
         let total = dp.area.total();
-        assert!(
-            (total - 518.0).abs() / 518.0 < 0.02,
-            "total {total} vs paper 518"
-        );
+        assert!((total - 518.0).abs() / 518.0 < 0.02, "total {total} vs paper 518");
     }
 
     /// Paper Table I, column 3 (optimized specification, Fig. 2):
@@ -387,26 +367,15 @@ mod tests {
         for fu_ in &dp.fus {
             assert!(fu_.width <= 6, "fragment adders are 6-bit: {}", fu_.width);
         }
-        assert!(
-            (dp.area.fu - 176.0).abs() / 176.0 < 0.05,
-            "FU area {} vs paper 176",
-            dp.area.fu
-        );
-        assert!(
-            dp.stored_bits <= 8,
-            "only boundary bits are stored, got {}",
-            dp.stored_bits
-        );
+        assert!((dp.area.fu - 176.0).abs() / 176.0 < 0.05, "FU area {} vs paper 176", dp.area.fu);
+        assert!(dp.stored_bits <= 8, "only boundary bits are stored, got {}", dp.stored_bits);
         assert!(
             (dp.area.registers - 55.0).abs() / 55.0 < 0.35,
             "register area {} vs paper 55",
             dp.area.registers
         );
         let total = dp.area.total();
-        assert!(
-            (total - 452.0).abs() / 452.0 < 0.10,
-            "total {total} vs paper 452"
-        );
+        assert!((total - 452.0).abs() / 452.0 < 0.10, "total {total} vs paper 452");
     }
 
     /// The headline claim of Table I: the optimized implementation is both
@@ -472,8 +441,7 @@ mod tests {
         let spec = three_adds();
         let sched = schedule_conventional(&spec, &ConventionalOptions::with_latency(3)).unwrap();
         let rc = allocate(&spec, &sched, &AllocOptions { adder_arch: AdderArch::RippleCarry });
-        let cla =
-            allocate(&spec, &sched, &AllocOptions { adder_arch: AdderArch::CarryLookahead });
+        let cla = allocate(&spec, &sched, &AllocOptions { adder_arch: AdderArch::CarryLookahead });
         assert!(cla.area.fu > rc.area.fu);
     }
 }

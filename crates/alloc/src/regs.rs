@@ -111,11 +111,9 @@ pub(crate) fn glue_bit_inputs(spec: &Spec, op: &Operation, i: u32) -> Vec<(Opera
     };
     match op.kind() {
         OpKind::Not => in_bit(&op.operands()[0], i).into_iter().collect(),
-        OpKind::And | OpKind::Or | OpKind::Xor => op
-            .operands()
-            .iter()
-            .filter_map(|o| in_bit(o, i))
-            .collect(),
+        OpKind::And | OpKind::Or | OpKind::Xor => {
+            op.operands().iter().filter_map(|o| in_bit(o, i)).collect()
+        }
         OpKind::Mux => {
             let mut v: Vec<_> = in_bit(&op.operands()[0], 0).into_iter().collect();
             v.extend(in_bit(&op.operands()[1], i));
@@ -216,14 +214,10 @@ fn record_use(
 /// registers). Bit groups with disjoint lifetimes share registers
 /// (left-edge).
 pub fn allocate_registers(spec: &Spec, schedule: &Schedule) -> Vec<RegisterInstance> {
-    let mut last_use: Vec<Vec<u32>> = spec
-        .values()
-        .iter()
-        .map(|v| vec![0; v.width() as usize])
-        .collect();
+    let mut last_use: Vec<Vec<u32>> =
+        spec.values().iter().map(|v| vec![0; v.width() as usize]).collect();
     // Guards repeated same-cycle traversals of glue bits.
-    let mut visited: std::collections::HashSet<(u32, u32, u32)> =
-        std::collections::HashSet::new();
+    let mut visited: std::collections::HashSet<(u32, u32, u32)> = std::collections::HashSet::new();
     for op in spec.ops() {
         if !is_base_producer(op.kind()) {
             continue; // transparent glue consumes nothing by itself
@@ -284,19 +278,15 @@ pub fn allocate_registers(spec: &Spec, schedule: &Schedule) -> Vec<RegisterInsta
         let slot = instances
             .iter_mut()
             .filter(|(_, free_at)| *free_at <= g.def)
-            .min_by_key(|(reg, _)| {
-                (g.range.width().saturating_sub(reg.width), reg.width)
-            });
+            .min_by_key(|(reg, _)| (g.range.width().saturating_sub(reg.width), reg.width));
         match slot {
             Some((reg, free_at)) => {
                 reg.width = reg.width.max(g.range.width());
                 reg.groups.push(g);
                 *free_at = g.last_use;
             }
-            None => instances.push((
-                RegisterInstance { width: g.range.width(), groups: vec![g] },
-                g.last_use,
-            )),
+            None => instances
+                .push((RegisterInstance { width: g.range.width(), groups: vec![g] }, g.last_use)),
         }
     }
     instances.into_iter().map(|(reg, _)| reg).collect()
@@ -415,10 +405,8 @@ mod tests {
 
     #[test]
     fn output_ports_are_not_stored() {
-        let spec = Spec::parse(
-            "spec s { input a: u8; input b: u8; x: u8 = a + b; output x; }",
-        )
-        .unwrap();
+        let spec =
+            Spec::parse("spec s { input a: u8; input b: u8; x: u8 = a + b; output x; }").unwrap();
         let sched = schedule_conventional(
             &spec,
             &ConventionalOptions {

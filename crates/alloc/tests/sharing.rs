@@ -32,18 +32,15 @@ fn serialised_multiplications_share_glue() {
 
     // Compare against a single multiplication's datapath: the glue should
     // be well below 2x (sharing kicked in).
-    let one = Spec::parse(
-        "spec one { input a: u8; input b: u8; p1: u16 = a * b; output p1; }",
-    )
-    .unwrap();
+    let one =
+        Spec::parse("spec one { input a: u8; input b: u8; p1: u16 = a * b; output p1; }").unwrap();
     let k1 = extract(&one).unwrap();
     let f1 = fragment(&k1, &FragmentOptions::with_latency(2)).unwrap();
     let s1 = schedule_fragments(&f1, &FragmentScheduleOptions::default()).unwrap();
     let dp1 = allocate(&f1.spec, &s1, &AllocOptions::default());
 
-    let glue = |d: &bittrans_alloc::Datapath| -> f64 {
-        d.glue.iter().map(|c| c.area_gates()).sum()
-    };
+    let glue =
+        |d: &bittrans_alloc::Datapath| -> f64 { d.glue.iter().map(|c| c.area_gates()).sum() };
     assert!(
         glue(&dp) < 1.6 * glue(&dp1),
         "two serialised muls should nearly share one array: {} vs {}",
@@ -68,11 +65,8 @@ fn parallel_multiplications_do_not_share_glue() {
     let f = fragment(&kernel, &FragmentOptions::with_latency(1)).unwrap();
     let s = schedule_fragments(&f, &FragmentScheduleOptions::default()).unwrap();
     let dp = allocate(&f.spec, &s, &AllocOptions::default());
-    let mux2_16ish = dp
-        .glue
-        .iter()
-        .filter(|c| matches!(c, bittrans_rtl::Component::Mux { .. }))
-        .count();
+    let mux2_16ish =
+        dp.glue.iter().filter(|c| matches!(c, bittrans_rtl::Component::Mux { .. })).count();
     assert!(
         mux2_16ish >= 16,
         "two parallel arrays keep both partial-product mux banks: {mux2_16ish}"

@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
     eprintln!("{t}");
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
-    g.bench_function("mul_strategy_pair", |b| {
-        b.iter(|| std::hint::black_box(ablation_mul()))
-    });
+    g.bench_function("mul_strategy_pair", |b| b.iter(|| std::hint::black_box(ablation_mul())));
     g.finish();
 }
 

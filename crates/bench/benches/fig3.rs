@@ -13,11 +13,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(50);
     let spec = fig3_dfg();
     g.bench_function("fragment_fig3_dfg", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                fragment(&spec, &FragmentOptions::with_latency(3)).unwrap(),
-            )
-        })
+        b.iter(|| std::hint::black_box(fragment(&spec, &FragmentOptions::with_latency(3)).unwrap()))
     });
     g.finish();
 }

@@ -10,9 +10,7 @@ fn bench(c: &mut Criterion) {
     assert!(points.len() >= 10, "sweep covers the λ range");
     let mut g = c.benchmark_group("fig4");
     g.sample_size(10);
-    g.bench_function("latency_sweep_elliptic", |b| {
-        b.iter(|| std::hint::black_box(fig4()))
-    });
+    g.bench_function("latency_sweep_elliptic", |b| b.iter(|| std::hint::black_box(fig4())));
     g.finish();
 }
 

@@ -9,10 +9,8 @@ use bittrans_bench as harness;
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_dir = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
+    let out_dir =
+        std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("results"));
     std::fs::create_dir_all(&out_dir)?;
 
     println!("=== Table I — motivational example ===");
@@ -52,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("ablation_mul", harness::ablation_mul()),
     ] {
         println!("{text}");
-        std::fs::write(
-            out_dir.join(format!("{name}.json")),
-            serde_json::to_string_pretty(&rows)?,
-        )?;
+        std::fs::write(out_dir.join(format!("{name}.json")), serde_json::to_string_pretty(&rows)?)?;
     }
     println!("JSON written to {}", out_dir.display());
     Ok(())

@@ -21,9 +21,8 @@
 
 use bittrans_benchmarks as bm;
 use bittrans_core::report::{render_bench_table, render_sweep, render_table1, BenchRow};
-use bittrans_core::{
-    baseline, blc, compare, latency_sweep, optimize, CompareOptions, Implementation, SweepPoint,
-};
+use bittrans_core::{baseline, blc, compare, optimize, CompareOptions, Implementation, SweepPoint};
+use bittrans_engine::Engine;
 use bittrans_ir::Spec;
 use bittrans_rtl::AdderArch;
 use serde::Serialize;
@@ -43,9 +42,7 @@ pub fn table1() -> (String, Vec<(&'static str, Implementation)>) {
         ("Fig 1d BLC", chained.implementation),
         ("Optimized", opt.implementation),
     ];
-    let text = render_table1(
-        &cols.iter().map(|(n, i)| (*n, i)).collect::<Vec<_>>(),
-    );
+    let text = render_table1(&cols.iter().map(|(n, i)| (*n, i)).collect::<Vec<_>>());
     (text, cols)
 }
 
@@ -131,18 +128,19 @@ pub fn fig3() -> String {
         "cycle {:.2} ns -> {:.2} ns ({:.0}% saved)",
         base.implementation.cycle_ns,
         opt.implementation.cycle_ns,
-        (base.implementation.cycle_ns - opt.implementation.cycle_ns)
-            / base.implementation.cycle_ns
+        (base.implementation.cycle_ns - opt.implementation.cycle_ns) / base.implementation.cycle_ns
             * 100.0
     );
     out
 }
 
 /// Fig. 4: cycle length of both flows across λ = 3..15 on the elliptic
-/// filter (the paper's data-intensive sweep subject).
+/// filter (the paper's data-intensive sweep subject). The latencies run in
+/// parallel on a `bittrans-engine` worker pool; the points come back in
+/// the same order the serial `latency_sweep` would produce.
 pub fn fig4() -> (String, Vec<SweepPoint>) {
     let spec = bm::elliptic();
-    let points = latency_sweep(&spec, 3..=15, &quiet());
+    let points = Engine::default().sweep(&spec, 3..=15, &quiet());
     let text = render_sweep("Fig. 4 — cycle length vs latency (elliptic)", &points);
     (text, points)
 }
@@ -175,7 +173,8 @@ pub fn ablation_adders() -> (String, Vec<AblationRow>) {
     }
     let mut text = String::from("Ablation A — adder architecture (three_adds, λ=3)\n");
     for r in &rows {
-        let _ = writeln!(text, "  {:<28} {:>7.2} ns {:>8.0} gates", r.label, r.cycle_ns, r.area_gates);
+        let _ =
+            writeln!(text, "  {:<28} {:>7.2} ns {:>8.0} gates", r.label, r.cycle_ns, r.area_gates);
     }
     (text, rows)
 }
@@ -199,7 +198,8 @@ pub fn ablation_balance() -> (String, Vec<AblationRow>) {
     }
     let mut text = String::from("Ablation B — fragment balancing\n");
     for r in &rows {
-        let _ = writeln!(text, "  {:<28} {:>7.2} ns {:>8.0} gates", r.label, r.cycle_ns, r.area_gates);
+        let _ =
+            writeln!(text, "  {:<28} {:>7.2} ns {:>8.0} gates", r.label, r.cycle_ns, r.area_gates);
     }
     (text, rows)
 }
@@ -207,21 +207,20 @@ pub fn ablation_balance() -> (String, Vec<AblationRow>) {
 /// Ablation C: multiplier lowering strategy (CSA tree vs shift-add rows)
 /// on the FIR filter.
 pub fn ablation_mul() -> (String, Vec<AblationRow>) {
-    use std::fmt::Write as _;
     use bittrans_alloc::{allocate, AllocOptions};
     use bittrans_frag::{fragment, FragmentOptions};
     use bittrans_kernel::{extract_with_options, ExtractOptions, MulStrategy};
     use bittrans_sched::fragment::{schedule_fragments, FragmentScheduleOptions};
     use bittrans_timing::TimingModel;
+    use std::fmt::Write as _;
 
     let spec = bm::fir2();
     let mut rows = Vec::new();
     for (label, strategy) in
         [("csa-tree", MulStrategy::CsaTree), ("shift-add", MulStrategy::ShiftAdd)]
     {
-        let kernel =
-            extract_with_options(&spec, &ExtractOptions { mul_strategy: strategy })
-                .expect("extract");
+        let kernel = extract_with_options(&spec, &ExtractOptions { mul_strategy: strategy })
+            .expect("extract");
         let f = fragment(&kernel, &FragmentOptions::with_latency(5)).expect("fragment");
         let s = schedule_fragments(&f, &FragmentScheduleOptions::default()).expect("schedule");
         let dp = allocate(&f.spec, &s, &AllocOptions::default());
@@ -233,7 +232,8 @@ pub fn ablation_mul() -> (String, Vec<AblationRow>) {
     }
     let mut text = String::from("Ablation C — multiplier lowering (fir2, λ=5)\n");
     for r in &rows {
-        let _ = writeln!(text, "  {:<34} {:>7.2} ns {:>8.0} gates", r.label, r.cycle_ns, r.area_gates);
+        let _ =
+            writeln!(text, "  {:<34} {:>7.2} ns {:>8.0} gates", r.label, r.cycle_ns, r.area_gates);
     }
     (text, rows)
 }

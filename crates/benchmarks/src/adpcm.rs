@@ -135,22 +135,14 @@ mod tests {
     #[test]
     fn ttd_has_threshold_comparisons() {
         let s = ttd();
-        let cmps = s
-            .ops()
-            .iter()
-            .filter(|o| o.kind().is_comparison())
-            .count();
+        let cmps = s.ops().iter().filter(|o| o.kind().is_comparison()).count();
         assert!(cmps >= 2, "got {cmps}");
     }
 
     #[test]
     fn opfc_sca_has_segment_ladder() {
         let s = opfc_sca();
-        let cmps = s
-            .ops()
-            .iter()
-            .filter(|o| o.kind().is_comparison())
-            .count();
+        let cmps = s.ops().iter().filter(|o| o.kind().is_comparison()).count();
         assert!(cmps >= 8, "eight segment compares plus SCA, got {cmps}");
     }
 

@@ -277,11 +277,10 @@ mod tests {
         // The adaptor multiplications drop 15 LSBs — the §3.2
         // `truncated_right` case must appear in the graph.
         let s = elliptic();
-        let truncated = s.ops().iter().any(|op| {
-            op.operands()
-                .iter()
-                .any(|o| o.range().is_some_and(|r| r.lo() == 15))
-        });
+        let truncated = s
+            .ops()
+            .iter()
+            .any(|op| op.operands().iter().any(|o| o.range().is_some_and(|r| r.lo() == 15)));
         assert!(truncated);
     }
 }

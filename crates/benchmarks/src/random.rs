@@ -59,9 +59,9 @@ pub fn random_spec(seed: u64, options: &RandomSpecOptions) -> Spec {
             b.mul(&name, a, c, w, Signedness::Unsigned).expect("valid random mul")
         } else {
             match rng.gen_range(0..6u8) {
-                0 => b
-                    .sub(&name, a, c, wa.max(wc), Signedness::Unsigned)
-                    .expect("valid random sub"),
+                0 => {
+                    b.sub(&name, a, c, wa.max(wc), Signedness::Unsigned).expect("valid random sub")
+                }
                 1 => b.lt(&name, a, c, Signedness::Unsigned).expect("valid random lt"),
                 2 => b
                     .op(

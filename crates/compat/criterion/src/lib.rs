@@ -1,0 +1,192 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! Keeps the call-site API — `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `sample_size` — and measures simple wall-clock
+//! statistics. When a bench target runs under `cargo test` (no `--bench`
+//! flag), each benchmark body executes exactly once as a smoke test so
+//! test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench` under `cargo bench`;
+        // under `cargo test` (harness = false) no such flag is passed.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: 10 }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.bench_mode, 10, id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.bench_mode, self.sample_size, &label, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark, e.g. `optimize/40`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and one parameter value.
+    pub fn new<N: fmt::Display, P: fmt::Display>(name: N, parameter: P) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly (once in smoke mode) and records wall-clock
+    /// durations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(bench_mode: bool, sample_size: usize, label: &str, mut f: F) {
+    let mut bencher =
+        Bencher { samples: Vec::new(), sample_size: if bench_mode { sample_size } else { 1 } };
+    f(&mut bencher);
+    if !bench_mode {
+        println!("{label}: ok (smoke run)");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    bencher.samples.sort();
+    let n = bencher.samples.len();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / n as u32;
+    let median = bencher.samples[n / 2];
+    println!(
+        "{label}: mean {:>12?}  median {:>12?}  min {:>12?}  max {:>12?}  ({n} samples)",
+        mean,
+        median,
+        bencher.samples[0],
+        bencher.samples[n - 1],
+    );
+}
+
+/// Re-export point for `std::hint::black_box`, mirroring criterion's API.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target from its groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut criterion = Criterion { bench_mode: false };
+        let mut group = criterion.benchmark_group("g");
+        let mut runs = 0;
+        group.sample_size(50).bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_honours_sample_size() {
+        let mut criterion = Criterion { bench_mode: true };
+        let mut group = criterion.benchmark_group("g");
+        let mut runs = 0;
+        group.sample_size(7).bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 7);
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for `serde_derive`: a `#[derive(Serialize)]` macro for
+//! the plain (non-generic, named-field) structs this workspace serializes.
+//!
+//! Supports the one field attribute the workspace uses:
+//! `#[serde(serialize_with = "path")]`.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`) because the
+//! build environment is offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+    serialize_with: Option<String>,
+}
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(code) => code.parse().expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Find `struct <Name>`, skipping attributes and visibility.
+    let mut name = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                    i += 2;
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("serde_derive shim supports structs only".into());
+            }
+            _ => i += 1,
+        }
+    }
+    let name = name.ok_or_else(|| "expected `struct <Name>`".to_string())?;
+
+    // Reject generics: none of the workspace's serialized structs use them.
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("serde_derive shim does not support generic structs".into());
+    }
+
+    // Find the brace-delimited field list.
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| "serde_derive shim needs named fields".to_string())?;
+
+    let fields = parse_fields(body)?;
+    Ok(generate(&name, &fields))
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (including doc comments): `#` followed by `[...]`.
+        let mut serialize_with = None;
+        loop {
+            match (&tokens.get(i), &tokens.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if let Some(sw) = parse_serde_attr(g.stream()) {
+                        serialize_with = Some(sw);
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility: `pub` optionally followed by `(crate)` etc.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        // `name : Type ,`
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{fname}`")),
+        }
+        let mut ty = String::new();
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    ',' if angle_depth == 0 => break,
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    _ => {}
+                }
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tokens[i].to_string());
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name: fname, ty, serialize_with });
+    }
+    Ok(fields)
+}
+
+/// Extracts `serialize_with = "path"` from the contents of a `#[serde(...)]`
+/// attribute, if that is what the token stream is.
+fn parse_serde_attr(attr: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        if let TokenTree::Ident(id) = &inner[i] {
+            if id.to_string() == "serialize_with" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner.get(i + 1), inner.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let s = lit.to_string();
+                        return Some(s.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn generate(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        match &f.serialize_with {
+            None => {
+                body.push_str(&format!("__st.serialize_field({:?}, &self.{})?;\n", f.name, f.name));
+            }
+            Some(with) => {
+                body.push_str(&format!(
+                    "{{
+                        struct __SerdeWith<'__a>(&'__a {ty});
+                        impl<'__a> ::serde::Serialize for __SerdeWith<'__a> {{
+                            fn serialize<__S2: ::serde::Serializer>(
+                                &self,
+                                __s: __S2,
+                            ) -> ::core::result::Result<__S2::Ok, __S2::Error> {{
+                                {with}(self.0, __s)
+                            }}
+                        }}
+                        __st.serialize_field({name:?}, &__SerdeWith(&self.{name}))?;
+                    }}\n",
+                    ty = f.ty,
+                    with = with,
+                    name = f.name,
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn serialize<__S: ::serde::Serializer>(
+                &self,
+                __serializer: __S,
+            ) -> ::core::result::Result<__S::Ok, __S::Error> {{
+                use ::serde::ser::SerializeStruct as _;
+                let mut __st = ::serde::Serializer::serialize_struct(
+                    __serializer,
+                    {name:?},
+                    {len}usize,
+                )?;
+                {body}
+                __st.end()
+            }}
+        }}",
+        name = name,
+        len = fields.len(),
+        body = body,
+    )
+}

@@ -1,0 +1,255 @@
+//! Offline stand-in for `serde_json`: enough of the serializer to write the
+//! workspace's machine-readable result files (`to_string` /
+//! `to_string_pretty` over the shimmed `serde::Serialize`).
+
+#![forbid(unsafe_code)]
+
+use serde::ser::{SerializeSeq, SerializeStruct, SerializeTuple};
+use serde::{Serialize, Serializer};
+use std::fmt;
+
+/// Serialization error. The JSON data model is a superset of what the
+/// shimmed `serde::Serialize` can produce, so in practice this never fires;
+/// it exists so `?`-based call sites keep their real-serde_json shape.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer { out: &mut out, indent: None, level: 0 })?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent), matching
+/// the layout conventions of real `serde_json::to_string_pretty`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer { out: &mut out, indent: Some("  "), level: 0 })?;
+    Ok(out)
+}
+
+struct JsonSerializer<'a> {
+    out: &'a mut String,
+    indent: Option<&'static str>,
+    level: usize,
+}
+
+impl JsonSerializer<'_> {
+    fn newline(&mut self, level: usize) {
+        if let Some(indent) = self.indent {
+            self.out.push('\n');
+            for _ in 0..level {
+                self.out.push_str(indent);
+            }
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{}", v)
+    }
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeStruct = JsonCompound<'a>;
+    type SerializeSeq = JsonCompound<'a>;
+    type SerializeTuple = JsonCompound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.out.push_str(&format_f64(v));
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        escape_into(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<JsonCompound<'a>, Error> {
+        self.out.push('{');
+        Ok(JsonCompound { ser: self, first: true, close: '}' })
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonCompound<'a>, Error> {
+        self.out.push('[');
+        Ok(JsonCompound { ser: self, first: true, close: ']' })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<JsonCompound<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+}
+
+/// In-progress JSON object or array.
+pub struct JsonCompound<'a> {
+    ser: JsonSerializer<'a>,
+    first: bool,
+    close: char,
+}
+
+impl JsonCompound<'_> {
+    fn element_prefix(&mut self) {
+        if !self.first {
+            self.ser.out.push(',');
+        }
+        self.first = false;
+        let level = self.ser.level + 1;
+        self.ser.newline(level);
+    }
+
+    fn finish(mut self) -> Result<(), Error> {
+        if !self.first {
+            let level = self.ser.level;
+            self.ser.newline(level);
+        }
+        self.ser.out.push(self.close);
+        Ok(())
+    }
+
+    fn value_serializer(&mut self) -> JsonSerializer<'_> {
+        JsonSerializer { out: self.ser.out, indent: self.ser.indent, level: self.ser.level + 1 }
+    }
+}
+
+impl SerializeStruct for JsonCompound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.element_prefix();
+        escape_into(self.ser.out, key);
+        self.ser.out.push(':');
+        if self.ser.indent.is_some() {
+            self.ser.out.push(' ');
+        }
+        value.serialize(self.value_serializer())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeSeq for JsonCompound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.element_prefix();
+        value.serialize(self.value_serializer())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeTuple for JsonCompound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_strings() {
+        assert_eq!(to_string(&3u32).unwrap(), "3");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+
+    #[test]
+    fn sequences_and_tuples() {
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&("x", 1u32)).unwrap(), r#"["x",1]"#);
+        let pretty = to_string_pretty(&vec![1u32, 2]).unwrap();
+        assert_eq!(pretty, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn empty_collections_stay_compact() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+}

@@ -228,15 +228,10 @@ pub fn optimize(
     if options.verify_vectors > 0 {
         check_equivalence(spec, &fragmented.spec, 0x2005, options.verify_vectors)?;
     }
-    let schedule = schedule_fragments(
-        &fragmented,
-        &FragmentScheduleOptions { balance: options.balance },
-    )?;
-    let datapath = allocate(
-        &fragmented.spec,
-        &schedule,
-        &AllocOptions { adder_arch: options.adder_arch },
-    );
+    let schedule =
+        schedule_fragments(&fragmented, &FragmentScheduleOptions { balance: options.balance })?;
+    let datapath =
+        allocate(&fragmented.spec, &schedule, &AllocOptions { adder_arch: options.adder_arch });
     let implementation =
         implementation(spec.name(), &fragmented.spec, &schedule, &datapath, &options.timing);
     Ok(OptimizedDesign { kernel, fragmented, schedule, datapath, implementation })
@@ -262,11 +257,7 @@ pub fn baseline(
             balance: options.balance,
         },
     )?;
-    let datapath = allocate(
-        spec,
-        &schedule,
-        &AllocOptions { adder_arch: options.adder_arch },
-    );
+    let datapath = allocate(spec, &schedule, &AllocOptions { adder_arch: options.adder_arch });
     let implementation = implementation(spec.name(), spec, &schedule, &datapath, &options.timing);
     Ok(BaselineDesign { schedule, datapath, implementation })
 }
@@ -292,11 +283,7 @@ pub fn blc(
             balance: options.balance,
         },
     )?;
-    let datapath = allocate(
-        spec,
-        &schedule,
-        &AllocOptions { adder_arch: options.adder_arch },
-    );
+    let datapath = allocate(spec, &schedule, &AllocOptions { adder_arch: options.adder_arch });
     let implementation = implementation(spec.name(), spec, &schedule, &datapath, &options.timing);
     Ok(BaselineDesign { schedule, datapath, implementation })
 }

@@ -7,7 +7,12 @@ use std::fmt::Write as _;
 /// (conventional, chained, optimized).
 pub fn render_table1(columns: &[(&str, &Implementation)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<18}{}", "", columns.iter().map(|(n, _)| format!("{n:>16}")).collect::<String>());
+    let _ = writeln!(
+        out,
+        "{:<18}{}",
+        "",
+        columns.iter().map(|(n, _)| format!("{n:>16}")).collect::<String>()
+    );
     let row = |label: &str, f: &dyn Fn(&Implementation) -> String| {
         let mut line = format!("{label:<18}");
         for (_, imp) in columns {
@@ -73,11 +78,7 @@ pub fn render_sweep(title: &str, points: &[SweepPoint]) -> String {
     let _ = writeln!(out, "{title}");
     let _ = writeln!(out, "{:>4}{:>14}{:>14}", "λ", "orig (ns)", "opt (ns)");
     for p in points {
-        let _ = writeln!(
-            out,
-            "{:>4}{:>14.2}{:>14.2}",
-            p.latency, p.original_ns, p.optimized_ns
-        );
+        let _ = writeln!(out, "{:>4}{:>14.2}{:>14.2}", p.latency, p.original_ns, p.optimized_ns);
     }
     out
 }
@@ -99,10 +100,7 @@ mod tests {
     #[test]
     fn table1_renders_columns() {
         let cmp = compare(&spec(), 3, &CompareOptions::default()).unwrap();
-        let text = render_table1(&[
-            ("Original", &cmp.original),
-            ("Optimized", &cmp.optimized),
-        ]);
+        let text = render_table1(&[("Original", &cmp.original), ("Optimized", &cmp.optimized)]);
         assert!(text.contains("Latency"));
         assert!(text.contains("Total (gates)"));
         assert!(text.contains("Original"));

@@ -1,0 +1,103 @@
+//! The in-memory, content-addressed result cache shared by every batch an
+//! [`crate::Engine`] runs.
+//!
+//! Values are `Arc`-shared [`JobResult`]s, so a cache hit costs one clone
+//! of a pointer, and the same computed comparison can back many outcomes
+//! at once. Hit/miss counters are atomic: workers record without taking
+//! the map lock.
+
+use crate::job::JobResult;
+use crate::key::JobKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe map from [`JobKey`] to computed results, with cumulative
+/// hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<JobKey, Arc<JobResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks a key up without touching the hit/miss counters.
+    pub fn peek(&self, key: &JobKey) -> Option<Arc<JobResult>> {
+        self.map.lock().expect("cache lock").get(key).cloned()
+    }
+
+    /// Stores a result. Last writer wins; since keys are content hashes of
+    /// the full job input, concurrent writers always carry equal values.
+    pub fn insert(&self, key: JobKey, value: Arc<JobResult>) {
+        self.map.lock().expect("cache lock").insert(key, value);
+    }
+
+    /// Adds to the cumulative hit/miss counters.
+    pub fn record(&self, hits: u64, misses: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative lookups that required fresh work.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached result (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bittrans_core::PipelineError;
+    use bittrans_frag::FragError;
+
+    fn err_result() -> Arc<JobResult> {
+        Arc::new(Err(PipelineError::Frag(FragError::ZeroLatency)))
+    }
+
+    #[test]
+    fn peek_insert_roundtrip() {
+        let cache = ResultCache::new();
+        let key = JobKey::of_bytes(b"k");
+        assert!(cache.peek(&key).is_none());
+        cache.insert(key, err_result());
+        assert!(cache.peek(&key).is_some());
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let cache = ResultCache::new();
+        cache.record(2, 1);
+        cache.record(3, 0);
+        assert_eq!(cache.hits(), 5);
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! The worker pool: a deterministic parallel `map` over a task list.
+//!
+//! Plain `std::thread` + channels — no async runtime. Tasks are pulled
+//! from a shared queue (so slow jobs don't stall a fixed-stride worker),
+//! results are slotted back by task index, and the output order therefore
+//! equals the input order no matter how many workers run or how the OS
+//! schedules them.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Applies `f` to every task on `workers` threads, returning results in
+/// task order.
+///
+/// With `workers <= 1` (or a single task) everything runs on the calling
+/// thread — same code path as the pool, minus the spawns — so serial and
+/// parallel execution are behaviourally identical.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the pool is torn down first).
+pub fn map_ordered<T, R, F>(tasks: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let task_count = tasks.len();
+    if workers <= 1 || task_count <= 1 {
+        return tasks.into_iter().map(f).collect();
+    }
+
+    let queue: Mutex<std::vec::IntoIter<(usize, T)>> =
+        Mutex::new(tasks.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(task_count).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(task_count) {
+            let result_tx = result_tx.clone();
+            let queue = &queue;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Take one task; don't hold the queue lock while working.
+                let next = queue.lock().expect("task queue lock").next();
+                match next {
+                    Some((index, task)) => {
+                        // A send error means the receiver is gone because a
+                        // sibling worker panicked; just stop.
+                        if result_tx.send((index, f(task))).is_err() {
+                            return;
+                        }
+                    }
+                    None => return,
+                }
+            });
+        }
+        drop(result_tx);
+        for (index, result) in result_rx {
+            slots[index] = Some(result);
+        }
+    });
+
+    slots.into_iter().map(|slot| slot.expect("worker pool completed every task")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order_across_worker_counts() {
+        let tasks: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = tasks.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = map_ordered(tasks.clone(), workers, |x| x * x);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn runs_tasks_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let got = map_ordered((0..100).collect(), 4, |x: usize| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let barrier = std::sync::Barrier::new(2);
+        map_ordered(vec![0, 1], 2, |_| {
+            // Both tasks must be in-flight at once to pass the barrier.
+            barrier.wait();
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert_eq!(seen.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u32> = map_ordered(Vec::<u32>::new(), 8, |x| x);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Content-addressed job keys: a stable 128-bit hash over the canonical
+//! form of a job.
+//!
+//! The key must be identical for identical *content* across processes and
+//! batches, so it cannot use `std::collections`' randomly seeded hasher.
+//! It is built from FNV-1a over a canonical byte string:
+//!
+//! ```text
+//! canonical(spec) \x1f latency \x1f debug(options)
+//! ```
+//!
+//! where `canonical(spec)` is the specification pretty-printed from its
+//! parsed form — so formatting, comments and whitespace in the original
+//! source never affect the key — and `debug(options)` covers every
+//! [`bittrans_core::CompareOptions`] field (adder architecture, timing
+//! model, balancing, verification vectors).
+
+use bittrans_core::CompareOptions;
+use bittrans_ir::Spec;
+use std::fmt;
+
+/// A stable 128-bit content hash identifying a job's full input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(pub [u64; 2]);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8], mut state: u64) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+impl JobKey {
+    /// The key of `(spec, latency, options)`.
+    pub fn of(spec: &Spec, latency: u32, options: &CompareOptions) -> Self {
+        let canonical = format!("{spec}\x1f{latency}\x1f{options:?}");
+        Self::of_bytes(canonical.as_bytes())
+    }
+
+    /// The key of an already-canonicalized byte string.
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        // Two independent FNV-1a lanes (different offset bases) give a
+        // 128-bit key; collisions are out of reach for cache-sized sets.
+        let lo = fnv1a(bytes, FNV_OFFSET);
+        let hi = fnv1a(bytes, FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15);
+        JobKey([lo, hi])
+    }
+}
+
+impl fmt::Display for JobKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[1], self.0[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_across_calls() {
+        let a = JobKey::of_bytes(b"hello");
+        let b = JobKey::of_bytes(b"hello");
+        assert_eq!(a, b);
+        assert_ne!(a, JobKey::of_bytes(b"hellp"));
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let k = JobKey::of_bytes(b"x");
+        assert_ne!(k.0[0], k.0[1]);
+    }
+
+    #[test]
+    fn displays_as_32_hex_chars() {
+        assert_eq!(JobKey::of_bytes(b"abc").to_string().len(), 32);
+    }
+
+    #[test]
+    fn spec_keys_are_canonical() {
+        let a = Spec::parse("spec k { input a: u4;   output o = a; }").unwrap();
+        let b = Spec::parse("spec k {\ninput a: u4;\noutput o = a;\n}").unwrap();
+        let options = CompareOptions::default();
+        assert_eq!(JobKey::of(&a, 2, &options), JobKey::of(&b, 2, &options));
+        assert_ne!(JobKey::of(&a, 2, &options), JobKey::of(&a, 3, &options));
+    }
+}

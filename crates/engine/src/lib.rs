@@ -1,0 +1,293 @@
+//! # bittrans-engine
+//!
+//! A job-oriented, multi-threaded batch engine over the `bittrans-core`
+//! presynthesis pipeline.
+//!
+//! Every entry point in `bittrans-core` runs one specification at one
+//! latency on one thread. Real workloads — benchmark suites, latency
+//! sweeps, design-space exploration over transformation options — run the
+//! pipeline hundreds of times, and most of those runs repeat earlier ones
+//! exactly (a sweep re-run with one changed spec, overlapping latency
+//! ranges, the same spec under several reporting front ends). This crate
+//! adds the two missing layers:
+//!
+//! * **parallelism** — a [`Job`] is a `spec × latency × options` triple;
+//!   [`Engine::run`] fans a batch of jobs out across a pool of worker
+//!   threads ([`executor`]) and returns results in submission order, so
+//!   batch output is deterministic regardless of worker count;
+//! * **content-addressed caching** — every job is keyed by a stable hash
+//!   of its canonicalized specification text, latency and options
+//!   ([`key`]); results live in an in-memory [`cache`] shared by all
+//!   batches run on one engine, with hit/miss counters surfaced through
+//!   [`EngineStats`].
+//!
+//! ```
+//! use bittrans_engine::{Engine, Job};
+//! use bittrans_ir::Spec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = Spec::parse(
+//!     "spec ex { input A: u16; input B: u16; input D: u16; input F: u16;
+//!       C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+//! )?;
+//! let engine = Engine::default();
+//! let jobs: Vec<Job> = (2..=5).map(|lat| Job::new(spec.clone(), lat)).collect();
+//!
+//! let first = engine.run(jobs.clone());
+//! assert_eq!(first.outcomes.len(), 4);
+//! assert_eq!(first.stats.cache_hits, 0);
+//!
+//! // The same batch again: served entirely from the content-addressed
+//! // cache, no pipeline work at all.
+//! let again = engine.run(jobs);
+//! assert_eq!(again.stats.cache_hits, 4);
+//! assert_eq!(again.stats.hit_rate(), 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod job;
+pub mod key;
+pub mod stats;
+pub mod sweep;
+
+pub use cache::ResultCache;
+pub use job::{Job, JobOutcome, JobResult};
+pub use key::JobKey;
+pub use stats::{BatchReport, EngineStats};
+
+use bittrans_core::{compare, SweepPoint};
+use bittrans_ir::Spec;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of an [`Engine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Worker threads. `None` uses [`std::thread::available_parallelism`].
+    pub workers: Option<usize>,
+    /// Whether results are cached across jobs and batches.
+    pub cache: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { workers: None, cache: true }
+    }
+}
+
+/// The batch-optimization engine: a worker pool plus a content-addressed
+/// result cache shared by every batch run through it.
+#[derive(Debug, Default)]
+pub struct Engine {
+    options: EngineOptions,
+    cache: ResultCache,
+}
+
+impl Engine {
+    /// An engine with the given options and an empty cache.
+    pub fn new(options: EngineOptions) -> Self {
+        Engine { options, cache: ResultCache::new() }
+    }
+
+    /// The number of worker threads a batch will use.
+    pub fn worker_count(&self) -> usize {
+        self.options
+            .workers
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+
+    /// Runs a batch of jobs and returns one [`JobOutcome`] per job, in
+    /// submission order (independent of worker count and scheduling).
+    ///
+    /// Jobs whose [`JobKey`] is already cached are served from the cache.
+    /// Duplicate keys within the batch are computed once: the first
+    /// occurrence counts as a miss, the rest as hits (their outcomes carry
+    /// `from_cache = true` — they did no pipeline work). Everything else
+    /// fans out across [`Engine::worker_count`] threads.
+    pub fn run(&self, jobs: Vec<Job>) -> BatchReport {
+        let started = Instant::now();
+        let keys: Vec<JobKey> = jobs.iter().map(Job::key).collect();
+
+        // Classify each job: cached, duplicate-of-earlier, or to-compute.
+        // `fresh[i]` marks the one job per key that actually runs.
+        let mut hits = 0u64;
+        let mut to_compute: Vec<(usize, JobKey)> = Vec::new();
+        let mut fresh = vec![false; jobs.len()];
+        let mut scheduled: std::collections::HashSet<JobKey> = std::collections::HashSet::new();
+        for (i, key) in keys.iter().enumerate() {
+            if self.options.cache && self.cache.peek(key).is_some() {
+                hits += 1;
+            } else if scheduled.insert(*key) {
+                fresh[i] = true;
+                to_compute.push((i, *key));
+            } else {
+                // Duplicate of a job already scheduled in this batch: its
+                // outcome shares the first occurrence's computation, so it
+                // counts as a hit.
+                hits += 1;
+            }
+        }
+        let misses = to_compute.len() as u64;
+
+        // Fan the uncached jobs out across the worker pool.
+        let workers = self.worker_count().min(to_compute.len().max(1));
+        let computed: Vec<(JobKey, Arc<JobResult>)> = executor::map_ordered(
+            to_compute.iter().map(|&(i, key)| (key, &jobs[i])).collect(),
+            workers,
+            |(key, job): (JobKey, &Job)| {
+                let result = Arc::new(compare(&job.spec, job.latency, &job.options));
+                (key, result)
+            },
+        );
+        if self.options.cache {
+            for (key, result) in &computed {
+                self.cache.insert(*key, Arc::clone(result));
+            }
+            self.cache.record(hits, misses);
+        }
+
+        // Assemble outcomes in submission order. Every key is now either
+        // in the cache or (with caching disabled) in the computed list.
+        let computed: std::collections::HashMap<JobKey, Arc<JobResult>> =
+            computed.into_iter().collect();
+        let outcomes: Vec<JobOutcome> = jobs
+            .iter()
+            .zip(&keys)
+            .enumerate()
+            .map(|(i, (job, key))| {
+                let result = match computed.get(key) {
+                    Some(result) => Arc::clone(result),
+                    None => self.cache.peek(key).expect("batch result neither computed nor cached"),
+                };
+                JobOutcome {
+                    name: job.spec.name().to_string(),
+                    latency: job.latency,
+                    key: *key,
+                    from_cache: !fresh[i],
+                    result,
+                }
+            })
+            .collect();
+
+        let stats = EngineStats {
+            jobs: jobs.len() as u64,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_entries: self.cache.len(),
+            workers,
+            elapsed: started.elapsed(),
+        };
+        BatchReport { outcomes, stats }
+    }
+
+    /// Regenerates the Fig. 4 experiment — cycle length of both flows
+    /// across a latency range — with the latencies spread over the worker
+    /// pool instead of `bittrans_core::latency_sweep`'s serial loop.
+    ///
+    /// Latencies where either flow is infeasible are skipped, and points
+    /// come back in ascending-latency order, exactly like the serial
+    /// version. Sweeps over overlapping ranges (or re-runs) hit the cache.
+    pub fn sweep(
+        &self,
+        spec: &Spec,
+        latencies: impl IntoIterator<Item = u32>,
+        options: &bittrans_core::CompareOptions,
+    ) -> Vec<SweepPoint> {
+        sweep::sweep(self, spec, latencies, options)
+    }
+
+    /// Cumulative statistics across every batch run on this engine.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            jobs: self.cache.hits() + self.cache.misses(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_entries: self.cache.len(),
+            workers: self.worker_count(),
+            elapsed: std::time::Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_adds() -> Spec {
+        Spec::parse(
+            "spec ex { input A: u16; input B: u16; input D: u16; input F: u16;
+              C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_results_match_direct_compare() {
+        let spec = three_adds();
+        let engine = Engine::default();
+        let report = engine.run(vec![Job::new(spec.clone(), 3)]);
+        let direct = compare(&spec, 3, &Default::default()).unwrap();
+        let got = report.outcomes[0].result.as_ref().as_ref().unwrap();
+        assert_eq!(got.optimized.cycle_delta, direct.optimized.cycle_delta);
+        assert_eq!(got.original.cycle_delta, direct.original.cycle_delta);
+    }
+
+    #[test]
+    fn second_batch_is_all_hits() {
+        let spec = three_adds();
+        let engine = Engine::default();
+        let jobs: Vec<Job> = (2..=4).map(|l| Job::new(spec.clone(), l)).collect();
+        let first = engine.run(jobs.clone());
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(first.stats.cache_misses, 3);
+        let second = engine.run(jobs);
+        assert_eq!(second.stats.cache_hits, 3);
+        assert_eq!(second.stats.hit_rate(), 100.0);
+        assert!(second.outcomes.iter().all(|o| o.from_cache));
+    }
+
+    #[test]
+    fn duplicate_jobs_in_one_batch_compute_once() {
+        let spec = three_adds();
+        let engine = Engine::default();
+        let report = engine.run(vec![Job::new(spec.clone(), 3), Job::new(spec, 3)]);
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.stats.cache_entries, 1);
+        // One computation, one dedup: the duplicate counts as a hit and is
+        // marked from_cache.
+        assert_eq!(report.stats.cache_misses, 1);
+        assert_eq!(report.stats.cache_hits, 1);
+        assert!(!report.outcomes[0].from_cache);
+        assert!(report.outcomes[1].from_cache);
+        // Both outcomes share one computed result.
+        assert!(Arc::ptr_eq(&report.outcomes[0].result, &report.outcomes[1].result));
+    }
+
+    #[test]
+    fn infeasible_jobs_report_errors_in_place() {
+        let spec = three_adds();
+        let engine = Engine::default();
+        let report = engine.run(vec![Job::new(spec.clone(), 0), Job::new(spec, 3)]);
+        assert!(report.outcomes[0].result.is_err());
+        assert!(report.outcomes[1].result.is_ok());
+    }
+
+    #[test]
+    fn caching_can_be_disabled() {
+        let spec = three_adds();
+        let engine = Engine::new(EngineOptions { cache: false, ..Default::default() });
+        let jobs = vec![Job::new(spec, 3)];
+        engine.run(jobs.clone());
+        let second = engine.run(jobs);
+        assert_eq!(second.stats.cache_hits, 0);
+        // A disabled cache never accrues lifetime counters either.
+        assert_eq!(engine.stats().jobs, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Batch and engine statistics: how much work ran, how much the cache
+//! absorbed, and how wide the pool was.
+
+use crate::job::JobOutcome;
+use std::fmt;
+use std::time::Duration;
+
+/// Counters for one batch (in [`BatchReport`]) or for an engine's lifetime
+/// (from [`crate::Engine::stats`]).
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// Jobs served from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Jobs that required running the pipeline.
+    pub cache_misses: u64,
+    /// Results resident in the cache after the batch.
+    pub cache_entries: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the batch (zero for lifetime snapshots).
+    pub elapsed: Duration,
+}
+
+impl EngineStats {
+    /// Cache hits as a percentage of submitted jobs (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.jobs as f64 * 100.0
+        }
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs, {} cache hits / {} misses ({:.0}% hit rate), \
+             {} cached results, {} workers",
+            self.jobs,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate(),
+            self.cache_entries,
+            self.workers,
+        )?;
+        if !self.elapsed.is_zero() {
+            write!(f, ", {:.1} ms", self.elapsed.as_secs_f64() * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything one [`crate::Engine::run`] call produces.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One outcome per submitted job, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// The batch's statistics.
+    pub stats: EngineStats,
+}
+
+impl BatchReport {
+    /// Outcomes whose pipeline run succeeded.
+    pub fn successes(&self) -> impl Iterator<Item = &JobOutcome> {
+        self.outcomes.iter().filter(|o| o.result.is_ok())
+    }
+
+    /// Outcomes whose pipeline run failed (e.g. infeasible latency).
+    pub fn failures(&self) -> impl Iterator<Item = &JobOutcome> {
+        self.outcomes.iter().filter(|o| o.result.is_err())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_jobs() {
+        let stats = EngineStats {
+            jobs: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_entries: 0,
+            workers: 1,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_hits_and_workers() {
+        let stats = EngineStats {
+            jobs: 4,
+            cache_hits: 4,
+            cache_misses: 0,
+            cache_entries: 4,
+            workers: 2,
+            elapsed: Duration::from_millis(5),
+        };
+        let text = stats.to_string();
+        assert!(text.contains("100% hit rate"), "{text}");
+        assert!(text.contains("2 workers"), "{text}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Parallel latency sweeps: the Fig. 4 experiment on the worker pool.
+//!
+//! `bittrans_core::latency_sweep` walks the latency range serially; this
+//! module builds one [`Job`] per latency and lets the engine spread them
+//! over its workers, with results assembled back in ascending-latency
+//! order. Because each point is an ordinary cached job, overlapping
+//! sweeps — shared endpoints, a re-run after editing one spec in a suite —
+//! skip the latencies they have already paid for.
+
+use crate::{Engine, Job};
+use bittrans_core::{CompareOptions, SweepPoint};
+use bittrans_ir::Spec;
+
+/// Runs `compare` at every latency in parallel and keeps the feasible
+/// points, exactly like the serial `bittrans_core::latency_sweep`.
+pub fn sweep(
+    engine: &Engine,
+    spec: &Spec,
+    latencies: impl IntoIterator<Item = u32>,
+    options: &CompareOptions,
+) -> Vec<SweepPoint> {
+    let jobs: Vec<Job> = latencies
+        .into_iter()
+        .map(|latency| Job::with_options(spec.clone(), latency, *options))
+        .collect();
+    let report = engine.run(jobs);
+    report
+        .outcomes
+        .iter()
+        .filter_map(|outcome| {
+            let cmp = outcome.result.as_ref().as_ref().ok()?;
+            Some(SweepPoint {
+                latency: outcome.latency,
+                original_ns: cmp.original.cycle_ns,
+                optimized_ns: cmp.optimized.cycle_ns,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bittrans_core::latency_sweep;
+
+    fn three_adds() -> Spec {
+        Spec::parse(
+            "spec ex { input A: u16; input B: u16; input D: u16; input F: u16;
+              C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_serial_latency_sweep() {
+        let spec = three_adds();
+        let options = CompareOptions::default();
+        let serial = latency_sweep(&spec, 2..=8, &options);
+        let engine = Engine::default();
+        let parallel = engine.sweep(&spec, 2..=8, &options);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.latency, p.latency);
+            assert_eq!(s.original_ns, p.original_ns);
+            assert_eq!(s.optimized_ns, p.optimized_ns);
+        }
+    }
+
+    #[test]
+    fn overlapping_sweeps_reuse_cached_points() {
+        let spec = three_adds();
+        let options = CompareOptions::default();
+        let engine = Engine::default();
+        engine.sweep(&spec, 3..=6, &options);
+        let before = engine.stats();
+        engine.sweep(&spec, 4..=8, &options);
+        let after = engine.stats();
+        // λ = 4, 5, 6 came from the cache; only 7 and 8 were new work.
+        assert_eq!(after.cache_hits - before.cache_hits, 3);
+        assert_eq!(after.cache_misses - before.cache_misses, 2);
+    }
+}

@@ -104,10 +104,9 @@ pub enum FragError {
 impl fmt::Display for FragError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FragError::NotAdditive { op, kind } => write!(
-                f,
-                "operation {op} ({kind}) is not an addition; run kernel extraction first"
-            ),
+            FragError::NotAdditive { op, kind } => {
+                write!(f, "operation {op} ({kind}) is not an addition; run kernel extraction first")
+            }
             FragError::Infeasible { value, bit, arrival, required } => write!(
                 f,
                 "bit {bit} of {value} arrives at {arrival}δ but is required by {required}δ; \
@@ -289,9 +288,7 @@ pub fn fragment(spec: &Spec, options: &FragmentOptions) -> Result<Fragmented, Fr
         }
     }
     let cp = critical_path(spec);
-    let cycle = options
-        .cycle_override
-        .unwrap_or_else(|| cp.div_ceil(options.latency).max(1));
+    let cycle = options.cycle_override.unwrap_or_else(|| cp.div_ceil(options.latency).max(1));
     let cycles = bit_cycles(spec, cycle, options.latency)?;
     let mut plan: BTreeMap<OpId, Vec<FragmentInfo>> = BTreeMap::new();
     for op in spec.ops() {
@@ -347,10 +344,7 @@ mod tests {
 
     fn frags_by_name<'a>(spec: &Spec, f: &'a Fragmented, name: &str) -> Vec<&'a FragmentInfo> {
         let op = spec.ops().iter().find(|o| o.name() == Some(name)).unwrap();
-        f.per_source[&op.id()]
-            .iter()
-            .map(|id| &f.fragments[id])
-            .collect()
+        f.per_source[&op.id()].iter().map(|id| &f.fragments[id]).collect()
     }
 
     #[test]
@@ -362,20 +356,11 @@ mod tests {
         // Every addition splits into 3 fragments (paper Fig. 2: widths
         // 6/6/4 for C, 5/6/5 for E, 4/6/6 for G).
         let c = frags_by_name(&spec, &f, "C");
-        assert_eq!(
-            c.iter().map(|fr| fr.range.width()).collect::<Vec<_>>(),
-            vec![6, 6, 4]
-        );
+        assert_eq!(c.iter().map(|fr| fr.range.width()).collect::<Vec<_>>(), vec![6, 6, 4]);
         let e = frags_by_name(&spec, &f, "E");
-        assert_eq!(
-            e.iter().map(|fr| fr.range.width()).collect::<Vec<_>>(),
-            vec![5, 6, 5]
-        );
+        assert_eq!(e.iter().map(|fr| fr.range.width()).collect::<Vec<_>>(), vec![5, 6, 5]);
         let g = frags_by_name(&spec, &f, "G");
-        assert_eq!(
-            g.iter().map(|fr| fr.range.width()).collect::<Vec<_>>(),
-            vec![4, 6, 6]
-        );
+        assert_eq!(g.iter().map(|fr| fr.range.width()).collect::<Vec<_>>(), vec![4, 6, 6]);
         // All those fragments are fixed (ASAP = ALAP) on the critical chain.
         for fr in c.iter().chain(&e).chain(&g) {
             assert!(fr.is_fixed());
@@ -451,8 +436,7 @@ mod tests {
 
     #[test]
     fn rejects_non_additive() {
-        let spec =
-            Spec::parse("spec s { input a: u8; input b: u8; output p = a * b; }").unwrap();
+        let spec = Spec::parse("spec s { input a: u8; input b: u8; output p = a * b; }").unwrap();
         let err = fragment(&spec, &FragmentOptions::with_latency(2)).unwrap_err();
         assert!(matches!(err, FragError::NotAdditive { .. }));
         assert!(err.to_string().contains("kernel extraction"));
@@ -481,11 +465,7 @@ mod tests {
     #[test]
     fn wide_cycle_override_reduces_fragmentation() {
         let spec = three_adds();
-        let f = fragment(
-            &spec,
-            &FragmentOptions { latency: 3, cycle_override: Some(18) },
-        )
-        .unwrap();
+        let f = fragment(&spec, &FragmentOptions { latency: 3, cycle_override: Some(18) }).unwrap();
         // With an 18δ cycle everything fits in cycle 1..3 with mobility,
         // and far fewer fragments are needed than at 6δ.
         assert!(f.spec.stats().adds <= 9);

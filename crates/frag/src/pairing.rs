@@ -41,7 +41,10 @@ pub fn fill_schedules(width: u32, asap: u32, alap: u32, n_bits: u32) -> (Vec<u32
         i += 1;
         j = j.saturating_sub(1);
         if w > 0 {
-            assert!(i < alap as usize, "width {width} does not fit in {asap}..{alap} at {n_bits} bits/cycle");
+            assert!(
+                i < alap as usize,
+                "width {width} does not fit in {asap}..{alap} at {n_bits} bits/cycle"
+            );
         }
     }
     (sched_asap, sched_alap)

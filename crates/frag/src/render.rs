@@ -26,12 +26,7 @@ pub fn render_waves(
         for id in ids {
             let info = &f.fragments[id];
             let Some(k) = cycle_of(*id) else { continue };
-            per_cycle
-                .entry(k)
-                .or_default()
-                .entry(label.clone())
-                .or_default()
-                .push(info.range);
+            per_cycle.entry(k).or_default().entry(label.clone()).or_default().push(info.range);
         }
     }
     let mut out = String::new();
@@ -112,10 +107,8 @@ mod tests {
 
     #[test]
     fn fixed_only_case() {
-        let spec = Spec::parse(
-            "spec s { input a: u6; input b: u6; X: u6 = a + b; output X; }",
-        )
-        .unwrap();
+        let spec =
+            Spec::parse("spec s { input a: u6; input b: u6; X: u6 = a + b; output X; }").unwrap();
         let f = fragment(&spec, &FragmentOptions::with_latency(3)).unwrap();
         let text = render_mobilities(&f, &spec);
         assert!(text.contains("all fragments fixed"), "{text}");

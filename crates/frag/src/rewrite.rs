@@ -34,9 +34,7 @@ pub fn rewrite(
         match operand {
             Operand::Const(b) => Operand::Const(b.clone()),
             Operand::Value { value, range } => {
-                let base = map[value.index()]
-                    .clone()
-                    .expect("operand defined before use");
+                let base = map[value.index()].clone().expect("operand defined before use");
                 match range {
                     None => base,
                     Some(r) => base.subrange(*r),
@@ -69,8 +67,7 @@ pub fn rewrite(
             }
             None => {
                 // Glue: re-emit unchanged.
-                let args: Vec<Operand> =
-                    op.operands().iter().map(|o| translate(&map, o)).collect();
+                let args: Vec<Operand> = op.operands().iter().map(|o| translate(&map, o)).collect();
                 let v = builder.op_with_origin(
                     op.kind(),
                     args,
@@ -133,10 +130,8 @@ fn emit_fragments(
         let size = fr.range.width();
         // Intermediate fragments keep their carry out as an extra top bit.
         let frag_width = if last { size } else { size + 1 };
-        let mut args = vec![
-            slice_clamped(&a, a_width, fr.range),
-            slice_clamped(&b, b_width, fr.range),
-        ];
+        let mut args =
+            vec![slice_clamped(&a, a_width, fr.range), slice_clamped(&b, b_width, fr.range)];
         if let Some(c) = carry.take() {
             args.push(c);
         }
@@ -155,11 +150,7 @@ fn emit_fragments(
         if !last {
             carry = Some(Operand::slice(v, BitRange::new(size, 1)));
         }
-        parts.push(if last {
-            v.into()
-        } else {
-            Operand::slice(v, BitRange::new(0, size))
-        });
+        parts.push(if last { v.into() } else { Operand::slice(v, BitRange::new(0, size)) });
     }
     per_source.insert(op.id(), new_ids);
     // Reassemble the source result by wiring (cost-free concatenation).
@@ -206,15 +197,9 @@ mod tests {
         let v = ValueId::from_index(0);
         let op = Operand::value(v);
         // fully inside
-        assert_eq!(
-            slice_clamped(&op, 16, BitRange::new(4, 4)).range(),
-            Some(BitRange::new(4, 4))
-        );
+        assert_eq!(slice_clamped(&op, 16, BitRange::new(4, 4)).range(), Some(BitRange::new(4, 4)));
         // partially beyond: clamped
-        assert_eq!(
-            slice_clamped(&op, 10, BitRange::new(8, 4)).range(),
-            Some(BitRange::new(8, 2))
-        );
+        assert_eq!(slice_clamped(&op, 10, BitRange::new(8, 4)).range(), Some(BitRange::new(8, 2)));
         // fully beyond: a zero constant
         let c = slice_clamped(&op, 8, BitRange::new(8, 4));
         assert!(c.as_const().unwrap().is_zero());

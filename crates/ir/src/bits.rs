@@ -38,18 +38,12 @@ pub struct Bits {
 impl Bits {
     /// Creates an all-zero vector of `width` bits.
     pub fn zero(width: usize) -> Self {
-        Bits {
-            width,
-            words: vec![0; words_for(width)],
-        }
+        Bits { width, words: vec![0; words_for(width)] }
     }
 
     /// Creates an all-ones vector of `width` bits.
     pub fn ones(width: usize) -> Self {
-        let mut b = Bits {
-            width,
-            words: vec![!0u64; words_for(width)],
-        };
+        let mut b = Bits { width, words: vec![!0u64; words_for(width)] };
         b.mask_top();
         b
     }
@@ -86,7 +80,7 @@ impl Bits {
         let mut b = Bits::zero(width);
         for w in b.words.iter_mut() {
             *w = value as u64; // sign-extends across words
-            // after the first word the i64 has been consumed; replicate sign
+                               // after the first word the i64 has been consumed; replicate sign
         }
         if b.words.len() > 1 {
             let sign = if value < 0 { !0u64 } else { 0 };
@@ -221,10 +215,7 @@ impl Bits {
         }
         if self.sign_bit() {
             let magnitude = self.neg_mod(self.width).to_u64();
-            assert!(
-                magnitude <= i64::MAX as u64 + 1,
-                "Bits value does not fit in i64"
-            );
+            assert!(magnitude <= i64::MAX as u64 + 1, "Bits value does not fit in i64");
             (magnitude as i64).wrapping_neg()
         } else {
             let v = self.to_u64();
@@ -317,10 +308,7 @@ impl Bits {
 
     /// Bitwise NOT at the same width.
     pub fn not(&self) -> Self {
-        let mut out = Bits {
-            width: self.width,
-            words: self.words.iter().map(|&w| !w).collect(),
-        };
+        let mut out = Bits { width: self.width, words: self.words.iter().map(|&w| !w).collect() };
         out.mask_top();
         out
     }
@@ -543,12 +531,7 @@ impl Bits {
         );
         let mut out = Bits {
             width: self.width,
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            words: self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect(),
         };
         out.mask_top();
         out
@@ -687,7 +670,7 @@ mod tests {
         assert_eq!(b.sext(8).to_u64(), 0b1111_1010);
         assert_eq!(b.sext(8).to_i64(), -6);
         assert_eq!(b.sext(2).to_u64(), 0b10); // truncation
-        // extension across word boundaries
+                                              // extension across word boundaries
         let c = Bits::from_i64(-3, 64);
         assert_eq!(c.sext(130).to_i64(), -3);
     }

@@ -70,11 +70,7 @@ pub fn emit(spec: &Spec, options: &DotOptions) -> String {
         }
     }
     for (i, port) in spec.outputs().iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "  out{i} [shape=doubleoctagon, label=\"{}\"];",
-            port.name()
-        );
+        let _ = writeln!(out, "  out{i} [shape=doubleoctagon, label=\"{}\"];", port.name());
         for src in visible_sources(spec, port.operand(), options) {
             let _ = writeln!(out, "  v{src} -> out{i};");
         }
@@ -100,21 +96,15 @@ fn visible_sources(spec: &Spec, operand: &Operand, options: &DotOptions) -> Vec<
     let ValueDef::Op(op) = spec.value(v).def() else {
         unreachable!("non-input hidden value has a defining op")
     };
-    let mut sources: Vec<usize> = spec
-        .op(*op)
-        .operands()
-        .iter()
-        .flat_map(|o| visible_sources(spec, o, options))
-        .collect();
+    let mut sources: Vec<usize> =
+        spec.op(*op).operands().iter().flat_map(|o| visible_sources(spec, o, options)).collect();
     sources.sort_unstable();
     sources.dedup();
     sources
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
 #[cfg(test)]

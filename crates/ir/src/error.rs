@@ -127,19 +127,11 @@ mod tests {
     fn display_messages() {
         let e = IrError::UnknownValue(ValueId::from_index(4));
         assert!(e.to_string().contains("v4"));
-        let e = IrError::BadArity {
-            op: OpId::from_index(1),
-            kind: "mux",
-            got: 2,
-            expected: (3, 3),
-        };
+        let e =
+            IrError::BadArity { op: OpId::from_index(1), kind: "mux", got: 2, expected: (3, 3) };
         assert!(e.to_string().contains("takes 3 operands, got 2"));
-        let e = IrError::BadArity {
-            op: OpId::from_index(1),
-            kind: "add",
-            got: 5,
-            expected: (2, 3),
-        };
+        let e =
+            IrError::BadArity { op: OpId::from_index(1), kind: "add", got: 5, expected: (2, 3) };
         assert!(e.to_string().contains("2..=3"));
         let p = ParseError::new(3, 7, "expected `;`");
         assert_eq!(p.to_string(), "parse error at 3:7: expected `;`");

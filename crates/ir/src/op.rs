@@ -78,11 +78,26 @@ impl OpKind {
     pub fn arity(self) -> (usize, usize) {
         match self {
             OpKind::Add => (2, 3),
-            OpKind::Sub | OpKind::Mul | OpKind::Lt | OpKind::Le | OpKind::Gt
-            | OpKind::Ge | OpKind::Eq | OpKind::Ne | OpKind::Max | OpKind::Min
-            | OpKind::And | OpKind::Or | OpKind::Xor => (2, 2),
-            OpKind::Neg | OpKind::Abs | OpKind::Not | OpKind::RedOr
-            | OpKind::RedAnd | OpKind::Shl(_) | OpKind::Shr(_) => (1, 1),
+            OpKind::Sub
+            | OpKind::Mul
+            | OpKind::Lt
+            | OpKind::Le
+            | OpKind::Gt
+            | OpKind::Ge
+            | OpKind::Eq
+            | OpKind::Ne
+            | OpKind::Max
+            | OpKind::Min
+            | OpKind::And
+            | OpKind::Or
+            | OpKind::Xor => (2, 2),
+            OpKind::Neg
+            | OpKind::Abs
+            | OpKind::Not
+            | OpKind::RedOr
+            | OpKind::RedAnd
+            | OpKind::Shl(_)
+            | OpKind::Shr(_) => (1, 1),
             OpKind::Mux => (3, 3),
             OpKind::Concat => (1, usize::MAX),
         }
@@ -127,10 +142,7 @@ impl OpKind {
 
     /// `true` for the 1-bit-result relational operations.
     pub fn is_comparison(self) -> bool {
-        matches!(
-            self,
-            OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge | OpKind::Eq | OpKind::Ne
-        )
+        matches!(self, OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge | OpKind::Eq | OpKind::Ne)
     }
 
     /// Short mnemonic used in textual dumps (`add`, `mul`, `mux`, …).
@@ -258,17 +270,32 @@ mod tests {
     #[test]
     fn families_are_disjoint() {
         let all = [
-            OpKind::Add, OpKind::Sub, OpKind::Neg, OpKind::Mul, OpKind::Abs,
-            OpKind::Lt, OpKind::Le, OpKind::Gt, OpKind::Ge, OpKind::Eq,
-            OpKind::Ne, OpKind::Max, OpKind::Min, OpKind::Shl(1), OpKind::Shr(2),
-            OpKind::Not, OpKind::And, OpKind::Or, OpKind::Xor, OpKind::Mux,
-            OpKind::RedOr, OpKind::RedAnd, OpKind::Concat,
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Neg,
+            OpKind::Mul,
+            OpKind::Abs,
+            OpKind::Lt,
+            OpKind::Le,
+            OpKind::Gt,
+            OpKind::Ge,
+            OpKind::Eq,
+            OpKind::Ne,
+            OpKind::Max,
+            OpKind::Min,
+            OpKind::Shl(1),
+            OpKind::Shr(2),
+            OpKind::Not,
+            OpKind::And,
+            OpKind::Or,
+            OpKind::Xor,
+            OpKind::Mux,
+            OpKind::RedOr,
+            OpKind::RedAnd,
+            OpKind::Concat,
         ];
         for k in all {
-            assert!(
-                !(k.is_additive() && k.is_glue()),
-                "{k} is both additive and glue"
-            );
+            assert!(!(k.is_additive() && k.is_glue()), "{k} is both additive and glue");
         }
         // Eq/Ne are comparisons but not additive (XOR-based, no carry chain).
         assert!(OpKind::Eq.is_comparison() && !OpKind::Eq.is_additive());

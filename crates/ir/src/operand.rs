@@ -176,10 +176,7 @@ mod tests {
     fn display() {
         let v = ValueId::from_index(3);
         assert_eq!(Operand::value(v).to_string(), "v3");
-        assert_eq!(
-            Operand::slice(v, BitRange::inclusive(5, 0)).to_string(),
-            "v3[5:0]"
-        );
+        assert_eq!(Operand::slice(v, BitRange::inclusive(5, 0)).to_string(), "v3[5:0]");
         assert_eq!(Operand::const_u64(2, 3).to_string(), "3'b010");
     }
 }

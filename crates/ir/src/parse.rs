@@ -135,7 +135,9 @@ fn lex(text: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     n = n
                         .checked_mul(10)
                         .and_then(|n| n.checked_add(ch as u64 - '0' as u64))
-                        .ok_or_else(|| ParseError::new(tline, tcol, "number literal overflows u64"))?;
+                        .ok_or_else(|| {
+                            ParseError::new(tline, tcol, "number literal overflows u64")
+                        })?;
                 }
                 bump(&mut i, &mut line, &mut col, ch);
             }
@@ -227,11 +229,7 @@ fn lex(text: &str) -> Result<Vec<SpannedTok>, ParseError> {
             '<' => "<",
             '>' => ">",
             other => {
-                return Err(ParseError::new(
-                    tline,
-                    tcol,
-                    format!("unexpected character `{other}`"),
-                ))
+                return Err(ParseError::new(tline, tcol, format!("unexpected character `{other}`")))
             }
         };
         bump(&mut i, &mut line, &mut col, c);
@@ -268,12 +266,7 @@ impl Parser {
         self.toks
             .get(self.pos)
             .map(|t| (t.line, t.col))
-            .unwrap_or_else(|| {
-                self.toks
-                    .last()
-                    .map(|t| (t.line, t.col + 1))
-                    .unwrap_or((1, 1))
-            })
+            .unwrap_or_else(|| self.toks.last().map(|t| (t.line, t.col + 1)).unwrap_or((1, 1)))
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -341,10 +334,7 @@ impl Parser {
         }
         let name = self.expect_ident()?;
         self.expect_sym("{")?;
-        let mut lower = Lowerer {
-            builder: SpecBuilder::new(name),
-            symbols: BTreeMap::new(),
-        };
+        let mut lower = Lowerer { builder: SpecBuilder::new(name), symbols: BTreeMap::new() };
         loop {
             match self.peek() {
                 Some(Tok::Sym("}")) => {
@@ -361,9 +351,7 @@ impl Parser {
                         return Err(self.err(format!("duplicate name `{name}`")));
                     }
                     let v = lower.builder.input(name.clone(), width);
-                    lower
-                        .symbols
-                        .insert(name, Sym { operand: Operand::value(v), signedness });
+                    lower.symbols.insert(name, Sym { operand: Operand::value(v), signedness });
                 }
                 Some(Tok::Ident(kw)) if kw == "output" => {
                     self.pos += 1;
@@ -371,9 +359,8 @@ impl Parser {
                     if self.eat_sym("=") {
                         let expr = self.parse_expr()?;
                         self.expect_sym(";")?;
-                        let operand = lower
-                            .lower_root(&expr, None)
-                            .map_err(|e| self.err(e.message))?;
+                        let operand =
+                            lower.lower_root(&expr, None).map_err(|e| self.err(e.message))?;
                         lower.builder.output(name, operand);
                     } else {
                         self.expect_sym(";")?;
@@ -408,10 +395,7 @@ impl Parser {
                 }
             }
         }
-        lower
-            .builder
-            .finish()
-            .map_err(|e| ParseError::new(0, 0, e.to_string()))
+        lower.builder.finish().map_err(|e| ParseError::new(0, 0, e.to_string()))
     }
 
     /// Parses `u16` / `i8` style types.
@@ -422,9 +406,8 @@ impl Parser {
             ("i", d) => (Signedness::Signed, d),
             _ => return Err(self.err(format!("expected type like u16 or i8, found `{t}`"))),
         };
-        let width: u32 = digits
-            .parse()
-            .map_err(|_| self.err(format!("bad type width in `{t}`")))?;
+        let width: u32 =
+            digits.parse().map_err(|_| self.err(format!("bad type width in `{t}`")))?;
         if width == 0 {
             return Err(self.err("type width must be positive"));
         }
@@ -585,7 +568,9 @@ impl Parser {
                     Ok(Expr::Ident(name, None))
                 }
             }
-            other => Err(self.err(format!("expected expression, found {}", describe(other.as_ref())))),
+            other => {
+                Err(self.err(format!("expected expression, found {}", describe(other.as_ref()))))
+            }
         }
     }
 }
@@ -786,10 +771,8 @@ impl Lowerer {
         let widths: Vec<u32> = args.iter().map(|a| self.width_of(a)).collect();
         let natural = natural_width(kind, &widths);
         let width = force_width.unwrap_or(natural);
-        let value = self
-            .builder
-            .op(kind, args, width, signedness, name)
-            .map_err(ParseError::from)?;
+        let value =
+            self.builder.op(kind, args, width, signedness, name).map_err(ParseError::from)?;
         Ok((value.into(), signedness))
     }
 }
@@ -802,8 +785,14 @@ fn natural_width(kind: OpKind, widths: &[u32]) -> u32 {
         OpKind::Mul => widths.iter().sum(),
         OpKind::Neg => max + 1,
         OpKind::Abs => max,
-        OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge | OpKind::Eq | OpKind::Ne
-        | OpKind::RedOr | OpKind::RedAnd => 1,
+        OpKind::Lt
+        | OpKind::Le
+        | OpKind::Gt
+        | OpKind::Ge
+        | OpKind::Eq
+        | OpKind::Ne
+        | OpKind::RedOr
+        | OpKind::RedAnd => 1,
         OpKind::Max | OpKind::Min | OpKind::Not | OpKind::And | OpKind::Or | OpKind::Xor => max,
         OpKind::Mux => widths[1..].iter().copied().max().unwrap_or(1),
         OpKind::Shl(k) => max + k,
@@ -882,10 +871,7 @@ mod tests {
         .unwrap();
         assert_eq!(spec.ops().len(), 1); // only the add; bit/k are pure operands
         assert_eq!(spec.outputs().len(), 3);
-        assert_eq!(
-            spec.outputs()[2].operand().as_const().unwrap().to_u64(),
-            0b1010
-        );
+        assert_eq!(spec.outputs()[2].operand().as_const().unwrap().to_u64(), 0b1010);
     }
 
     #[test]
@@ -966,8 +952,7 @@ mod tests {
 
     #[test]
     fn error_on_duplicate_definition() {
-        let err =
-            parse_spec("spec s { input a: u4; a: u4 = a + 1; output a; }").unwrap_err();
+        let err = parse_spec("spec s { input a: u4; a: u4 = a + 1; output a; }").unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }
 

@@ -172,9 +172,10 @@ impl Spec {
 
     /// The input port with the given name.
     pub fn input_by_name(&self, name: &str) -> Option<ValueId> {
-        self.inputs.iter().copied().find(|&v| {
-            matches!(self.value(v).def(), ValueDef::Input { name: n } if n == name)
-        })
+        self.inputs
+            .iter()
+            .copied()
+            .find(|&v| matches!(self.value(v).def(), ValueDef::Input { name: n } if n == name))
     }
 
     /// The name of an input port value.
@@ -223,9 +224,7 @@ impl Spec {
     /// `true` when every non-glue operation is an `Add` — the *additive
     /// form* produced by kernel extraction.
     pub fn is_additive_form(&self) -> bool {
-        self.ops
-            .iter()
-            .all(|op| op.kind() == OpKind::Add || op.kind().is_glue())
+        self.ops.iter().all(|op| op.kind() == OpKind::Add || op.kind().is_glue())
     }
 
     /// Counts of operations by family; the paper reports "number of
@@ -386,11 +385,7 @@ impl SpecBuilder {
     pub fn input(&mut self, name: impl Into<String>, width: u32) -> ValueId {
         assert!(width > 0, "input ports must be at least one bit wide");
         let id = ValueId::from_index(self.spec.values.len());
-        self.spec.values.push(Value {
-            id,
-            width,
-            def: ValueDef::Input { name: name.into() },
-        });
+        self.spec.values.push(Value { id, width, def: ValueDef::Input { name: name.into() } });
         self.spec.inputs.push(id);
         id
     }
@@ -440,21 +435,14 @@ impl SpecBuilder {
             origin,
         };
         validate_op(&self.spec, &op)?;
-        self.spec.values.push(Value {
-            id: result,
-            width,
-            def: ValueDef::Op(op_id),
-        });
+        self.spec.values.push(Value { id: result, width, def: ValueDef::Op(op_id) });
         self.spec.ops.push(op);
         Ok(result)
     }
 
     /// Declares an output port driven by `operand`.
     pub fn output(&mut self, name: impl Into<String>, operand: impl Into<Operand>) {
-        self.spec.outputs.push(OutputPort {
-            name: name.into(),
-            operand: operand.into(),
-        });
+        self.spec.outputs.push(OutputPort { name: name.into(), operand: operand.into() });
     }
 
     /// Finishes construction, validating ports.
@@ -746,9 +734,7 @@ mod tests {
     fn rejects_bad_arity() {
         let mut b = SpecBuilder::new("bad");
         let a = b.input("A", 4);
-        let err = b
-            .op(OpKind::Mux, vec![a.into()], 4, Signedness::Unsigned, None)
-            .unwrap_err();
+        let err = b.op(OpKind::Mux, vec![a.into()], 4, Signedness::Unsigned, None).unwrap_err();
         assert!(matches!(err, IrError::BadArity { .. }));
     }
 
@@ -775,9 +761,7 @@ mod tests {
     fn rejects_zero_width() {
         let mut b = SpecBuilder::new("bad");
         let a = b.input("A", 4);
-        let err = b
-            .op(OpKind::Not, vec![a.into()], 0, Signedness::Unsigned, None)
-            .unwrap_err();
+        let err = b.op(OpKind::Not, vec![a.into()], 0, Signedness::Unsigned, None).unwrap_err();
         assert!(matches!(err, IrError::ZeroWidth(_)));
     }
 

@@ -161,10 +161,7 @@ impl BitRange {
     ///
     /// Empty ranges overlap nothing.
     pub fn overlaps(self, other: BitRange) -> bool {
-        !self.is_empty()
-            && !other.is_empty()
-            && self.lo < other.end()
-            && other.lo < self.end()
+        !self.is_empty() && !other.is_empty() && self.lo < other.end() && other.lo < self.end()
     }
 }
 

@@ -50,11 +50,7 @@ pub fn emit(spec: &Spec) -> String {
     }
     for port in spec.outputs() {
         let w = spec.operand_width(port.operand());
-        ports.push(format!(
-            "        {}: out std_logic_vector({} downto 0)",
-            port.name(),
-            w - 1
-        ));
+        ports.push(format!("        {}: out std_logic_vector({} downto 0)", port.name(), w - 1));
     }
     let _ = writeln!(out, "{});", ports.join(";\n"));
     let _ = writeln!(out, "end {};", spec.name());
@@ -76,12 +72,7 @@ pub fn emit(spec: &Spec) -> String {
         let _ = writeln!(out, "    {} := {};", var_name(spec, op.result()), rhs);
     }
     for port in spec.outputs() {
-        let _ = writeln!(
-            out,
-            "    {} <= {};",
-            port.name(),
-            render_operand(spec, port.operand())
-        );
+        let _ = writeln!(out, "    {} <= {};", port.name(), render_operand(spec, port.operand()));
     }
     let _ = writeln!(out, "    wait on clk;");
     let _ = writeln!(out, "  end process main;");
@@ -117,11 +108,7 @@ fn render_operand(spec: &Spec, operand: &Operand) -> String {
 
 fn render_op(spec: &Spec, op_index: usize) -> String {
     let op = &spec.ops()[op_index];
-    let args: Vec<String> = op
-        .operands()
-        .iter()
-        .map(|o| render_operand(spec, o))
-        .collect();
+    let args: Vec<String> = op.operands().iter().map(|o| render_operand(spec, o)).collect();
     let unsigned = |s: &str| format!("unsigned({s})");
     match op.kind() {
         OpKind::Add => {
@@ -144,11 +131,21 @@ fn render_op(spec: &Spec, op_index: usize) -> String {
             unsigned(&args[1]),
             op.width()
         ),
-        OpKind::Abs => format!("std_logic_vector(resize(abs(signed({})), {}))", args[0], op.width()),
-        OpKind::Lt => bool_expr(&format!("{} < {}", unsigned(&args[0]), unsigned(&args[1])), op.width()),
-        OpKind::Le => bool_expr(&format!("{} <= {}", unsigned(&args[0]), unsigned(&args[1])), op.width()),
-        OpKind::Gt => bool_expr(&format!("{} > {}", unsigned(&args[0]), unsigned(&args[1])), op.width()),
-        OpKind::Ge => bool_expr(&format!("{} >= {}", unsigned(&args[0]), unsigned(&args[1])), op.width()),
+        OpKind::Abs => {
+            format!("std_logic_vector(resize(abs(signed({})), {}))", args[0], op.width())
+        }
+        OpKind::Lt => {
+            bool_expr(&format!("{} < {}", unsigned(&args[0]), unsigned(&args[1])), op.width())
+        }
+        OpKind::Le => {
+            bool_expr(&format!("{} <= {}", unsigned(&args[0]), unsigned(&args[1])), op.width())
+        }
+        OpKind::Gt => {
+            bool_expr(&format!("{} > {}", unsigned(&args[0]), unsigned(&args[1])), op.width())
+        }
+        OpKind::Ge => {
+            bool_expr(&format!("{} >= {}", unsigned(&args[0]), unsigned(&args[1])), op.width())
+        }
         OpKind::Eq => bool_expr(&format!("{} = {}", args[0], args[1]), op.width()),
         OpKind::Ne => bool_expr(&format!("{} /= {}", args[0], args[1]), op.width()),
         OpKind::Max => format!("maximum({}, {})", args[0], args[1]),

@@ -97,12 +97,7 @@ fn builder_and_parser_agree_on_zero_width() {
     assert!(Spec::parse("spec s { input a: u0; output o = a; }").is_err());
     let mut b = SpecBuilder::new("s");
     let a = b.input("a", 4);
-    let err = b.op(
-        bittrans_ir::OpKind::Not,
-        vec![a.into()],
-        0,
-        bittrans_ir::Signedness::Unsigned,
-        None,
-    );
+    let err =
+        b.op(bittrans_ir::OpKind::Not, vec![a.into()], 0, bittrans_ir::Signedness::Unsigned, None);
     assert!(err.is_err());
 }

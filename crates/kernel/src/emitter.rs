@@ -38,9 +38,8 @@ impl Emitter {
         match operand {
             Operand::Const(b) => Operand::Const(b.clone()),
             Operand::Value { value, range } => {
-                let base = self.map[value.index()]
-                    .clone()
-                    .expect("operand lowered before its definition");
+                let base =
+                    self.map[value.index()].clone().expect("operand lowered before its definition");
                 match range {
                     None => base,
                     Some(r) => base.subrange(*r),

@@ -178,20 +178,14 @@ fn lower_op(em: &mut Emitter, op: &Operation, options: &ExtractOptions) -> Opera
             let b = em.ext(args[1].clone(), w_in, signed, origin);
             let x = em.glue(OpKind::Xor, vec![a, b], w_in, origin);
             let any = em.glue(OpKind::RedOr, vec![x], 1, origin);
-            let bit = if op.kind() == OpKind::Eq {
-                em.not(any, 1, origin)
-            } else {
-                any
-            };
+            let bit = if op.kind() == OpKind::Eq { em.not(any, 1, origin) } else { any };
             em.zext(bit, w, origin)
         }
         // Glue: re-emit unsigned, materialising sign extension when the
         // source operation relied on signed operand extension.
         OpKind::Not | OpKind::And | OpKind::Or | OpKind::Xor => {
-            let ext_args: Vec<Operand> = args
-                .iter()
-                .map(|a| em.ext(a.clone(), w, signed, origin))
-                .collect();
+            let ext_args: Vec<Operand> =
+                args.iter().map(|a| em.ext(a.clone(), w, signed, origin)).collect();
             em.glue(op.kind(), ext_args, w, origin)
         }
         OpKind::Mux => {
@@ -232,9 +226,7 @@ fn lower_op(em: &mut Emitter, op: &Operation, options: &ExtractOptions) -> Opera
                 em.concat(vec![body, fill], origin)
             }
         }
-        OpKind::RedOr | OpKind::RedAnd | OpKind::Concat => {
-            em.glue(op.kind(), args, w, origin)
-        }
+        OpKind::RedOr | OpKind::RedAnd | OpKind::Concat => em.glue(op.kind(), args, w, origin),
     }
 }
 
@@ -445,10 +437,7 @@ fn lower_mul_signed(
     let p0 = em.zext(core, w, origin);
     // term 1: − bₙ · 2^(n−1) · ap
     let x1 = {
-        let shifted = em.concat(
-            vec![Operand::Const(Bits::zero((n - 1) as usize)), ap],
-            origin,
-        );
+        let shifted = em.concat(vec![Operand::Const(Bits::zero((n - 1) as usize)), ap], origin);
         em.zext(shifted, w, origin)
     };
     let x1n = em.not(x1, w, origin);
@@ -458,10 +447,7 @@ fn lower_mul_signed(
     let bs = em.sext(b, w, origin);
     let x2 = {
         let body = bs.subrange(BitRange::new(0, w - (m - 1)));
-        em.concat(
-            vec![Operand::Const(Bits::zero((m - 1) as usize)), body],
-            origin,
-        )
+        em.concat(vec![Operand::Const(Bits::zero((m - 1) as usize)), body], origin)
     };
     let x2n = em.not(x2, w, origin);
     let t2 = em.mux(an.clone(), x2n, Operand::Const(Bits::zero(w as usize)), w, origin);
@@ -489,28 +475,22 @@ mod tests {
 
     #[test]
     fn add_passthrough() {
-        let (_, k) = assert_extract_equivalent(
-            "spec s { input a: u8; input b: u8; output o = a + b; }",
-        );
+        let (_, k) =
+            assert_extract_equivalent("spec s { input a: u8; input b: u8; output o = a + b; }");
         assert_eq!(k.stats().adds, 1);
     }
 
     #[test]
     fn signed_add_with_extension() {
-        assert_extract_equivalent(
-            "spec s { input a: i4; input b: i8; c: i10 = a + b; output c; }",
-        );
+        assert_extract_equivalent("spec s { input a: i4; input b: i8; c: i10 = a + b; output c; }");
     }
 
     #[test]
     fn sub_unsigned_and_signed() {
-        let (_, k) = assert_extract_equivalent(
-            "spec s { input a: u8; input b: u8; output o = a - b; }",
-        );
+        let (_, k) =
+            assert_extract_equivalent("spec s { input a: u8; input b: u8; output o = a - b; }");
         assert_eq!(k.stats().adds, 1);
-        assert_extract_equivalent(
-            "spec s { input a: i8; input b: i8; output o = a - b; }",
-        );
+        assert_extract_equivalent("spec s { input a: i8; input b: i8; output o = a - b; }");
     }
 
     #[test]
@@ -539,9 +519,8 @@ mod tests {
 
     #[test]
     fn comparison_one_add_each() {
-        let (_, k) = assert_extract_equivalent(
-            "spec s { input a: u8; input b: u8; output o = a < b; }",
-        );
+        let (_, k) =
+            assert_extract_equivalent("spec s { input a: u8; input b: u8; output o = a < b; }");
         assert_eq!(k.stats().adds, 1, "comparison kernel is one addition");
     }
 
@@ -555,22 +534,15 @@ mod tests {
 
     #[test]
     fn max_min() {
-        assert_extract_equivalent(
-            "spec s { input a: u8; input b: u8; output o = max(a, b); }",
-        );
-        assert_extract_equivalent(
-            "spec s { input a: i8; input b: i8; output o = min(a, b); }",
-        );
-        assert_extract_equivalent(
-            "spec s { input a: i4; input b: i8; output o = max(a, b); }",
-        );
+        assert_extract_equivalent("spec s { input a: u8; input b: u8; output o = max(a, b); }");
+        assert_extract_equivalent("spec s { input a: i8; input b: i8; output o = min(a, b); }");
+        assert_extract_equivalent("spec s { input a: i4; input b: i8; output o = max(a, b); }");
     }
 
     #[test]
     fn mul_unsigned() {
-        let (_, k) = assert_extract_equivalent(
-            "spec s { input a: u8; input b: u8; output p = a * b; }",
-        );
+        let (_, k) =
+            assert_extract_equivalent("spec s { input a: u8; input b: u8; output p = a * b; }");
         // CSA tree: the whole multiplication folds into ONE addition.
         assert_eq!(k.stats().adds, 1);
         assert_extract_equivalent("spec s { input a: u8; input b: u3; output p = a * b; }");
@@ -581,11 +553,9 @@ mod tests {
     #[test]
     fn mul_shift_add_strategy() {
         let spec = Spec::parse("spec s { input a: u8; input b: u8; output p = a * b; }").unwrap();
-        let k = extract_with_options(
-            &spec,
-            &ExtractOptions { mul_strategy: MulStrategy::ShiftAdd },
-        )
-        .unwrap();
+        let k =
+            extract_with_options(&spec, &ExtractOptions { mul_strategy: MulStrategy::ShiftAdd })
+                .unwrap();
         assert!(k.is_additive_form());
         // min(m,n) − 1 = 7 additions.
         assert_eq!(k.stats().adds, 7);
@@ -594,9 +564,8 @@ mod tests {
 
     #[test]
     fn mul_signed() {
-        let (_, k) = assert_extract_equivalent(
-            "spec s { input a: i8; input b: i8; output p = a * b; }",
-        );
+        let (_, k) =
+            assert_extract_equivalent("spec s { input a: i8; input b: i8; output p = a * b; }");
         // CSA core: 1 add, plus two Baugh–Wooley correction adds.
         assert_eq!(k.stats().adds, 3);
         assert_extract_equivalent("spec s { input a: i4; input b: i8; output p = a * b; }");
@@ -647,10 +616,7 @@ mod tests {
 
     #[test]
     fn origins_are_recorded() {
-        let spec = Spec::parse(
-            "spec s { input a: u8; input b: u8; output p = a * b; }",
-        )
-        .unwrap();
+        let spec = Spec::parse("spec s { input a: u8; input b: u8; output p = a * b; }").unwrap();
         let kernel = extract(&spec).unwrap();
         let mul_id = spec.ops()[0].id();
         assert!(
@@ -665,10 +631,9 @@ mod tests {
 
     #[test]
     fn ports_preserved() {
-        let spec = Spec::parse(
-            "spec s { input alpha: u8; input beta: u4; output gamma = alpha - beta; }",
-        )
-        .unwrap();
+        let spec =
+            Spec::parse("spec s { input alpha: u8; input beta: u4; output gamma = alpha - beta; }")
+                .unwrap();
         let kernel = extract(&spec).unwrap();
         assert!(kernel.input_by_name("alpha").is_some());
         assert!(kernel.input_by_name("beta").is_some());

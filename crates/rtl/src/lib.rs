@@ -174,9 +174,7 @@ impl Component {
                 11.0 * f64::from(a_width) * f64::from(b_width)
             }
             Component::Register { width } => 4.667 * f64::from(width) + 6.333,
-            Component::Mux { inputs, width } => {
-                f64::from(inputs + 1) * f64::from(width)
-            }
+            Component::Mux { inputs, width } => f64::from(inputs + 1) * f64::from(width),
             Component::Gate { kind, width } => kind.gates_per_bit() * f64::from(width),
             Component::Controller { states, signals } => {
                 let state_bits = f64::from(states + 1).log2().ceil().max(1.0);

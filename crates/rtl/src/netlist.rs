@@ -61,11 +61,7 @@ impl Netlist {
 
     /// Adds an instance with an auto-generated unique name.
     pub fn push(&mut self, category: Category, component: Component) -> &Instance {
-        let n = self
-            .instances
-            .iter()
-            .filter(|i| i.category == category)
-            .count();
+        let n = self.instances.iter().filter(|i| i.category == category).count();
         let name = format!("{category}_{n}");
         self.instances.push(Instance { name, component, category });
         self.instances.last().expect("just pushed")
@@ -73,10 +69,7 @@ impl Netlist {
 
     /// Number of instances in a category.
     pub fn count(&self, category: Category) -> usize {
-        self.instances
-            .iter()
-            .filter(|i| i.category == category)
-            .count()
+        self.instances.iter().filter(|i| i.category == category).count()
     }
 
     /// Recomputes the area report from the instances.
@@ -130,15 +123,18 @@ impl Netlist {
             if i.category == Category::Controller {
                 continue;
             }
-            let _ = writeln!(out, "  {}: entity work.{};  -- {}", i.name, entity_of(&i.component), i.component);
+            let _ = writeln!(
+                out,
+                "  {}: entity work.{};  -- {}",
+                i.name,
+                entity_of(&i.component),
+                i.component
+            );
         }
-        if let Some(ctrl) = self
-            .instances
-            .iter()
-            .find(|i| i.category == Category::Controller)
-        {
+        if let Some(ctrl) = self.instances.iter().find(|i| i.category == Category::Controller) {
             if let Component::Controller { states, signals } = ctrl.component {
-                let _ = writeln!(out, "  -- controller: {states} states, {signals} control signals");
+                let _ =
+                    writeln!(out, "  -- controller: {states} states, {signals} control signals");
                 let _ = writeln!(out, "  fsm: process (clk, rst)");
                 let _ = writeln!(out, "  begin");
                 let _ = writeln!(out, "    if rst = '1' then null; -- state <= s1;");

@@ -12,7 +12,7 @@
 //! design of Fig. 1 d).
 
 use crate::engine::{ChainModel, Placer};
-use crate::{Schedule, SchedError};
+use crate::{SchedError, Schedule};
 use bittrans_ir::prelude::*;
 use bittrans_timing::{critical_path, required_times, Delta};
 
@@ -93,12 +93,7 @@ pub fn standalone_delays(spec: &Spec) -> Vec<(OpId, Delta)> {
 /// The longest standalone operation delay — the lower bound on the cycle
 /// length of any atomic schedule.
 pub fn max_op_delay(spec: &Spec) -> Delta {
-    standalone_delays(spec)
-        .into_iter()
-        .map(|(_, d)| d)
-        .max()
-        .unwrap_or(1)
-        .max(1)
+    standalone_delays(spec).into_iter().map(|(_, d)| d).max().unwrap_or(1).max(1)
 }
 
 /// Number of cycles a pure-ASAP chained schedule needs at cycle length `c`,
@@ -116,9 +111,7 @@ pub fn cycles_needed(spec: &Spec, c: Delta, chaining: Chaining) -> Option<u32> {
         let e0 = if chaining.enabled() { raw.max(1) } else { (raw + 1).max(1) };
         // e0 may need chaining that doesn't fit; e0 + 1 has all inputs
         // registered, so it works iff the op fits a cycle at all.
-        let k = [e0, e0 + 1]
-            .into_iter()
-            .find(|&k| p.try_place(op, k).is_some())?;
+        let k = [e0, e0 + 1].into_iter().find(|&k| p.try_place(op, k).is_some())?;
         let times = p.try_place(op, k).expect("validated");
         p.commit(op, k, times);
         needed = needed.max(k);
@@ -277,11 +270,7 @@ mod tests {
         let spec = three_adds();
         let s = schedule_conventional(&spec, &ConventionalOptions::with_latency(3)).unwrap();
         assert_eq!(s.cycle, 16);
-        let cycles: Vec<u32> = spec
-            .ops()
-            .iter()
-            .map(|op| s.cycle_of(op.id()).unwrap())
-            .collect();
+        let cycles: Vec<u32> = spec.ops().iter().map(|op| s.cycle_of(op.id()).unwrap()).collect();
         assert_eq!(cycles, vec![1, 2, 3]);
     }
 
@@ -420,8 +409,8 @@ mod tests {
     fn dependencies_respected_across_all_latencies() {
         let spec = three_adds();
         for latency in 1..=5 {
-            let s = schedule_conventional(&spec, &ConventionalOptions::with_latency(latency))
-                .unwrap();
+            let s =
+                schedule_conventional(&spec, &ConventionalOptions::with_latency(latency)).unwrap();
             let users = spec.users();
             for op in spec.ops() {
                 let kc = s.cycle_of(op.id()).unwrap();

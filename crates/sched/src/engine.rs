@@ -74,12 +74,8 @@ impl<'s> Placer<'s> {
             let w = spec.value(input).width() as usize;
             states[input.index()] = Some(vec![CONST_BIT; w]);
         }
-        let glue_memo = RefCell::new(
-            spec.values()
-                .iter()
-                .map(|v| vec![None; v.width() as usize])
-                .collect(),
-        );
+        let glue_memo =
+            RefCell::new(spec.values().iter().map(|v| vec![None; v.width() as usize]).collect());
         Placer {
             spec,
             cycle,
@@ -141,7 +137,8 @@ impl<'s> Placer<'s> {
                 BitRef::Value { value, bit } => self.prod_of(value, bit),
             }
         };
-        let max2 = |a: BitProd, b: BitProd| if (b.cycle, b.time) > (a.cycle, a.time) { b } else { a };
+        let max2 =
+            |a: BitProd, b: BitProd| if (b.cycle, b.time) > (a.cycle, a.time) { b } else { a };
         match op.kind() {
             OpKind::Not => of(&op.operands()[0], i),
             OpKind::And | OpKind::Or | OpKind::Xor => {
@@ -235,12 +232,8 @@ impl<'s> Placer<'s> {
                 out
             }
             OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge | OpKind::Max | OpKind::Min => {
-                let w_in = op
-                    .operands()
-                    .iter()
-                    .map(|o| self.spec.operand_width(o))
-                    .max()
-                    .unwrap_or(1);
+                let w_in =
+                    op.operands().iter().map(|o| self.spec.operand_width(o)).max().unwrap_or(1);
                 let mut chain = self.cycle_start(k);
                 for i in 0..w_in {
                     let mut t = chain;
@@ -305,10 +298,7 @@ impl<'s> Placer<'s> {
     /// Commits `op` to cycle `k` with the settle times returned by
     /// [`Self::try_place`].
     pub fn commit(&mut self, op: &Operation, k: u32, times: Vec<Delta>) {
-        let row: Vec<BitProd> = times
-            .into_iter()
-            .map(|t| BitProd { cycle: k, time: t })
-            .collect();
+        let row: Vec<BitProd> = times.into_iter().map(|t| BitProd { cycle: k, time: t }).collect();
         self.states[op.result().index()] = Some(row);
         self.assignment.insert(op.id(), k);
         *self.usage.entry(k).or_insert(0) += 1;
@@ -317,11 +307,7 @@ impl<'s> Placer<'s> {
     /// Records a glue operation: assigned (for bookkeeping) to the latest
     /// cycle among the bits it wires, at least 1.
     pub fn commit_glue(&mut self, op: &Operation) {
-        let k = (0..op.width())
-            .map(|i| self.glue_bit(op, i).cycle)
-            .max()
-            .unwrap_or(0)
-            .max(1);
+        let k = (0..op.width()).map(|i| self.glue_bit(op, i).cycle).max().unwrap_or(0).max(1);
         self.assignment.insert(op.id(), k.min(self.latency.max(1)));
     }
 
@@ -334,8 +320,7 @@ impl<'s> Placer<'s> {
         for operand in op.operands() {
             let ow = self.spec.operand_width(operand);
             for j in 0..ow {
-                if let BitRef::Value { value, bit } = operand_bit(self.spec, operand, j, signed)
-                {
+                if let BitRef::Value { value, bit } = operand_bit(self.spec, operand, j, signed) {
                     k = k.max(self.prod_of(value, bit).cycle);
                 }
             }
@@ -367,17 +352,13 @@ impl<'s> Placer<'s> {
             }
         }
         let Some(&chosen) = (if balance {
-            valid
-                .iter()
-                .min_by_key(|&&k| (self.usage.get(&k).copied().unwrap_or(0), k))
+            valid.iter().min_by_key(|&&k| (self.usage.get(&k).copied().unwrap_or(0), k))
         } else {
             valid.first()
         }) else {
             return Err(SchedError::NoFeasibleCycle { op: op.id(), window: (lo, hi) });
         };
-        let times = self
-            .try_place(op, chosen)
-            .expect("cycle was validated above");
+        let times = self.try_place(op, chosen).expect("cycle was validated above");
         self.commit(op, chosen, times);
         Ok(chosen)
     }

@@ -10,7 +10,7 @@
 //! [`Placer`] engine.
 
 use crate::engine::Placer;
-use crate::{Schedule, SchedError};
+use crate::{SchedError, Schedule};
 use bittrans_frag::Fragmented;
 use bittrans_ir::prelude::*;
 
@@ -134,10 +134,7 @@ mod tests {
         let s = schedule_fragments(&f, &FragmentScheduleOptions::default()).unwrap();
         assert_eq!(s.cycle, 6);
         for k in 1..=3 {
-            let adds = s
-                .ops_in_cycle(k)
-                .filter(|&op| f.spec.op(op).kind() == OpKind::Add)
-                .count();
+            let adds = s.ops_in_cycle(k).filter(|&op| f.spec.op(op).kind() == OpKind::Add).count();
             assert_eq!(adds, 3, "cycle {k} runs one fragment of each addition");
         }
         assert_eq!(verify_schedule(&f, &s), None);
@@ -164,18 +161,10 @@ mod tests {
         // 8 source ops fragment into per-cycle work; balancing should keep
         // the per-cycle addition count within a small band.
         let counts: Vec<usize> = (1..=3)
-            .map(|k| {
-                s.ops_in_cycle(k)
-                    .filter(|&op| f.spec.op(op).kind() == OpKind::Add)
-                    .count()
-            })
+            .map(|k| s.ops_in_cycle(k).filter(|&op| f.spec.op(op).kind() == OpKind::Add).count())
             .collect();
         let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
-        assert!(
-            max - min <= 2,
-            "unbalanced schedule {counts:?}:\n{}",
-            s.render(&f.spec)
-        );
+        assert!(max - min <= 2, "unbalanced schedule {counts:?}:\n{}", s.render(&f.spec));
     }
 
     #[test]

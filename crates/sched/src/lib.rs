@@ -81,10 +81,7 @@ impl Schedule {
 
     /// All operations assigned to cycle `k`.
     pub fn ops_in_cycle(&self, k: u32) -> impl Iterator<Item = OpId> + '_ {
-        self.assignment
-            .iter()
-            .filter(move |&(_, &c)| c == k)
-            .map(|(&op, _)| op)
+        self.assignment.iter().filter(move |&(_, &c)| c == k).map(|(&op, _)| op)
     }
 
     /// Iterates over `(op, cycle)` pairs in op order.
@@ -152,10 +149,9 @@ pub enum SchedError {
 impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchedError::CycleTooShort { op, delay, cycle } => write!(
-                f,
-                "operation {op} takes {delay}δ, longer than the {cycle}δ cycle"
-            ),
+            SchedError::CycleTooShort { op, delay, cycle } => {
+                write!(f, "operation {op} takes {delay}δ, longer than the {cycle}δ cycle")
+            }
             SchedError::LatencyExceeded { needed, latency } => {
                 write!(f, "schedule needs {needed} cycles but latency is {latency}")
             }
@@ -244,10 +240,8 @@ mod tests {
 
     #[test]
     fn render_lists_cycles() {
-        let spec = Spec::parse(
-            "spec s { input a: u4; input b: u4; X: u4 = a + b; output X; }",
-        )
-        .unwrap();
+        let spec =
+            Spec::parse("spec s { input a: u4; input b: u4; X: u4 = a + b; output X; }").unwrap();
         let mut m = BTreeMap::new();
         m.insert(spec.ops()[0].id(), 1);
         let s = Schedule::new(2, 4, m);

@@ -39,10 +39,9 @@ impl fmt::Display for Inequivalence {
         match self {
             Inequivalence::PortMismatch { detail } => write!(f, "port mismatch: {detail}"),
             Inequivalence::SimFailed(e) => write!(f, "simulation failed: {e}"),
-            Inequivalence::Counterexample { output, left, right, .. } => write!(
-                f,
-                "output `{output}` differs: {left} vs {right}"
-            ),
+            Inequivalence::Counterexample { output, left, right, .. } => {
+                write!(f, "output `{output}` differs: {left} vs {right}")
+            }
         }
     }
 }
@@ -115,10 +114,7 @@ fn extreme_vector(spec: &Spec, ones: bool) -> InputVector {
     let mut iv = InputVector::new();
     for &input in spec.inputs() {
         let w = spec.value(input).width() as usize;
-        iv.set(
-            spec.input_name(input),
-            if ones { Bits::ones(w) } else { Bits::zero(w) },
-        );
+        iv.set(spec.input_name(input), if ones { Bits::ones(w) } else { Bits::zero(w) });
     }
     iv
 }
@@ -212,10 +208,7 @@ mod tests {
         // must still agree, which they do only when the carry is dead...
         let narrow = Spec::parse("spec a { input x: u4; output o = x; }").unwrap();
         // ... here the extra top bits are zero, so equivalence holds.
-        let wide = Spec::parse(
-            "spec b { input x: u4; o: u6 = x; output o; }",
-        )
-        .unwrap();
+        let wide = Spec::parse("spec b { input x: u4; o: u6 = x; output o; }").unwrap();
         check_equivalence(&narrow, &wide, 9, 20).unwrap();
     }
 

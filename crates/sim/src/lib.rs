@@ -105,10 +105,9 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::MissingInput { name } => write!(f, "no value bound to input `{name}`"),
-            SimError::WidthMismatch { name, expected, got } => write!(
-                f,
-                "input `{name}` declared as {expected} bits but bound to {got} bits"
-            ),
+            SimError::WidthMismatch { name, expected, got } => {
+                write!(f, "input `{name}` declared as {expected} bits but bound to {got} bits")
+            }
         }
     }
 }
@@ -156,9 +155,8 @@ pub fn evaluate(spec: &Spec, inputs: &InputVector) -> Result<Evaluation, SimErro
     for &input in spec.inputs() {
         let name = spec.input_name(input);
         let decl_width = spec.value(input).width();
-        let bound = inputs
-            .get(name)
-            .ok_or_else(|| SimError::MissingInput { name: name.to_string() })?;
+        let bound =
+            inputs.get(name).ok_or_else(|| SimError::MissingInput { name: name.to_string() })?;
         if bound.width() as u32 != decl_width {
             return Err(SimError::WidthMismatch {
                 name: name.to_string(),
@@ -176,12 +174,7 @@ pub fn evaluate(spec: &Spec, inputs: &InputVector) -> Result<Evaluation, SimErro
     let outputs = spec
         .outputs()
         .iter()
-        .map(|port| {
-            (
-                port.name().to_string(),
-                resolve(port.operand(), &values),
-            )
-        })
+        .map(|port| (port.name().to_string(), resolve(port.operand(), &values)))
         .collect();
     Ok(Evaluation { values, outputs })
 }
@@ -201,11 +194,7 @@ fn eval_op(spec: &Spec, op: &Operation, values: &[Bits]) -> Bits {
     let _ = spec;
     let w = op.width() as usize;
     let signed = op.signedness().is_signed();
-    let args: Vec<Bits> = op
-        .operands()
-        .iter()
-        .map(|o| resolve(o, values))
-        .collect();
+    let args: Vec<Bits> = op.operands().iter().map(|o| resolve(o, values)).collect();
     match op.kind() {
         OpKind::Add => {
             let a = args[0].ext(w, signed);
@@ -220,11 +209,8 @@ fn eval_op(spec: &Spec, op: &Operation, values: &[Bits]) -> Bits {
         }
         OpKind::Neg => args[0].ext(w, signed).neg_mod(w),
         OpKind::Mul => {
-            let p = if signed {
-                args[0].mul_full_signed(&args[1])
-            } else {
-                args[0].mul_full(&args[1])
-            };
+            let p =
+                if signed { args[0].mul_full_signed(&args[1]) } else { args[0].mul_full(&args[1]) };
             p.ext(w, signed)
         }
         OpKind::Abs => {
@@ -366,10 +352,9 @@ mod tests {
 
     #[test]
     fn abs_and_neg() {
-        let spec = Spec::parse(
-            "spec s { input a: i8; A: u8 = abs(a); N: i9 = -a; output A; output N; }",
-        )
-        .unwrap();
+        let spec =
+            Spec::parse("spec s { input a: i8; A: u8 = abs(a); N: i9 = -a; output A; output N; }")
+                .unwrap();
         let mut iv = InputVector::new();
         iv.set("a", Bits::from_i64(-100, 8));
         let eval = evaluate(&spec, &iv).unwrap();
@@ -470,8 +455,7 @@ mod tests {
         iv.set("x", Bits::from_u64(1, 1));
         assert_eq!(iv.len(), 1);
         assert_eq!(iv.get("x").unwrap().to_u64(), 1);
-        let iv2: InputVector =
-            vec![("y".to_string(), Bits::zero(2))].into_iter().collect();
+        let iv2: InputVector = vec![("y".to_string(), Bits::zero(2))].into_iter().collect();
         assert_eq!(iv2.iter().count(), 1);
     }
 }

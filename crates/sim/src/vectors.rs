@@ -71,10 +71,7 @@ mod tests {
 
     #[test]
     fn vectors_are_deterministic() {
-        let spec = Spec::parse(
-            "spec s { input a: u16; input b: u3; output o = a + b; }",
-        )
-        .unwrap();
+        let spec = Spec::parse("spec s { input a: u16; input b: u3; output o = a + b; }").unwrap();
         let v1 = random_vectors(&spec, 42, 10);
         let v2 = random_vectors(&spec, 42, 10);
         assert_eq!(v1, v2);
@@ -84,10 +81,7 @@ mod tests {
 
     #[test]
     fn vectors_respect_widths() {
-        let spec = Spec::parse(
-            "spec s { input a: u16; input b: u3; output o = a + b; }",
-        )
-        .unwrap();
+        let spec = Spec::parse("spec s { input a: u16; input b: u3; output o = a + b; }").unwrap();
         for iv in random_vectors(&spec, 7, 50) {
             assert_eq!(iv.get("a").unwrap().width(), 16);
             assert_eq!(iv.get("b").unwrap().width(), 3);

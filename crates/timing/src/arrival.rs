@@ -15,13 +15,7 @@ pub struct BitTimes {
 
 impl BitTimes {
     pub(crate) fn filled(spec: &Spec, fill: Delta) -> Self {
-        BitTimes {
-            times: spec
-                .values()
-                .iter()
-                .map(|v| vec![fill; v.width() as usize])
-                .collect(),
-        }
+        BitTimes { times: spec.values().iter().map(|v| vec![fill; v.width() as usize]).collect() }
     }
 
     /// The time of bit `i` of `value`.
@@ -44,11 +38,7 @@ impl BitTimes {
 
     /// The largest time anywhere (for arrival times: the critical path).
     pub fn max(&self) -> Delta {
-        self.times
-            .iter()
-            .flat_map(|v| v.iter().copied())
-            .max()
-            .unwrap_or(0)
+        self.times.iter().flat_map(|v| v.iter().copied()).max().unwrap_or(0)
     }
 
     pub(crate) fn set(&mut self, value: ValueId, i: u32, t: Delta) {
@@ -123,10 +113,10 @@ fn eval_op_arrival(spec: &Spec, op: &Operation, times: &mut BitTimes) {
                     (true, true, false) => ta.max(tb) + 1,
                     (true, false, true) => ta.max(t_carry) + 1,
                     (false, true, true) => tb.max(t_carry) + 1,
-                    (true, false, false) => ta, // wire
-                    (false, true, false) => tb, // wire
+                    (true, false, false) => ta,      // wire
+                    (false, true, false) => tb,      // wire
                     (false, false, true) => t_carry, // pure carry bit
-                    (false, false, false) => 0, // constant zero
+                    (false, false, false) => 0,      // constant zero
                 };
                 times.set(z, i, t);
                 t_carry = if profile.carry_live[i as usize + 1] { t } else { 0 };
@@ -148,12 +138,7 @@ fn eval_op_arrival(spec: &Spec, op: &Operation, times: &mut BitTimes) {
         }
         // Ordered comparisons: a full-width subtract chain, one-bit result.
         OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge => {
-            let w_in = op
-                .operands()
-                .iter()
-                .map(|o| spec.operand_width(o))
-                .max()
-                .unwrap_or(1);
+            let w_in = op.operands().iter().map(|o| spec.operand_width(o)).max().unwrap_or(1);
             let mut chain = 0;
             for i in 0..w_in {
                 let mut t = chain;
@@ -169,12 +154,7 @@ fn eval_op_arrival(spec: &Spec, op: &Operation, times: &mut BitTimes) {
         }
         // Max/Min: compare chain, then a 0δ mux gated by the chain result.
         OpKind::Max | OpKind::Min => {
-            let w_in = op
-                .operands()
-                .iter()
-                .map(|o| spec.operand_width(o))
-                .max()
-                .unwrap_or(1);
+            let w_in = op.operands().iter().map(|o| spec.operand_width(o)).max().unwrap_or(1);
             let mut chain = 0;
             for i in 0..w_in {
                 let mut t = chain;
@@ -194,11 +174,7 @@ fn eval_op_arrival(spec: &Spec, op: &Operation, times: &mut BitTimes) {
         // Conservative multiplication: array-multiplier worst case
         // (consistent with the shift-add decomposition's ripple path).
         OpKind::Mul => {
-            let mut ws: Vec<Delta> = op
-                .operands()
-                .iter()
-                .map(|o| spec.operand_width(o))
-                .collect();
+            let mut ws: Vec<Delta> = op.operands().iter().map(|o| spec.operand_width(o)).collect();
             ws.sort_unstable();
             let total: Delta = match ws.as_slice() {
                 [a, b] => b + 2 * a,
@@ -225,27 +201,33 @@ fn eval_op_arrival(spec: &Spec, op: &Operation, times: &mut BitTimes) {
         }
         OpKind::And | OpKind::Or | OpKind::Xor => {
             for i in 0..w {
-                let t = in_time(spec, times, &op.operands()[0], i, signed)
-                    .max(in_time(spec, times, &op.operands()[1], i, signed));
+                let t = in_time(spec, times, &op.operands()[0], i, signed).max(in_time(
+                    spec,
+                    times,
+                    &op.operands()[1],
+                    i,
+                    signed,
+                ));
                 times.set(z, i, t);
             }
         }
         OpKind::Mux => {
             let sel = in_time(spec, times, &op.operands()[0], 0, false);
             for i in 0..w {
-                let t = sel
-                    .max(in_time(spec, times, &op.operands()[1], i, signed))
-                    .max(in_time(spec, times, &op.operands()[2], i, signed));
+                let t = sel.max(in_time(spec, times, &op.operands()[1], i, signed)).max(in_time(
+                    spec,
+                    times,
+                    &op.operands()[2],
+                    i,
+                    signed,
+                ));
                 times.set(z, i, t);
             }
         }
         OpKind::Shl(k) => {
             for i in 0..w {
-                let t = if i >= k {
-                    in_time(spec, times, &op.operands()[0], i - k, signed)
-                } else {
-                    0
-                };
+                let t =
+                    if i >= k { in_time(spec, times, &op.operands()[0], i - k, signed) } else { 0 };
                 times.set(z, i, t);
             }
         }

@@ -99,11 +99,8 @@ pub fn add_profile(spec: &Spec, op: &bittrans_ir::Operation) -> AddProfile {
     assert_eq!(op.kind(), bittrans_ir::OpKind::Add, "add_profile wants an Add");
     let w = op.width();
     let signed = op.signedness().is_signed();
-    let cin_live = op
-        .operands()
-        .get(2)
-        .map(|c| !operand_bit_known_zero(spec, c, 0, false))
-        .unwrap_or(false);
+    let cin_live =
+        op.operands().get(2).map(|c| !operand_bit_known_zero(spec, c, 0, false)).unwrap_or(false);
     let mut live = Vec::with_capacity(w as usize);
     let mut carry_live = vec![false; w as usize + 1];
     carry_live[0] = cin_live;
@@ -112,9 +109,9 @@ pub fn add_profile(spec: &Spec, op: &bittrans_ir::Operation) -> AddProfile {
         let b_live = !operand_bit_known_zero(spec, &op.operands()[1], i, signed);
         live.push([a_live, b_live]);
         carry_live[i as usize + 1] = match (a_live, b_live) {
-            (true, true) => true,                       // may generate
+            (true, true) => true,                                    // may generate
             (true, false) | (false, true) => carry_live[i as usize], // propagates
-            (false, false) => false,                    // kills
+            (false, false) => false,                                 // kills
         };
     }
     AddProfile { live, carry_live }
@@ -136,20 +133,14 @@ mod tests {
     fn full_operand_maps_directly() {
         let (spec, a) = spec_with_input(8);
         let op = Operand::value(a);
-        assert_eq!(
-            operand_bit(&spec, &op, 3, false),
-            BitRef::Value { value: a, bit: 3 }
-        );
+        assert_eq!(operand_bit(&spec, &op, 3, false), BitRef::Value { value: a, bit: 3 });
     }
 
     #[test]
     fn sliced_operand_offsets() {
         let (spec, a) = spec_with_input(8);
         let op = Operand::slice(a, BitRange::new(4, 3));
-        assert_eq!(
-            operand_bit(&spec, &op, 1, false),
-            BitRef::Value { value: a, bit: 5 }
-        );
+        assert_eq!(operand_bit(&spec, &op, 1, false), BitRef::Value { value: a, bit: 5 });
     }
 
     #[test]
@@ -163,10 +154,7 @@ mod tests {
     fn signed_extension_replicates_msb() {
         let (spec, a) = spec_with_input(8);
         let op = Operand::slice(a, BitRange::new(0, 4));
-        assert_eq!(
-            operand_bit(&spec, &op, 6, true),
-            BitRef::Value { value: a, bit: 3 }
-        );
+        assert_eq!(operand_bit(&spec, &op, 6, true), BitRef::Value { value: a, bit: 3 });
     }
 
     #[test]

@@ -80,9 +80,7 @@ pub fn op_delay_delta(spec: &Spec, op: &Operation) -> Delta {
                 let [a_live, b_live] = profile.live[i];
                 let carry_in = profile.carry_live[i];
                 let t = match (a_live, b_live, carry_in) {
-                    (true, true, true) | (true, false, true) | (false, true, true) => {
-                        t_carry + 1
-                    }
+                    (true, true, true) | (true, false, true) | (false, true, true) => t_carry + 1,
                     (true, true, false) => 1,
                     (true, false, false) | (false, true, false) | (false, false, _) => t_carry,
                 };
@@ -92,18 +90,14 @@ pub fn op_delay_delta(spec: &Spec, op: &Operation) -> Delta {
             worst
         }
         OpKind::Sub | OpKind::Neg | OpKind::Abs => op.width(),
-        OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge | OpKind::Max | OpKind::Min => op
-            .operands()
-            .iter()
-            .map(|o| spec.operand_width(o))
-            .max()
-            .unwrap_or(1),
+        OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge | OpKind::Max | OpKind::Min => {
+            op.operands().iter().map(|o| spec.operand_width(o)).max().unwrap_or(1)
+        }
         OpKind::Mul => {
             // Matches the bit-level path through the shift-add row
             // decomposition the kernel extraction produces: the wider
             // operand's ripple plus ~2δ per partial-product row.
-            let mut ws: Vec<Delta> =
-                op.operands().iter().map(|o| spec.operand_width(o)).collect();
+            let mut ws: Vec<Delta> = op.operands().iter().map(|o| spec.operand_width(o)).collect();
             ws.sort_unstable();
             match ws.as_slice() {
                 [a, b] => b + 2 * a,
@@ -149,10 +143,8 @@ mod tests {
     fn truncation_adds_to_the_walk() {
         // A 12-bit op whose successor drops its 4 LSBs: the successor's
         // bit 0 aligns with the producer's bit 4, which costs 4 extra δ.
-        let path = [
-            PathStep { width: 12, truncated_right: 4 },
-            PathStep { width: 8, truncated_right: 0 },
-        ];
+        let path =
+            [PathStep { width: 12, truncated_right: 4 }, PathStep { width: 8, truncated_right: 0 }];
         assert_eq!(path_walk_time(&path), 8 + 1 + 4);
     }
 
@@ -181,12 +173,9 @@ mod tests {
     fn critical_path_matches_walk_on_chains() {
         // DFG-wide analysis agrees with the paper's path walk on chains of
         // equal-width additions.
-        for (widths, expect) in [
-            (vec![16u32, 16, 16], 18u32),
-            (vec![6, 6, 6], 8),
-            (vec![8, 8], 9),
-            (vec![4], 4),
-        ] {
+        for (widths, expect) in
+            [(vec![16u32, 16, 16], 18u32), (vec![6, 6, 6], 8), (vec![8, 8], 9), (vec![4], 4)]
+        {
             let mut b = SpecBuilder::new("chain");
             let mut acc: Operand = b.input("I0", widths[0]).into();
             for (k, &w) in widths.iter().enumerate() {
@@ -210,10 +199,8 @@ mod tests {
               output E; }",
         )
         .unwrap();
-        let steps = [
-            PathStep { width: 12, truncated_right: 4 },
-            PathStep { width: 8, truncated_right: 0 },
-        ];
+        let steps =
+            [PathStep { width: 12, truncated_right: 4 }, PathStep { width: 8, truncated_right: 0 }];
         assert_eq!(critical_path(&spec), path_walk_time(&steps));
     }
 
@@ -228,11 +215,7 @@ mod tests {
               output S; output P; output L; output N; }",
         )
         .unwrap();
-        let d: Vec<Delta> = spec
-            .ops()
-            .iter()
-            .map(|o| op_delay_delta(&spec, o))
-            .collect();
+        let d: Vec<Delta> = spec.ops().iter().map(|o| op_delay_delta(&spec, o)).collect();
         // The 9-bit add's top bit is a pure carry (settles with bit 7): 8δ.
         assert_eq!(d, vec![8, 24, 8, 0]);
     }

@@ -32,10 +32,7 @@ fn push(req: &mut BitTimes, spec: &Spec, operand: &Operand, i: u32, signed: bool
 
 /// Minimum required time over the meaningful result bits of `op`.
 fn min_out(req: &BitTimes, op: &Operation) -> Delta {
-    (0..op.width())
-        .map(|i| req.bit(op.result(), i))
-        .min()
-        .unwrap_or(0)
+    (0..op.width()).map(|i| req.bit(op.result(), i)).min().unwrap_or(0)
 }
 
 fn eval_op_required(spec: &Spec, op: &Operation, req: &mut BitTimes) {
@@ -110,12 +107,7 @@ fn eval_op_required(spec: &Spec, op: &Operation, req: &mut BitTimes) {
             }
         }
         OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge => {
-            let w_in = op
-                .operands()
-                .iter()
-                .map(|o| spec.operand_width(o))
-                .max()
-                .unwrap_or(1);
+            let w_in = op.operands().iter().map(|o| spec.operand_width(o)).max().unwrap_or(1);
             let result_req = req.bit(z, 0);
             for i in 0..w_in {
                 // Input bit i is followed by (w_in - i) chain steps.
@@ -126,12 +118,7 @@ fn eval_op_required(spec: &Spec, op: &Operation, req: &mut BitTimes) {
             }
         }
         OpKind::Max | OpKind::Min => {
-            let w_in = op
-                .operands()
-                .iter()
-                .map(|o| spec.operand_width(o))
-                .max()
-                .unwrap_or(1);
+            let w_in = op.operands().iter().map(|o| spec.operand_width(o)).max().unwrap_or(1);
             let cmp_req = min_out(req, op);
             for i in 0..w_in {
                 let via_chain = cmp_req.saturating_sub(w_in - i);
@@ -143,11 +130,7 @@ fn eval_op_required(spec: &Spec, op: &Operation, req: &mut BitTimes) {
             }
         }
         OpKind::Mul => {
-            let mut ws: Vec<Delta> = op
-                .operands()
-                .iter()
-                .map(|o| spec.operand_width(o))
-                .collect();
+            let mut ws: Vec<Delta> = op.operands().iter().map(|o| spec.operand_width(o)).collect();
             ws.sort_unstable();
             let total_delay: Delta = match ws.as_slice() {
                 [a, b] => b + 2 * a,
@@ -287,15 +270,17 @@ mod tests {
         let arr = arrival_times(&s);
         // 17δ is infeasible: some bit's required time drops below arrival.
         let req = required_times(&s, 17);
-        let infeasible = s.values().iter().any(|v| {
-            (0..v.width()).any(|i| arr.bit(v.id(), i) > req.bit(v.id(), i))
-        });
+        let infeasible = s
+            .values()
+            .iter()
+            .any(|v| (0..v.width()).any(|i| arr.bit(v.id(), i) > req.bit(v.id(), i)));
         assert!(infeasible);
         // 18δ is feasible.
         let req = required_times(&s, 18);
-        let infeasible = s.values().iter().any(|v| {
-            (0..v.width()).any(|i| arr.bit(v.id(), i) > req.bit(v.id(), i))
-        });
+        let infeasible = s
+            .values()
+            .iter()
+            .any(|v| (0..v.width()).any(|i| arr.bit(v.id(), i) > req.bit(v.id(), i)));
         assert!(!infeasible);
     }
 

@@ -44,10 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfragments (width @ [ASAP..ALAP]):");
     for op in spec.ops() {
         let frs = fragments_of_op(&cycles, op);
-        let desc: Vec<String> = frs
-            .iter()
-            .map(|f| format!("{}@[{}..{}]", f.range.width(), f.asap, f.alap))
-            .collect();
+        let desc: Vec<String> =
+            frs.iter().map(|f| format!("{}@[{}..{}]", f.range.width(), f.asap, f.alap)).collect();
         println!("  {}: {}", op.label(), desc.join(", "));
     }
 

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "three_adds" => bm::three_adds(),
         other => return Err(format!("unknown spec `{other}`").into()),
     };
-    let points = latency_sweep(&spec, 3..=15, &CompareOptions::default());
+    // Every latency runs in parallel on the batch engine's worker pool;
+    // the points come back in ascending-latency order regardless.
+    let engine = Engine::default();
+    let points = engine.sweep(&spec, 3..=15, &CompareOptions::default());
     if points.is_empty() {
         return Err("no feasible latency in 3..=15".into());
     }
@@ -34,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // ASCII plot: one row per latency, 'O' = original, '*' = optimized.
-    let max = points
-        .iter()
-        .map(|p| p.original_ns.max(p.optimized_ns))
-        .fold(0.0f64, f64::max);
+    let max = points.iter().map(|p| p.original_ns.max(p.optimized_ns)).fold(0.0f64, f64::max);
     let width = 62usize;
     println!("\n      0 ns {:>width$}", format!("{max:.1} ns"), width = width - 5);
     for p in &points {

@@ -46,15 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         opt.schedule.render(&opt.fragmented.spec)
     );
     for (source, ids) in &opt.fragmented.per_source {
-        let widths: Vec<String> = ids
-            .iter()
-            .map(|id| opt.fragmented.fragments[id].range.width().to_string())
-            .collect();
-        println!(
-            "  {} fragments: {} bits",
-            opt.kernel.op(*source).label(),
-            widths.join("/")
-        );
+        let widths: Vec<String> =
+            ids.iter().map(|id| opt.fragmented.fragments[id].range.width().to_string()).collect();
+        println!("  {} fragments: {} bits", opt.kernel.op(*source).label(), widths.join("/"));
     }
 
     // Fig. 2 c): the bit waves computed in every cycle.

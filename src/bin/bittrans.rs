@@ -3,15 +3,20 @@
 //! ```text
 //! bittrans optimize  <file.spec> --latency N [--adder rca|cla|csel] [--emit-vhdl DIR] [--netlist]
 //! bittrans compare   <file.spec> --latency N
-//! bittrans sweep     <file.spec> --from N --to M
+//! bittrans sweep     <file.spec> --from N --to M [--jobs K]
+//! bittrans batch     <dir-or-files...> --latency N [--jobs K]
 //! bittrans fragments <file.spec> --latency N
 //! bittrans check     <file.spec>
 //! ```
 //!
 //! `<file.spec>` contains a specification in the textual DSL (see
-//! `bittrans::ir::parse`); pass `-` to read from stdin.
+//! `bittrans::ir::parse`); pass `-` to read from stdin. `batch` accepts any
+//! mix of `.spec` files and directories (scanned for `*.spec`), optimizes
+//! every specification on a worker pool (`--jobs`, default: all cores) and
+//! reports the per-spec comparisons plus the engine's cache statistics.
 
 use bittrans::core::report::{render_sweep, render_table1};
+use bittrans::engine::{Engine, EngineOptions, Job};
 use bittrans::prelude::*;
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -28,18 +33,19 @@ fn main() -> ExitCode {
 
 struct Args {
     command: String,
-    file: String,
+    files: Vec<String>,
     latency: u32,
     from: u32,
     to: u32,
+    jobs: Option<usize>,
     adder: AdderArch,
     emit_vhdl: Option<String>,
     netlist: bool,
 }
 
 fn usage() -> String {
-    "usage: bittrans <optimize|compare|sweep|fragments|check> <file.spec|-> \
-     [--latency N] [--from N] [--to M] [--adder rca|cla|csel] \
+    "usage: bittrans <optimize|compare|sweep|batch|fragments|check> <file.spec|dir|-> ... \
+     [--latency N] [--from N] [--to M] [--jobs K] [--adder rca|cla|csel] \
      [--emit-vhdl DIR] [--netlist]"
         .to_string()
 }
@@ -47,26 +53,36 @@ fn usage() -> String {
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or_else(usage)?;
-    let file = argv.next().ok_or_else(usage)?;
     let mut args = Args {
         command,
-        file,
+        files: Vec::new(),
         latency: 3,
         from: 2,
         to: 10,
+        jobs: None,
         adder: AdderArch::RippleCarry,
         emit_vhdl: None,
         netlist: false,
     };
     while let Some(flag) = argv.next() {
-        let mut value = |name: &str| {
-            argv.next()
-                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
-        };
+        let mut value =
+            |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value\n{}", usage()));
         match flag.as_str() {
-            "--latency" => args.latency = value("--latency")?.parse().map_err(|e| format!("bad --latency: {e}"))?,
-            "--from" => args.from = value("--from")?.parse().map_err(|e| format!("bad --from: {e}"))?,
+            "--latency" => {
+                args.latency =
+                    value("--latency")?.parse().map_err(|e| format!("bad --latency: {e}"))?
+            }
+            "--from" => {
+                args.from = value("--from")?.parse().map_err(|e| format!("bad --from: {e}"))?
+            }
             "--to" => args.to = value("--to")?.parse().map_err(|e| format!("bad --to: {e}"))?,
+            "--jobs" => {
+                let k: usize = value("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+                if k == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                args.jobs = Some(k);
+            }
             "--adder" => {
                 args.adder = match value("--adder")?.as_str() {
                     "rca" => AdderArch::RippleCarry,
@@ -77,8 +93,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--emit-vhdl" => args.emit_vhdl = Some(value("--emit-vhdl")?),
             "--netlist" => args.netlist = true,
-            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()))
+            }
+            positional => args.files.push(positional.to_string()),
         }
+    }
+    if args.files.is_empty() {
+        return Err(usage());
     }
     Ok(args)
 }
@@ -86,9 +108,7 @@ fn parse_args() -> Result<Args, String> {
 fn read_spec(path: &str) -> Result<Spec, String> {
     let text = if path == "-" {
         let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|e| format!("reading stdin: {e}"))?;
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("reading stdin: {e}"))?;
         buf
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
@@ -96,10 +116,92 @@ fn read_spec(path: &str) -> Result<Spec, String> {
     Spec::parse(&text).map_err(|e| e.to_string())
 }
 
+/// Expands the `batch` operands: files stay as-is, directories contribute
+/// every contained `*.spec` in name order.
+fn collect_spec_paths(operands: &[String]) -> Result<Vec<String>, String> {
+    let mut paths = Vec::new();
+    for operand in operands {
+        if operand == "-" {
+            paths.push(operand.clone());
+            continue;
+        }
+        let meta = std::fs::metadata(operand).map_err(|e| format!("reading {operand}: {e}"))?;
+        if meta.is_dir() {
+            let mut found = Vec::new();
+            let entries =
+                std::fs::read_dir(operand).map_err(|e| format!("reading {operand}: {e}"))?;
+            for entry in entries {
+                let path = entry.map_err(|e| format!("reading {operand}: {e}"))?.path();
+                if path.extension().is_some_and(|ext| ext == "spec") {
+                    found.push(path.to_string_lossy().into_owned());
+                }
+            }
+            found.sort();
+            if found.is_empty() {
+                return Err(format!("{operand}: no .spec files in directory"));
+            }
+            paths.extend(found);
+        } else {
+            paths.push(operand.clone());
+        }
+    }
+    Ok(paths)
+}
+
+fn run_batch(args: &Args, options: &CompareOptions) -> Result<(), String> {
+    let paths = collect_spec_paths(&args.files)?;
+    let jobs: Vec<Job> = paths
+        .iter()
+        .map(|path| Ok(Job::with_options(read_spec(path)?, args.latency, *options)))
+        .collect::<Result<_, String>>()?;
+
+    let engine = Engine::new(EngineOptions { workers: args.jobs, ..Default::default() });
+    let report = engine.run(jobs);
+
+    println!(
+        "{:<20}{:>4}{:>14}{:>14}{:>10}{:>10}{:>8}",
+        "spec", "λ", "orig (ns)", "opt (ns)", "saved", "area Δ", "cached"
+    );
+    let mut failures = 0usize;
+    for outcome in &report.outcomes {
+        match outcome.result.as_ref() {
+            Ok(cmp) => println!(
+                "{:<20}{:>4}{:>14.2}{:>14.2}{:>9.1}%{:>9.1}%{:>8}",
+                outcome.name,
+                outcome.latency,
+                cmp.original.cycle_ns,
+                cmp.optimized.cycle_ns,
+                cmp.cycle_saved_pct(),
+                cmp.area_delta_pct(),
+                if outcome.from_cache { "yes" } else { "no" },
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("{:<20}{:>4}  error: {e}", outcome.name, outcome.latency);
+            }
+        }
+    }
+    println!("\nengine: {}", report.stats);
+    if failures > 0 {
+        return Err(format!("{failures} of {} jobs failed", report.outcomes.len()));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let spec = read_spec(&args.file)?;
     let options = CompareOptions { adder_arch: args.adder, ..Default::default() };
+    if args.command == "batch" {
+        return run_batch(&args, &options);
+    }
+    if args.files.len() > 1 {
+        return Err(format!(
+            "`{}` takes exactly one spec file ({} given); use `batch` for many",
+            args.command,
+            args.files.len()
+        ));
+    }
+    let spec = read_spec(&args.files[0])?;
     match args.command.as_str() {
         "check" => {
             let stats = spec.stats();
@@ -163,10 +265,7 @@ fn run() -> Result<(), String> {
             let cmp = compare(&spec, args.latency, &options).map_err(|e| e.to_string())?;
             println!(
                 "{}",
-                render_table1(&[
-                    ("Conventional", &cmp.original),
-                    ("Optimized", &cmp.optimized),
-                ])
+                render_table1(&[("Conventional", &cmp.original), ("Optimized", &cmp.optimized),])
             );
             println!(
                 "cycle saved {:.1} %, area {:+.1} %, operations {:+.0} %",
@@ -180,7 +279,8 @@ fn run() -> Result<(), String> {
             if args.from > args.to {
                 return Err("--from must not exceed --to".into());
             }
-            let points = latency_sweep(&spec, args.from..=args.to, &options);
+            let engine = Engine::new(EngineOptions { workers: args.jobs, ..Default::default() });
+            let points = engine.sweep(&spec, args.from..=args.to, &options);
             println!("{}", render_sweep(&format!("{} sweep", spec.name()), &points));
             Ok(())
         }

@@ -25,6 +25,7 @@
 //! | [`rtl`] | `bittrans-rtl` | component library with calibrated cost models |
 //! | [`benchmarks`] | `bittrans-benchmarks` | the paper's workloads |
 //! | [`core`] | `bittrans-core` | the end-to-end pipeline and comparison harness |
+//! | [`engine`] | `bittrans-engine` | parallel batch engine with content-addressed result caching |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@
 pub use bittrans_alloc as alloc;
 pub use bittrans_benchmarks as benchmarks;
 pub use bittrans_core as core;
+pub use bittrans_engine as engine;
 pub use bittrans_frag as frag;
 pub use bittrans_ir as ir;
 pub use bittrans_kernel as kernel;
@@ -70,16 +72,14 @@ pub use bittrans_timing as timing;
 pub mod prelude {
     pub use bittrans_alloc::{allocate, AllocOptions, Datapath};
     pub use bittrans_core::{
-        baseline, blc, compare, latency_sweep, optimize, CompareOptions, Comparison,
-        Implementation,
+        baseline, blc, compare, latency_sweep, optimize, CompareOptions, Comparison, Implementation,
     };
+    pub use bittrans_engine::{BatchReport, Engine, EngineOptions, EngineStats, Job, JobOutcome};
     pub use bittrans_frag::{fragment, FragmentInfo, FragmentOptions, Fragmented};
     pub use bittrans_ir::prelude::*;
     pub use bittrans_kernel::{extract, extract_with_options, ExtractOptions, MulStrategy};
     pub use bittrans_rtl::{AdderArch, AreaReport, Component};
-    pub use bittrans_sched::conventional::{
-        schedule_conventional, Chaining, ConventionalOptions,
-    };
+    pub use bittrans_sched::conventional::{schedule_conventional, Chaining, ConventionalOptions};
     pub use bittrans_sched::fragment::{schedule_fragments, FragmentScheduleOptions};
     pub use bittrans_sched::Schedule;
     pub use bittrans_sim::equivalence::check_equivalence;

@@ -83,14 +83,7 @@ fn fragments_lists_mobilities() {
 #[test]
 fn sweep_prints_series() {
     let spec = repo("specs/saturating_mac.spec");
-    let (ok, stdout, _) = run(&[
-        "sweep",
-        spec.to_str().unwrap(),
-        "--from",
-        "2",
-        "--to",
-        "5",
-    ]);
+    let (ok, stdout, _) = run(&["sweep", spec.to_str().unwrap(), "--from", "2", "--to", "5"]);
     assert!(ok);
     assert!(stdout.lines().count() >= 5, "{stdout}");
 }

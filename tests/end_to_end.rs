@@ -97,10 +97,7 @@ fn adpcm_modules_pipeline() {
 #[test]
 fn random_specs_pipeline() {
     for seed in 0..8 {
-        let spec = bm::random_spec(
-            seed,
-            &bm::RandomSpecOptions { ops: 12, ..Default::default() },
-        );
+        let spec = bm::random_spec(seed, &bm::RandomSpecOptions { ops: 12, ..Default::default() });
         for latency in [2, 4] {
             run_verified(&spec, latency);
         }
@@ -110,11 +107,9 @@ fn random_specs_pipeline() {
 #[test]
 fn shift_add_strategy_is_equivalent_too() {
     let spec = bm::fir2();
-    let kernel = extract_with_options(
-        &spec,
-        &ExtractOptions { mul_strategy: MulStrategy::ShiftAdd },
-    )
-    .unwrap();
+    let kernel =
+        extract_with_options(&spec, &ExtractOptions { mul_strategy: MulStrategy::ShiftAdd })
+            .unwrap();
     let f = fragment(&kernel, &FragmentOptions::with_latency(5)).unwrap();
     check_equivalence(&spec, &f.spec, 99, 150).unwrap();
     let s = schedule_fragments(&f, &FragmentScheduleOptions::default()).unwrap();

@@ -59,11 +59,7 @@ fn table2_savings_shape() {
         for &latency in &b.latencies {
             let cmp = compare(&b.spec, latency, &options()).unwrap();
             let saved = cmp.cycle_saved_pct();
-            assert!(
-                saved > 40.0,
-                "{} λ={latency}: only {saved:.1} % saved",
-                b.name
-            );
+            assert!(saved > 40.0, "{} λ={latency}: only {saved:.1} % saved", b.name);
             savings.push(saved);
         }
     }
@@ -99,12 +95,7 @@ fn table3_shape() {
     for b in bm::table3_benchmarks() {
         for &latency in &b.latencies {
             let cmp = compare(&b.spec, latency, &options()).unwrap();
-            assert!(
-                cmp.cycle_saved_pct() > 30.0,
-                "{}: {:.1} %",
-                b.name,
-                cmp.cycle_saved_pct()
-            );
+            assert!(cmp.cycle_saved_pct() > 30.0, "{}: {:.1} %", b.name, cmp.cycle_saved_pct());
             assert!(
                 cmp.area_delta_pct() < 10.0,
                 "{}: area grew {:.1} %",
@@ -135,10 +126,7 @@ fn fig4_divergence() {
     // The ratio original/optimized grows across the sweep.
     let r_first = first.original_ns / first.optimized_ns;
     let r_last = last.original_ns / last.optimized_ns;
-    assert!(
-        r_last > r_first * 1.5,
-        "ratio should widen: {r_first:.2} -> {r_last:.2}"
-    );
+    assert!(r_last > r_first * 1.5, "ratio should widen: {r_first:.2} -> {r_last:.2}");
 }
 
 /// The paper's §1 bullet points, as executable claims on the motivational
@@ -185,10 +173,8 @@ fn unconsecutive_cycles_happen() {
     let spec = bm::fig3_dfg();
     let opt = optimize(&spec, 3, &options()).unwrap();
     let unconsecutive = opt.fragmented.per_source.values().any(|ids| {
-        let cycles: std::collections::BTreeSet<u32> = ids
-            .iter()
-            .map(|id| opt.schedule.cycle_of(*id).unwrap())
-            .collect();
+        let cycles: std::collections::BTreeSet<u32> =
+            ids.iter().map(|id| opt.schedule.cycle_of(*id).unwrap()).collect();
         cycles.contains(&1) && cycles.contains(&3) && !cycles.contains(&2)
     });
     // The balanced schedule places A in cycles 1 and 3 (paper Fig. 3 g).
