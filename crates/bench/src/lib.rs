@@ -21,14 +21,21 @@
 
 use bittrans_benchmarks as bm;
 use bittrans_core::report::{render_bench_table, render_sweep, render_table1, BenchRow};
-use bittrans_core::{baseline, blc, compare, optimize, CompareOptions, Implementation, SweepPoint};
-use bittrans_engine::Engine;
+use bittrans_core::{baseline, blc, optimize, CompareOptions, Implementation, SweepPoint};
+use bittrans_engine::{Engine, Study, StudyReport};
 use bittrans_ir::Spec;
 use bittrans_rtl::AdderArch;
 use serde::Serialize;
 
 fn quiet() -> CompareOptions {
-    CompareOptions { verify_vectors: 0, ..Default::default() }
+    CompareOptions::builder().verify_vectors(0).build().expect("static options validate")
+}
+
+/// One engine per table/figure run: each harness entry point is invoked
+/// standalone by the benches, so the shared state worth keeping is the
+/// within-run cache (e.g. Table II latency pairs per benchmark).
+fn engine() -> Engine {
+    Engine::default()
 }
 
 /// Table I: the three implementations of the motivational example.
@@ -61,12 +68,23 @@ pub fn table3() -> (String, Vec<BenchRow>) {
 }
 
 fn bench_rows(benchmarks: Vec<bm::Benchmark>) -> Vec<BenchRow> {
+    // Each benchmark carries its own latency list, so the table is a chain
+    // of single-spec studies sharing one engine (and therefore one cache).
+    let engine = engine();
     let mut rows = Vec::new();
     for b in benchmarks {
-        for &latency in &b.latencies {
-            let comparison = compare(&b.spec, latency, &quiet())
-                .unwrap_or_else(|e| panic!("{} λ={latency}: {e}", b.name));
-            rows.push(BenchRow { bench: b.name.to_string(), latency, comparison });
+        let report = Study::single(b.spec.clone())
+            .latencies(b.latencies.iter().copied())
+            .base_options(quiet())
+            .run(&engine);
+        for cell in &report.cells {
+            let comparison = cell
+                .comparison()
+                .unwrap_or_else(|| {
+                    panic!("{} λ={}: {}", b.name, cell.latency, cell.error().unwrap())
+                })
+                .clone();
+            rows.push(BenchRow { bench: b.name.to_string(), latency: cell.latency, comparison });
         }
     }
     rows
@@ -135,12 +153,13 @@ pub fn fig3() -> String {
 }
 
 /// Fig. 4: cycle length of both flows across λ = 3..15 on the elliptic
-/// filter (the paper's data-intensive sweep subject). The latencies run in
-/// parallel on a `bittrans-engine` worker pool; the points come back in
-/// the same order the serial `latency_sweep` would produce.
+/// filter (the paper's data-intensive sweep subject). A one-axis [`Study`]
+/// spreads the latencies over a `bittrans-engine` worker pool; the points
+/// come back in the same order the serial `latency_sweep` would produce.
 pub fn fig4() -> (String, Vec<SweepPoint>) {
-    let spec = bm::elliptic();
-    let points = Engine::default().sweep(&spec, 3..=15, &quiet());
+    let report =
+        Study::single(bm::elliptic()).latencies(3..=15).base_options(quiet()).run(&engine());
+    let points = report.sweep_points();
     let text = render_sweep("Fig. 4 — cycle length vs latency (elliptic)", &points);
     (text, points)
 }
@@ -156,51 +175,71 @@ pub struct AblationRow {
     pub area_gates: f64,
 }
 
-/// Ablation A: adder architectures (the paper's closing remark) on the
-/// motivational example at λ = 3.
-pub fn ablation_adders() -> (String, Vec<AblationRow>) {
+/// Rows of the optimized flow's cells of a study, labelled by `label_of`.
+fn ablation_rows(
+    report: &StudyReport,
+    label_of: impl Fn(&bittrans_engine::StudyCell) -> String,
+) -> Vec<AblationRow> {
+    report
+        .cells
+        .iter()
+        .map(|cell| {
+            let imp = &cell
+                .comparison()
+                .unwrap_or_else(|| {
+                    panic!("{} λ={}: {}", cell.spec, cell.latency, cell.error().unwrap())
+                })
+                .optimized;
+            AblationRow {
+                label: label_of(cell),
+                cycle_ns: imp.cycle_ns,
+                area_gates: imp.area.total(),
+            }
+        })
+        .collect()
+}
+
+fn render_ablation(title: &str, rows: &[AblationRow], width: usize) -> String {
     use std::fmt::Write as _;
-    let spec = bm::three_adds();
-    let mut rows = Vec::new();
-    for arch in [AdderArch::RippleCarry, AdderArch::CarryLookahead, AdderArch::CarrySelect] {
-        let opts = CompareOptions { adder_arch: arch, verify_vectors: 0, ..Default::default() };
-        let opt = optimize(&spec, 3, &opts).expect("optimize");
-        rows.push(AblationRow {
-            label: format!("optimized/{arch}"),
-            cycle_ns: opt.implementation.cycle_ns,
-            area_gates: opt.implementation.area.total(),
-        });
+    let mut text = format!("{title}\n");
+    for r in rows {
+        let _ = writeln!(
+            text,
+            "  {:<width$} {:>7.2} ns {:>8.0} gates",
+            r.label, r.cycle_ns, r.area_gates
+        );
     }
-    let mut text = String::from("Ablation A — adder architecture (three_adds, λ=3)\n");
-    for r in &rows {
-        let _ =
-            writeln!(text, "  {:<28} {:>7.2} ns {:>8.0} gates", r.label, r.cycle_ns, r.area_gates);
-    }
+    text
+}
+
+/// Ablation A: adder architectures (the paper's closing remark) on the
+/// motivational example at λ = 3 — an adder-axis [`Study`].
+pub fn ablation_adders() -> (String, Vec<AblationRow>) {
+    let report = Study::single(bm::three_adds())
+        .latencies([3])
+        .adder_archs([AdderArch::RippleCarry, AdderArch::CarryLookahead, AdderArch::CarrySelect])
+        .base_options(quiet())
+        .run(&engine());
+    let rows = ablation_rows(&report, |cell| format!("optimized/{}", cell.adder_arch));
+    let text = render_ablation("Ablation A — adder architecture (three_adds, λ=3)", &rows, 28);
     (text, rows)
 }
 
 /// Ablation B: fragment-schedule balancing on/off — the §3.3 design choice
-/// ("to balance the number of operations executed per cycle").
+/// ("to balance the number of operations executed per cycle") — a
+/// balance-axis [`Study`] per subject (each subject has its own λ).
 pub fn ablation_balance() -> (String, Vec<AblationRow>) {
-    use std::fmt::Write as _;
+    let engine = engine();
     let mut rows = Vec::new();
-    for (name, spec) in [("fig3", bm::fig3_dfg()), ("elliptic", bm::elliptic())] {
-        for balance in [true, false] {
-            let opts = CompareOptions { balance, verify_vectors: 0, ..Default::default() };
-            let lat = if name == "fig3" { 3 } else { 6 };
-            let opt = optimize(&spec, lat, &opts).expect("optimize");
-            rows.push(AblationRow {
-                label: format!("{name}/balance={balance}"),
-                cycle_ns: opt.implementation.cycle_ns,
-                area_gates: opt.implementation.area.total(),
-            });
-        }
+    for (name, spec, latency) in [("fig3", bm::fig3_dfg(), 3), ("elliptic", bm::elliptic(), 6)] {
+        let report = Study::single(spec)
+            .latencies([latency])
+            .balance_both()
+            .base_options(quiet())
+            .run(&engine);
+        rows.extend(ablation_rows(&report, |cell| format!("{name}/balance={}", cell.balance)));
     }
-    let mut text = String::from("Ablation B — fragment balancing\n");
-    for r in &rows {
-        let _ =
-            writeln!(text, "  {:<28} {:>7.2} ns {:>8.0} gates", r.label, r.cycle_ns, r.area_gates);
-    }
+    let text = render_ablation("Ablation B — fragment balancing", &rows, 28);
     (text, rows)
 }
 
@@ -212,7 +251,6 @@ pub fn ablation_mul() -> (String, Vec<AblationRow>) {
     use bittrans_kernel::{extract_with_options, ExtractOptions, MulStrategy};
     use bittrans_sched::fragment::{schedule_fragments, FragmentScheduleOptions};
     use bittrans_timing::TimingModel;
-    use std::fmt::Write as _;
 
     let spec = bm::fir2();
     let mut rows = Vec::new();
@@ -230,11 +268,7 @@ pub fn ablation_mul() -> (String, Vec<AblationRow>) {
             area_gates: dp.area.total(),
         });
     }
-    let mut text = String::from("Ablation C — multiplier lowering (fir2, λ=5)\n");
-    for r in &rows {
-        let _ =
-            writeln!(text, "  {:<34} {:>7.2} ns {:>8.0} gates", r.label, r.cycle_ns, r.area_gates);
-    }
+    let text = render_ablation("Ablation C — multiplier lowering (fir2, λ=5)", &rows, 34);
     (text, rows)
 }
 

@@ -1,6 +1,8 @@
 //! Offline stand-in for `serde_json`: enough of the serializer to write the
 //! workspace's machine-readable result files (`to_string` /
-//! `to_string_pretty` over the shimmed `serde::Serialize`).
+//! `to_string_pretty` over the shimmed `serde::Serialize`), plus a dynamic
+//! [`Value`] tree and [`from_str`] parser so persisted results can be read
+//! back (real serde_json's `from_str::<Value>` shape).
 
 #![forbid(unsafe_code)]
 
@@ -225,6 +227,296 @@ impl SerializeTuple for JsonCompound<'_> {
     }
 }
 
+/// A dynamically typed JSON value, as produced by [`from_str`].
+///
+/// Mirrors `serde_json::Value` closely enough for the workspace's readers;
+/// objects preserve insertion order in a flat `Vec` instead of a map.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like serde_json's lossy mode).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: key/value pairs in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.trunc() == *n && *n < 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Accepts exactly the JSON this crate's serializer emits (which is
+/// standard JSON); trailing garbage after the top-level value is an error.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing data at byte {}", parser.pos)));
+    }
+    Ok(value)
+}
+
+/// Nesting cap matching real serde_json's default recursion limit: the
+/// parser recurses per container, and callers treat parse errors as
+/// "corrupt input", so a pathological file must error, not blow the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{}` at byte {}", byte as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        if self.depth > MAX_DEPTH {
+            return Err(Error(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos)));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
+        let n: f64 =
+            text.parse().map_err(|e| Error(format!("bad number `{text}` at byte {start}: {e}")))?;
+        Ok(Value::Number(n))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape =
+                        self.peek().ok_or_else(|| Error("unterminated escape".to_string()))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| Error(format!("bad \\u escape: {e}")))?;
+                            self.pos += 4;
+                            // Surrogate pairs never occur in this workspace's
+                            // output (the serializer only \u-escapes control
+                            // characters); reject them rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error(format!("bad code point {code:#x}")))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                Some(b) if b < 0x80 => {
+                    // Plain ASCII — the overwhelmingly common case — is a
+                    // byte push; no UTF-8 validation of the document tail.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // One multi-byte UTF-8 sequence: validate only its own
+                    // (at most 4-byte) window, not the remaining input.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .ok()
+                        .or_else(|| {
+                            // A valid sequence truncated by the window
+                            // boundary: shrink until it decodes.
+                            (self.pos + 1..end).rev().find_map(|mid| {
+                                std::str::from_utf8(&self.bytes[self.pos..mid]).ok()
+                            })
+                        })
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| Error(format!("invalid UTF-8 at byte {}", self.pos)))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".to_string())),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +543,90 @@ mod tests {
     fn empty_collections_stay_compact() {
         let empty: Vec<u32> = Vec::new();
         assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" -2.5e1 ").unwrap(), Value::Number(-25.0));
+        assert_eq!(from_str(r#""a\"b\n""#).unwrap(), Value::String("a\"b\n".to_string()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str(r#"{"a": [1, 2.0], "b": {"c": "x", "d": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn multibyte_strings_roundtrip() {
+        // Adjacent multi-byte sequences exercise the bounded-window decode
+        // (a 4-byte window can cut the *next* char in half).
+        for text in ["λ=3 → 6δ", "ééé", "日本語テスト", "a→b"] {
+            let json = to_string(text).unwrap();
+            assert_eq!(from_str(&json).unwrap().as_str(), Some(text), "{json}");
+        }
+        // A multi-byte char with no closing quote errors cleanly.
+        assert!(from_str("\"\u{e9}").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // A corrupt megafile of brackets must be a parse error, never a
+        // stack overflow (cache loaders treat errors as "skip entry").
+        let bomb = "[".repeat(300_000);
+        assert!(from_str(&bomb).is_err());
+        let nested_ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(from_str(&nested_ok).is_ok());
+    }
+
+    #[test]
+    fn roundtrips_serializer_output() {
+        #[derive(Debug)]
+        struct Row {
+            name: &'static str,
+            ns: f64,
+            n: u32,
+        }
+        impl Serialize for Row {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let mut st = s.serialize_struct("Row", 3)?;
+                st.serialize_field("name", self.name)?;
+                st.serialize_field("ns", &self.ns)?;
+                st.serialize_field("n", &self.n)?;
+                st.end()
+            }
+        }
+        let row = Row { name: "ex", ns: 3.5527136788, n: 7 };
+        for text in [to_string(&row).unwrap(), to_string_pretty(&row).unwrap()] {
+            let v = from_str(&text).unwrap();
+            assert_eq!(v.get("name").unwrap().as_str(), Some("ex"));
+            assert_eq!(v.get("ns").unwrap().as_f64(), Some(3.5527136788));
+            assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        }
+    }
+
+    #[test]
+    fn float_text_roundtrips_exactly() {
+        // Cross-process cache correctness depends on `{}`-formatted f64
+        // parsing back bit-identically.
+        for v in [1.0f64 / 3.0, 0.1 + 0.2, 0.585 * 6.0 + 0.04, 1e-300, -f64::MIN_POSITIVE] {
+            let text = format_f64(v);
+            let back = from_str(&text).unwrap().as_f64().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{text}");
+        }
     }
 }

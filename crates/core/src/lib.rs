@@ -81,6 +81,110 @@ impl Default for CompareOptions {
     }
 }
 
+impl CompareOptions {
+    /// A validated builder starting from [`CompareOptions::default`].
+    ///
+    /// The struct's fields stay public (struct-update syntax keeps working),
+    /// but the builder is the front door for configuration assembled from
+    /// user input — CLI flags, study axes — because [`build`] range-checks
+    /// what a struct literal cannot: the timing model must be physical and
+    /// the verification budget bounded.
+    ///
+    /// [`build`]: CompareOptionsBuilder::build
+    pub fn builder() -> CompareOptionsBuilder {
+        CompareOptionsBuilder { options: CompareOptions::default() }
+    }
+}
+
+/// Upper bound on [`CompareOptions::verify_vectors`] accepted by the
+/// builder: beyond this the equivalence check dominates every pipeline run
+/// by orders of magnitude, which is always a mistyped flag.
+pub const MAX_VERIFY_VECTORS: usize = 1_000_000;
+
+/// Builder for [`CompareOptions`] with range validation. Created by
+/// [`CompareOptions::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompareOptionsBuilder {
+    options: CompareOptions,
+}
+
+impl CompareOptionsBuilder {
+    /// Sets the adder micro-architecture of the datapath cost model.
+    pub fn adder_arch(mut self, adder_arch: AdderArch) -> Self {
+        self.options.adder_arch = adder_arch;
+        self
+    }
+
+    /// Sets the δ→ns timing model (validated in [`Self::build`]).
+    pub fn timing(mut self, timing: TimingModel) -> Self {
+        self.options.timing = timing;
+        self
+    }
+
+    /// Enables or disables per-cycle operation balancing in both schedulers.
+    pub fn balance(mut self, balance: bool) -> Self {
+        self.options.balance = balance;
+        self
+    }
+
+    /// Sets the number of random vectors for the built-in equivalence check
+    /// (0 disables verification; validated in [`Self::build`]).
+    pub fn verify_vectors(mut self, verify_vectors: usize) -> Self {
+        self.options.verify_vectors = verify_vectors;
+        self
+    }
+
+    /// Validates and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// [`OptionsError`] when the timing model is non-physical (δ not finite
+    /// and positive, overhead not finite and non-negative) or
+    /// `verify_vectors` exceeds [`MAX_VERIFY_VECTORS`].
+    pub fn build(self) -> Result<CompareOptions, OptionsError> {
+        let CompareOptions { timing, verify_vectors, .. } = self.options;
+        if !(timing.delta_ns.is_finite() && timing.delta_ns > 0.0) {
+            return Err(OptionsError::BadDelta(timing.delta_ns));
+        }
+        if !(timing.overhead_ns.is_finite() && timing.overhead_ns >= 0.0) {
+            return Err(OptionsError::BadOverhead(timing.overhead_ns));
+        }
+        if verify_vectors > MAX_VERIFY_VECTORS {
+            return Err(OptionsError::TooManyVectors(verify_vectors));
+        }
+        Ok(self.options)
+    }
+}
+
+/// A [`CompareOptionsBuilder::build`] rejection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OptionsError {
+    /// `timing.delta_ns` was not finite and positive.
+    BadDelta(f64),
+    /// `timing.overhead_ns` was not finite and non-negative.
+    BadOverhead(f64),
+    /// `verify_vectors` exceeded [`MAX_VERIFY_VECTORS`].
+    TooManyVectors(usize),
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionsError::BadDelta(v) => {
+                write!(f, "timing delta_ns must be finite and positive (got {v})")
+            }
+            OptionsError::BadOverhead(v) => {
+                write!(f, "timing overhead_ns must be finite and non-negative (got {v})")
+            }
+            OptionsError::TooManyVectors(n) => {
+                write!(f, "verify_vectors {n} exceeds the maximum of {MAX_VERIFY_VECTORS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
 /// Errors from the pipeline.
 #[derive(Clone, Debug)]
 pub enum PipelineError {
@@ -458,5 +562,46 @@ mod tests {
         assert!(e.to_string().contains("fragmentation"));
         let e = PipelineError::Sched(SchedError::ZeroLatency);
         assert!(e.to_string().contains("scheduling"));
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = CompareOptions::builder().build().unwrap();
+        assert_eq!(built, CompareOptions::default());
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let timing = TimingModel { delta_ns: 0.3, overhead_ns: 0.1 };
+        let built = CompareOptions::builder()
+            .adder_arch(bittrans_rtl::AdderArch::CarrySelect)
+            .timing(timing)
+            .balance(false)
+            .verify_vectors(7)
+            .build()
+            .unwrap();
+        assert_eq!(built.adder_arch, bittrans_rtl::AdderArch::CarrySelect);
+        assert_eq!(built.timing, timing);
+        assert!(!built.balance);
+        assert_eq!(built.verify_vectors, 7);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_values() {
+        for delta in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let r = CompareOptions::builder()
+                .timing(TimingModel { delta_ns: delta, overhead_ns: 0.0 })
+                .build();
+            assert!(matches!(r, Err(OptionsError::BadDelta(_))), "delta {delta}");
+        }
+        for overhead in [-0.1, f64::NAN] {
+            let r = CompareOptions::builder()
+                .timing(TimingModel { delta_ns: 0.5, overhead_ns: overhead })
+                .build();
+            assert!(matches!(r, Err(OptionsError::BadOverhead(_))), "overhead {overhead}");
+        }
+        let r = CompareOptions::builder().verify_vectors(MAX_VERIFY_VECTORS + 1).build();
+        assert!(matches!(r, Err(OptionsError::TooManyVectors(_))));
+        assert!(r.unwrap_err().to_string().contains("verify_vectors"));
     }
 }

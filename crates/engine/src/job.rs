@@ -1,5 +1,9 @@
 //! The unit of work: one specification at one latency under one
 //! configuration, plus the outcome type a batch hands back.
+//!
+//! Jobs are what both front ends bottom out in: [`crate::Engine::run`]
+//! takes them directly, and a [`crate::Study`] grid expands each axis
+//! coordinate into one job before deduplicating by [`JobKey`].
 
 use crate::key::JobKey;
 use bittrans_core::{CompareOptions, Comparison, PipelineError};

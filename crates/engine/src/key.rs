@@ -49,6 +49,19 @@ impl JobKey {
         let hi = fnv1a(bytes, FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15);
         JobKey([lo, hi])
     }
+
+    /// Parses the 32-hex-digit form produced by [`JobKey`]'s `Display`
+    /// (used as the file stem of persisted cache entries). Returns `None`
+    /// for anything else — including sign characters, which
+    /// `u64::from_str_radix` would otherwise accept.
+    pub fn from_hex(text: &str) -> Option<Self> {
+        if text.len() != 32 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&text[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&text[16..], 16).ok()?;
+        Some(JobKey([lo, hi]))
+    }
 }
 
 impl fmt::Display for JobKey {
@@ -78,6 +91,19 @@ mod tests {
     #[test]
     fn displays_as_32_hex_chars() {
         assert_eq!(JobKey::of_bytes(b"abc").to_string().len(), 32);
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let key = JobKey::of_bytes(b"roundtrip");
+        assert_eq!(JobKey::from_hex(&key.to_string()), Some(key));
+        assert_eq!(JobKey::from_hex("short"), None);
+        assert_eq!(JobKey::from_hex("zz".repeat(16).as_str()), None);
+        assert_eq!(JobKey::from_hex(&"0".repeat(33)), None);
+        // Sign characters are not canonical hex even though from_str_radix
+        // would take them.
+        assert_eq!(JobKey::from_hex(&format!("+{}", "0".repeat(31))), None);
+        assert_eq!(JobKey::from_hex(&format!("{}+{}", "0".repeat(16), "0".repeat(15))), None);
     }
 
     #[test]

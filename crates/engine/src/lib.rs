@@ -9,7 +9,7 @@
 //! pipeline hundreds of times, and most of those runs repeat earlier ones
 //! exactly (a sweep re-run with one changed spec, overlapping latency
 //! ranges, the same spec under several reporting front ends). This crate
-//! adds the two missing layers:
+//! adds the three missing layers:
 //!
 //! * **parallelism** — a [`Job`] is a `spec × latency × options` triple;
 //!   [`Engine::run`] fans a batch of jobs out across a pool of worker
@@ -19,7 +19,12 @@
 //!   of its canonicalized specification text, latency and options
 //!   ([`key`]); results live in an in-memory [`cache`] shared by all
 //!   batches run on one engine, with hit/miss counters surfaced through
-//!   [`EngineStats`].
+//!   [`EngineStats`], and optionally spill to a directory
+//!   ([`Engine::with_cache_dir`]) that later processes preload;
+//! * **design-space exploration** — a [`Study`] spans a typed axis grid
+//!   (specs × latencies × adder architectures × balancing × verification)
+//!   and returns a [`StudyReport`] of labelled cells, replacing every
+//!   hand-rolled sweep loop in the benches, examples and CLI.
 //!
 //! ```
 //! use bittrans_engine::{Engine, Job};
@@ -53,16 +58,22 @@ pub mod cache;
 pub mod executor;
 pub mod job;
 pub mod key;
+mod persist;
+pub mod report;
 pub mod stats;
+pub mod study;
 pub mod sweep;
 
 pub use cache::ResultCache;
 pub use job::{Job, JobOutcome, JobResult};
 pub use key::JobKey;
+pub use report::{StudyCell, StudyReport};
 pub use stats::{BatchReport, EngineStats};
+pub use study::Study;
 
 use bittrans_core::{compare, SweepPoint};
 use bittrans_ir::Spec;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -82,17 +93,47 @@ impl Default for EngineOptions {
 }
 
 /// The batch-optimization engine: a worker pool plus a content-addressed
-/// result cache shared by every batch run through it.
+/// result cache shared by every batch run through it, optionally spilled
+/// to disk ([`Engine::with_cache_dir`]) so separate processes share it too.
 #[derive(Debug, Default)]
 pub struct Engine {
     options: EngineOptions,
     cache: ResultCache,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Engine {
     /// An engine with the given options and an empty cache.
     pub fn new(options: EngineOptions) -> Self {
-        Engine { options, cache: ResultCache::new() }
+        Engine { options, cache: ResultCache::new(), cache_dir: None }
+    }
+
+    /// Attaches a persistent cache directory: existing entries (one JSON
+    /// file per [`JobKey`], written by any earlier process) are loaded into
+    /// the in-memory cache now, and every comparison this engine computes
+    /// from here on is spilled back with an atomic rename — so a repeated
+    /// CLI or CI invocation over the same inputs is served entirely from
+    /// disk and reports a 100 % hit rate.
+    ///
+    /// Corrupt or foreign files in the directory are skipped on load, and a
+    /// failed spill leaves the entry in memory only (the cache is an
+    /// optimization, never a correctness dependency). Only successful
+    /// comparisons are persisted; pipeline errors are recomputed.
+    /// Persistence is inert when [`EngineOptions::cache`] is false.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or scanning the directory.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        if self.options.cache {
+            for (key, comparison) in persist::load_dir(&dir)? {
+                self.cache.insert(key, Arc::new(Ok(comparison)));
+            }
+        }
+        self.cache_dir = Some(dir);
+        Ok(self)
     }
 
     /// The number of worker threads a batch will use.
@@ -149,6 +190,11 @@ impl Engine {
         if self.options.cache {
             for (key, result) in &computed {
                 self.cache.insert(*key, Arc::clone(result));
+                // Best-effort spill: a failed write costs a recomputation
+                // in some later process, never this batch's result.
+                if let (Some(dir), Ok(comparison)) = (&self.cache_dir, result.as_ref()) {
+                    let _ = persist::save(dir, *key, comparison);
+                }
             }
             self.cache.record(hits, misses);
         }
@@ -191,9 +237,10 @@ impl Engine {
     /// across a latency range — with the latencies spread over the worker
     /// pool instead of `bittrans_core::latency_sweep`'s serial loop.
     ///
-    /// Latencies where either flow is infeasible are skipped, and points
-    /// come back in ascending-latency order, exactly like the serial
-    /// version. Sweeps over overlapping ranges (or re-runs) hit the cache.
+    /// A thin wrapper over a single-axis [`Study`]: latencies where either
+    /// flow is infeasible are skipped, and points come back in input order,
+    /// exactly like the serial version. Sweeps over overlapping ranges (or
+    /// re-runs) hit the cache.
     pub fn sweep(
         &self,
         spec: &Spec,

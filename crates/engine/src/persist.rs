@@ -1,0 +1,150 @@
+//! On-disk spill of the content-addressed result cache: one JSON file per
+//! [`JobKey`], so repeated CLI/CI invocations reuse results across
+//! processes.
+//!
+//! Layout: `<dir>/<32-hex-digit key>.json`, each file holding one
+//! serialized [`Comparison`]. Writes go to a hidden temp file in the same
+//! directory followed by an atomic rename, so concurrent processes never
+//! observe a half-written entry — and because keys are content hashes of
+//! the full job input, racing writers always carry identical values.
+//!
+//! Only successful comparisons are persisted. Pipeline errors (infeasible
+//! latencies, mostly) are cheap to rediscover and their textual form is
+//! not stable enough to be worth a schema.
+
+use crate::key::JobKey;
+use bittrans_core::{Comparison, Implementation};
+use bittrans_rtl::AreaReport;
+use serde_json::Value;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The file a key persists to.
+pub(crate) fn entry_path(dir: &Path, key: JobKey) -> PathBuf {
+    dir.join(format!("{key}.json"))
+}
+
+/// Writes one comparison under its key, atomically (temp file + rename).
+pub(crate) fn save(dir: &Path, key: JobKey, comparison: &Comparison) -> io::Result<()> {
+    let json = serde_json::to_string(comparison)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    // The temp name carries pid + a process-wide counter: two threads (or
+    // two engines sharing one directory in one process) spilling the same
+    // key must never interleave writes into one temp file.
+    static SPILL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let serial = SPILL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = dir.join(format!(".{key}.{}-{serial}.tmp", std::process::id()));
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, entry_path(dir, key))
+}
+
+/// Reads every parseable `<key>.json` entry in `dir`. Files that are not
+/// cache entries — wrong name shape, unreadable, or corrupt JSON — are
+/// skipped: a damaged entry costs one recomputation, not the run.
+pub(crate) fn load_dir(dir: &Path) -> io::Result<Vec<(JobKey, Comparison)>> {
+    let mut entries = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_none_or(|ext| ext != "json") {
+            continue;
+        }
+        let Some(key) = path.file_stem().and_then(|s| s.to_str()).and_then(JobKey::from_hex) else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if let Some(comparison) = parse_comparison(&text) {
+            entries.push((key, comparison));
+        }
+    }
+    Ok(entries)
+}
+
+fn parse_comparison(text: &str) -> Option<Comparison> {
+    let value = serde_json::from_str(text).ok()?;
+    Some(Comparison {
+        original: parse_implementation(value.get("original")?)?,
+        optimized: parse_implementation(value.get("optimized")?)?,
+    })
+}
+
+fn parse_implementation(value: &Value) -> Option<Implementation> {
+    let area = value.get("area")?;
+    Some(Implementation {
+        name: value.get("name")?.as_str()?.to_string(),
+        latency: u32::try_from(value.get("latency")?.as_u64()?).ok()?,
+        cycle_delta: u32::try_from(value.get("cycle_delta")?.as_u64()?).ok()?,
+        cycle_ns: value.get("cycle_ns")?.as_f64()?,
+        execution_ns: value.get("execution_ns")?.as_f64()?,
+        area: AreaReport {
+            fu: area.get("fu")?.as_f64()?,
+            registers: area.get("registers")?.as_f64()?,
+            routing: area.get("routing")?.as_f64()?,
+            controller: area.get("controller")?.as_f64()?,
+        },
+        op_count: usize::try_from(value.get("op_count")?.as_u64()?).ok()?,
+        stored_bits: u32::try_from(value.get("stored_bits")?.as_u64()?).ok()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bittrans_core::{compare, CompareOptions};
+    use bittrans_ir::Spec;
+
+    fn comparison() -> Comparison {
+        let spec = Spec::parse(
+            "spec ex { input A: u16; input B: u16; input D: u16; input F: u16;
+              C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+        )
+        .unwrap();
+        compare(&spec, 3, &CompareOptions { verify_vectors: 0, ..Default::default() }).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bittrans_persist_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_then_load_roundtrips_exactly() {
+        let dir = temp_dir("roundtrip");
+        let cmp = comparison();
+        let key = JobKey::of_bytes(b"entry");
+        save(&dir, key, &cmp).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, key);
+        let back = &loaded[0].1;
+        assert_eq!(back.original.name, cmp.original.name);
+        assert_eq!(back.optimized.cycle_ns.to_bits(), cmp.optimized.cycle_ns.to_bits());
+        assert_eq!(back.original.cycle_ns.to_bits(), cmp.original.cycle_ns.to_bits());
+        assert_eq!(back.optimized.area.total(), cmp.optimized.area.total());
+        assert_eq!(back.optimized.stored_bits, cmp.optimized.stored_bits);
+        // No temp file left behind.
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![format!("{key}.json")]);
+    }
+
+    #[test]
+    fn corrupt_and_foreign_files_are_skipped() {
+        let dir = temp_dir("corrupt");
+        let cmp = comparison();
+        save(&dir, JobKey::of_bytes(b"good"), &cmp).unwrap();
+        let bad_key = JobKey::of_bytes(b"bad");
+        std::fs::write(entry_path(&dir, bad_key), "{ not json").unwrap();
+        std::fs::write(dir.join("README.json"), "{}").unwrap();
+        std::fs::write(dir.join("notes.txt"), "hello").unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, JobKey::of_bytes(b"good"));
+    }
+}

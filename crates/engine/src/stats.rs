@@ -2,16 +2,37 @@
 //! absorbed, and how wide the pool was.
 
 use crate::job::JobOutcome;
+use serde::ser::SerializeStruct;
+use serde::{Serialize, Serializer};
 use std::fmt;
 use std::time::Duration;
 
 /// Counters for one batch (in [`BatchReport`]) or for an engine's lifetime
 /// (from [`crate::Engine::stats`]).
+///
+/// # Hit/miss semantics
+///
+/// Every submitted job is classified as exactly one hit or one miss, so
+/// `cache_hits + cache_misses == jobs` always holds for a batch:
+///
+/// * a job whose [`crate::JobKey`] is already resident — from an earlier
+///   batch on this engine, or preloaded from a persistent cache directory
+///   ([`crate::Engine::with_cache_dir`]) — is a **hit**;
+/// * an in-batch duplicate (a later job with the same key as an earlier
+///   one in the same batch) is a **hit**: it does no pipeline work and
+///   shares the first occurrence's result;
+/// * the first occurrence of each distinct uncached key is a **miss**.
+///
+/// With caching disabled ([`crate::EngineOptions::cache`] = false), batch
+/// stats keep the same per-batch classification (in-batch duplicates still
+/// count as hits) but nothing is recorded into the engine's lifetime
+/// counters.
 #[derive(Clone, Debug)]
 pub struct EngineStats {
     /// Jobs submitted.
     pub jobs: u64,
-    /// Jobs served from the content-addressed cache.
+    /// Jobs served without pipeline work: resident cache entries plus
+    /// in-batch duplicates (see the type-level semantics).
     pub cache_hits: u64,
     /// Jobs that required running the pipeline.
     pub cache_misses: u64,
@@ -31,6 +52,20 @@ impl EngineStats {
         } else {
             self.cache_hits as f64 / self.jobs as f64 * 100.0
         }
+    }
+}
+
+impl Serialize for EngineStats {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("EngineStats", 7)?;
+        st.serialize_field("jobs", &self.jobs)?;
+        st.serialize_field("cache_hits", &self.cache_hits)?;
+        st.serialize_field("cache_misses", &self.cache_misses)?;
+        st.serialize_field("hit_rate_pct", &self.hit_rate())?;
+        st.serialize_field("cache_entries", &self.cache_entries)?;
+        st.serialize_field("workers", &self.workers)?;
+        st.serialize_field("elapsed_ms", &(self.elapsed.as_secs_f64() * 1e3))?;
+        st.end()
     }
 }
 

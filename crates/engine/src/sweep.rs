@@ -1,13 +1,12 @@
-//! Parallel latency sweeps: the Fig. 4 experiment on the worker pool.
+//! Parallel latency sweeps: the Fig. 4 experiment as a one-axis [`Study`].
 //!
 //! `bittrans_core::latency_sweep` walks the latency range serially; this
-//! module builds one [`Job`] per latency and lets the engine spread them
-//! over its workers, with results assembled back in ascending-latency
-//! order. Because each point is an ordinary cached job, overlapping
-//! sweeps — shared endpoints, a re-run after editing one spec in a suite —
-//! skip the latencies they have already paid for.
+//! module spans the same range as a [`Study`] latency axis, so the points
+//! run on the engine's worker pool and land in the content-addressed
+//! cache. Overlapping sweeps — shared endpoints, a re-run after editing
+//! one spec in a suite — skip the latencies they have already paid for.
 
-use crate::{Engine, Job};
+use crate::{Engine, Study};
 use bittrans_core::{CompareOptions, SweepPoint};
 use bittrans_ir::Spec;
 
@@ -19,23 +18,11 @@ pub fn sweep(
     latencies: impl IntoIterator<Item = u32>,
     options: &CompareOptions,
 ) -> Vec<SweepPoint> {
-    let jobs: Vec<Job> = latencies
-        .into_iter()
-        .map(|latency| Job::with_options(spec.clone(), latency, *options))
-        .collect();
-    let report = engine.run(jobs);
-    report
-        .outcomes
-        .iter()
-        .filter_map(|outcome| {
-            let cmp = outcome.result.as_ref().as_ref().ok()?;
-            Some(SweepPoint {
-                latency: outcome.latency,
-                original_ns: cmp.original.cycle_ns,
-                optimized_ns: cmp.optimized.cycle_ns,
-            })
-        })
-        .collect()
+    Study::single(spec.clone())
+        .latencies(latencies)
+        .base_options(*options)
+        .run(engine)
+        .sweep_points()
 }
 
 #[cfg(test)]

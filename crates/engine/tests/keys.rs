@@ -1,0 +1,168 @@
+//! Property-style coverage of `JobKey` canonicalization: rewrites of a
+//! specification source that only touch formatting — whitespace runs, line
+//! comments, indentation, trailing newlines — must hash to the same key,
+//! while semantic edits — another operator, another width, another input
+//! name, another latency or option set — must not.
+
+use bittrans_core::CompareOptions;
+use bittrans_engine::Job;
+use bittrans_ir::Spec;
+use bittrans_rtl::AdderArch;
+use proptest::prelude::*;
+
+/// A tiny deterministic generator (xorshift64*) so the perturbations are
+/// reproducible from the proptest-drawn seed alone.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random but always-parseable specification source: a chain of additive
+/// operations over a few 16-bit inputs, in the textual DSL.
+fn random_source(seed: u64) -> String {
+    let mut g = Gen::new(seed);
+    let inputs = 2 + g.pick(3) as usize;
+    let ops = 3 + g.pick(5) as usize;
+    let mut src = format!("spec p{seed} {{ ");
+    for i in 0..inputs {
+        src.push_str(&format!("input a{i}: u16; "));
+    }
+    let mut names: Vec<String> = (0..inputs).map(|i| format!("a{i}")).collect();
+    for t in 0..ops {
+        let lhs = &names[g.pick(names.len() as u64) as usize];
+        let rhs = &names[g.pick(names.len() as u64) as usize];
+        let expr = match g.pick(3) {
+            0 => format!("{lhs} + {rhs}"),
+            1 => format!("{lhs} - {rhs}"),
+            _ => format!("max({lhs}, {rhs})"),
+        };
+        src.push_str(&format!("t{t}: u16 = {expr}; "));
+        names.push(format!("t{t}"));
+    }
+    src.push_str(&format!("output t{}; }}", ops - 1));
+    src
+}
+
+/// Rewrites `source` without changing its meaning: inflates whitespace,
+/// injects line comments after separators, varies the trailing newline.
+fn formatting_noise(source: &str, seed: u64) -> String {
+    let mut g = Gen::new(seed);
+    let mut out = String::new();
+    for c in source.chars() {
+        match c {
+            ' ' => match g.pick(4) {
+                0 => out.push_str("  "),
+                1 => out.push_str("\n    "),
+                2 => out.push('\t'),
+                _ => out.push(' '),
+            },
+            ';' | '{' => {
+                out.push(c);
+                if g.pick(3) == 0 {
+                    out.push_str(&format!(" // noise {}\n", g.pick(1000)));
+                } else {
+                    out.push('\n');
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    if g.pick(2) == 0 {
+        out.push('\n');
+    }
+    out
+}
+
+fn key_of(source: &str, latency: u32, options: CompareOptions) -> bittrans_engine::JobKey {
+    let spec = Spec::parse(source).unwrap_or_else(|e| panic!("parse failed: {e}\n{source}"));
+    Job::with_options(spec, latency, options).key()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Formatting-only rewrites never move the key.
+    #[test]
+    fn prop_formatting_noise_preserves_key(seed in 0u64..5000, noise in 0u64..5000) {
+        let source = random_source(seed);
+        let rewritten = formatting_noise(&source, noise);
+        prop_assert_ne!(&source, &rewritten);
+        let options = CompareOptions::default();
+        prop_assert_eq!(key_of(&source, 3, options), key_of(&rewritten, 3, options));
+    }
+
+    /// Renaming an internal temporary is alpha-renaming: the canonical
+    /// form names values positionally, so the key stays put.
+    #[test]
+    fn prop_internal_rename_preserves_key(seed in 0u64..5000) {
+        let source = random_source(seed);
+        let renamed = source.replace("t0", "internal_zero");
+        let options = CompareOptions::default();
+        prop_assert_eq!(key_of(&source, 3, options), key_of(&renamed, 3, options));
+    }
+
+    /// Swapping one operator is a semantic edit: the key must move.
+    #[test]
+    fn prop_operator_edit_changes_key(seed in 0u64..5000) {
+        let source = random_source(seed);
+        let edited = if source.contains(" + ") {
+            source.replacen(" + ", " - ", 1)
+        } else if source.contains(" - ") {
+            source.replacen(" - ", " + ", 1)
+        } else {
+            source.replacen("max(", "min(", 1)
+        };
+        prop_assert_ne!(&source, &edited);
+        let options = CompareOptions::default();
+        prop_assert_ne!(key_of(&source, 3, options), key_of(&edited, 3, options));
+    }
+
+    /// Narrowing an input is a semantic edit: the key must move.
+    #[test]
+    fn prop_width_edit_changes_key(seed in 0u64..5000) {
+        let source = random_source(seed);
+        let edited = source.replacen("input a0: u16", "input a0: u12", 1);
+        prop_assert_ne!(&source, &edited);
+        let options = CompareOptions::default();
+        prop_assert_ne!(key_of(&source, 3, options), key_of(&edited, 3, options));
+    }
+
+    /// Latency and every options axis are part of the key.
+    #[test]
+    fn prop_latency_and_options_are_keyed(seed in 0u64..5000, latency in 1u32..8) {
+        let source = random_source(seed);
+        let base = CompareOptions::default();
+        let k = key_of(&source, latency, base);
+        prop_assert_ne!(k, key_of(&source, latency + 1, base));
+        prop_assert_ne!(
+            k,
+            key_of(&source, latency, CompareOptions { balance: !base.balance, ..base })
+        );
+        prop_assert_ne!(
+            k,
+            key_of(
+                &source,
+                latency,
+                CompareOptions { adder_arch: AdderArch::CarrySelect, ..base }
+            )
+        );
+        prop_assert_ne!(
+            k,
+            key_of(&source, latency, CompareOptions { verify_vectors: 7, ..base })
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-process cache persistence: two engines sharing a cache directory
+//! model two CLI/CI invocations — the second must be served from disk with
+//! bit-identical results, and duplicate/infeasible jobs must keep their
+//! accounting semantics along the way.
+
+use bittrans_engine::{Engine, EngineOptions, Job, Study};
+use bittrans_ir::Spec;
+use std::path::PathBuf;
+
+fn three_adds() -> Spec {
+    Spec::parse(
+        "spec ex { input A: u16; input B: u16; input D: u16; input F: u16;
+          C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+    )
+    .unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bittrans_engine_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_cache_dir_serves_a_fresh_engine_entirely_from_disk() {
+    let dir = temp_dir("warm");
+    let spec = three_adds();
+    let study = Study::single(spec).latencies(2..=5).verify_vectors([0]);
+
+    // First "process": cold cache, all misses, entries spilled to disk.
+    let cold = Engine::default().with_cache_dir(&dir).unwrap();
+    let first = study.run(&cold);
+    assert_eq!(first.stats.cache_misses, 4);
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 4);
+
+    // Second "process": a fresh engine preloads the directory and reports
+    // a 100 % hit rate with bit-identical results.
+    let warm = Engine::default().with_cache_dir(&dir).unwrap();
+    let second = study.run(&warm);
+    assert_eq!(second.stats.cache_hits, 4);
+    assert_eq!(second.stats.cache_misses, 0);
+    assert_eq!(second.stats.hit_rate(), 100.0);
+    for (a, b) in first.cells.iter().zip(&second.cells) {
+        assert!(b.from_cache);
+        let (ca, cb) = (a.comparison().unwrap(), b.comparison().unwrap());
+        assert_eq!(ca.optimized.cycle_ns.to_bits(), cb.optimized.cycle_ns.to_bits());
+        assert_eq!(ca.original.cycle_ns.to_bits(), cb.original.cycle_ns.to_bits());
+        assert_eq!(ca.optimized.area.total(), cb.optimized.area.total());
+        assert_eq!(ca.original.op_count, cb.original.op_count);
+    }
+}
+
+#[test]
+fn errors_are_not_persisted_but_successes_are() {
+    let dir = temp_dir("errors");
+    let spec = three_adds();
+    let engine = Engine::default().with_cache_dir(&dir).unwrap();
+    let report = engine.run(vec![Job::new(spec.clone(), 0), Job::new(spec, 3)]);
+    assert!(report.outcomes[0].result.is_err());
+    assert!(report.outcomes[1].result.is_ok());
+    // Only the feasible job reached the directory.
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+
+    // A fresh engine re-pays the error (miss) but not the success (hit).
+    let engine = Engine::default().with_cache_dir(&dir).unwrap();
+    let report = engine.run(vec![
+        Job::new(three_adds(), 0),
+        Job::new(three_adds(), 3),
+        Job::new(three_adds(), 3),
+    ]);
+    assert_eq!(report.stats.cache_misses, 1);
+    // One hit from disk plus one in-batch duplicate hit.
+    assert_eq!(report.stats.cache_hits, 2);
+}
+
+#[test]
+fn corrupt_entries_are_recomputed_and_repaired() {
+    let dir = temp_dir("repair");
+    let spec = three_adds();
+    let jobs = vec![Job::new(spec, 3)];
+    let engine = Engine::default().with_cache_dir(&dir).unwrap();
+    engine.run(jobs.clone());
+    let entry = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+    std::fs::write(&entry, "definitely not json").unwrap();
+
+    let engine = Engine::default().with_cache_dir(&dir).unwrap();
+    let report = engine.run(jobs);
+    // The damaged entry is invisible: recomputed as a miss...
+    assert_eq!(report.stats.cache_misses, 1);
+    assert!(report.outcomes[0].result.is_ok());
+    // ...and the spill has overwritten it with valid JSON again.
+    let text = std::fs::read_to_string(&entry).unwrap();
+    assert!(text.starts_with('{'), "{text}");
+}
+
+#[test]
+fn disabled_cache_never_touches_the_directory() {
+    let dir = temp_dir("disabled");
+    let engine = Engine::new(EngineOptions { cache: false, ..Default::default() })
+        .with_cache_dir(&dir)
+        .unwrap();
+    engine.run(vec![Job::new(three_adds(), 3)]);
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+}

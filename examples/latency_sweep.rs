@@ -22,10 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "three_adds" => bm::three_adds(),
         other => return Err(format!("unknown spec `{other}`").into()),
     };
-    // Every latency runs in parallel on the batch engine's worker pool;
-    // the points come back in ascending-latency order regardless.
+    // A one-axis Study: every latency runs in parallel on the batch
+    // engine's worker pool; the points come back in ascending-latency
+    // order regardless.
     let engine = Engine::default();
-    let points = engine.sweep(&spec, 3..=15, &CompareOptions::default());
+    let points = Study::single(spec).latencies(3..=15).run(&engine).sweep_points();
     if points.is_empty() {
         return Err("no feasible latency in 3..=15".into());
     }

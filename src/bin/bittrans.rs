@@ -3,20 +3,26 @@
 //! ```text
 //! bittrans optimize  <file.spec> --latency N [--adder rca|cla|csel] [--emit-vhdl DIR] [--netlist]
 //! bittrans compare   <file.spec> --latency N
-//! bittrans sweep     <file.spec> --from N --to M [--jobs K]
-//! bittrans batch     <dir-or-files...> --latency N [--jobs K]
+//! bittrans sweep     <file.spec> --from N --to M [--jobs K] [--cache-dir DIR] [--json]
+//! bittrans batch     <dir-or-files...> --latency N [--jobs K] [--cache-dir DIR] [--json]
+//! bittrans explore   <dir-or-files...> --latency N|A..B [--adders rca,cla,csel]
+//!                    [--balance on|off|both] [--verify N] [--jobs K]
+//!                    [--cache-dir DIR] [--json]
 //! bittrans fragments <file.spec> --latency N
 //! bittrans check     <file.spec>
 //! ```
 //!
 //! `<file.spec>` contains a specification in the textual DSL (see
-//! `bittrans::ir::parse`); pass `-` to read from stdin. `batch` accepts any
-//! mix of `.spec` files and directories (scanned for `*.spec`), optimizes
-//! every specification on a worker pool (`--jobs`, default: all cores) and
-//! reports the per-spec comparisons plus the engine's cache statistics.
+//! `bittrans::ir::parse`); pass `-` to read from stdin. `batch` and
+//! `explore` accept any mix of `.spec` files and directories (scanned for
+//! `*.spec`). `explore` expands the design-space grid — specs × latencies ×
+//! adder architectures × balancing — into a `Study`, runs it on a worker
+//! pool (`--jobs`, default: all cores) and prints the labelled cell table
+//! (or, with `--json`, the full machine-readable report). `--cache-dir`
+//! persists results on disk, so a repeated invocation over the same inputs
+//! is served entirely from cache.
 
 use bittrans::core::report::{render_sweep, render_table1};
-use bittrans::engine::{Engine, EngineOptions, Job};
 use bittrans::prelude::*;
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -34,20 +40,70 @@ fn main() -> ExitCode {
 struct Args {
     command: String,
     files: Vec<String>,
-    latency: u32,
+    latencies: Vec<u32>,
     from: u32,
     to: u32,
     jobs: Option<usize>,
     adder: AdderArch,
+    adders: Option<Vec<AdderArch>>,
+    balance: Option<Vec<bool>>,
+    verify: Option<usize>,
+    cache_dir: Option<String>,
+    json: bool,
     emit_vhdl: Option<String>,
     netlist: bool,
 }
 
+impl Args {
+    /// The single latency of one-point commands (optimize/compare/…),
+    /// which reject the `A..B` range syntax `explore` accepts.
+    fn single_latency(&self) -> Result<u32, String> {
+        match self.latencies.as_slice() {
+            [one] => Ok(*one),
+            _ => Err(format!("`{}` takes a single --latency, not a range", self.command)),
+        }
+    }
+}
+
 fn usage() -> String {
-    "usage: bittrans <optimize|compare|sweep|batch|fragments|check> <file.spec|dir|-> ... \
-     [--latency N] [--from N] [--to M] [--jobs K] [--adder rca|cla|csel] \
-     [--emit-vhdl DIR] [--netlist]"
+    "usage: bittrans <optimize|compare|sweep|batch|explore|fragments|check> \
+     <file.spec|dir|-> ... [--latency N|A..B] [--from N] [--to M] [--jobs K] \
+     [--adder rca|cla|csel] [--adders rca,cla,csel] [--balance on|off|both] \
+     [--verify N] [--cache-dir DIR] [--json] [--emit-vhdl DIR] [--netlist]"
         .to_string()
+}
+
+fn parse_adder(name: &str) -> Result<AdderArch, String> {
+    match name {
+        "rca" | "ripple" | "ripple-carry" => Ok(AdderArch::RippleCarry),
+        "cla" | "carry-lookahead" => Ok(AdderArch::CarryLookahead),
+        "csel" | "carry-select" => Ok(AdderArch::CarrySelect),
+        other => Err(format!("unknown adder `{other}` (rca|cla|csel)")),
+    }
+}
+
+/// Largest `--latency A..B` span: one grid axis beyond this is always a
+/// mistyped flag, and expanding it would allocate before any work starts.
+const MAX_LATENCY_SPAN: u32 = 4096;
+
+/// Parses `--latency`: either one value (`4`) or an inclusive range
+/// (`2..8`).
+fn parse_latencies(text: &str) -> Result<Vec<u32>, String> {
+    if let Some((from, to)) = text.split_once("..") {
+        let from: u32 = from.parse().map_err(|e| format!("bad --latency `{text}`: {e}"))?;
+        let to: u32 = to.parse().map_err(|e| format!("bad --latency `{text}`: {e}"))?;
+        if from > to {
+            return Err(format!("bad --latency `{text}`: empty range"));
+        }
+        if to - from >= MAX_LATENCY_SPAN {
+            return Err(format!(
+                "bad --latency `{text}`: spans more than {MAX_LATENCY_SPAN} values"
+            ));
+        }
+        Ok((from..=to).collect())
+    } else {
+        Ok(vec![text.parse().map_err(|e| format!("bad --latency: {e}"))?])
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,11 +112,16 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         command,
         files: Vec::new(),
-        latency: 3,
+        latencies: vec![3],
         from: 2,
         to: 10,
         jobs: None,
         adder: AdderArch::RippleCarry,
+        adders: None,
+        balance: None,
+        verify: None,
+        cache_dir: None,
+        json: false,
         emit_vhdl: None,
         netlist: false,
     };
@@ -68,10 +129,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value =
             |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value\n{}", usage()));
         match flag.as_str() {
-            "--latency" => {
-                args.latency =
-                    value("--latency")?.parse().map_err(|e| format!("bad --latency: {e}"))?
-            }
+            "--latency" => args.latencies = parse_latencies(&value("--latency")?)?,
             "--from" => {
                 args.from = value("--from")?.parse().map_err(|e| format!("bad --from: {e}"))?
             }
@@ -83,14 +141,31 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.jobs = Some(k);
             }
-            "--adder" => {
-                args.adder = match value("--adder")?.as_str() {
-                    "rca" => AdderArch::RippleCarry,
-                    "cla" => AdderArch::CarryLookahead,
-                    "csel" => AdderArch::CarrySelect,
-                    other => return Err(format!("unknown adder `{other}` (rca|cla|csel)")),
+            "--adder" => args.adder = parse_adder(&value("--adder")?)?,
+            "--adders" => {
+                let list = value("--adders")?
+                    .split(',')
+                    .map(|name| parse_adder(name.trim()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if list.is_empty() {
+                    return Err("--adders needs at least one architecture".into());
                 }
+                args.adders = Some(list);
             }
+            "--balance" => {
+                args.balance = Some(match value("--balance")?.as_str() {
+                    "on" => vec![true],
+                    "off" => vec![false],
+                    "both" => vec![true, false],
+                    other => return Err(format!("bad --balance `{other}` (on|off|both)")),
+                })
+            }
+            "--verify" => {
+                args.verify =
+                    Some(value("--verify")?.parse().map_err(|e| format!("bad --verify: {e}"))?)
+            }
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--json" => args.json = true,
             "--emit-vhdl" => args.emit_vhdl = Some(value("--emit-vhdl")?),
             "--netlist" => args.netlist = true,
             other if other.starts_with("--") => {
@@ -148,55 +223,85 @@ fn collect_spec_paths(operands: &[String]) -> Result<Vec<String>, String> {
     Ok(paths)
 }
 
-fn run_batch(args: &Args, options: &CompareOptions) -> Result<(), String> {
-    let paths = collect_spec_paths(&args.files)?;
-    let jobs: Vec<Job> = paths
-        .iter()
-        .map(|path| Ok(Job::with_options(read_spec(path)?, args.latency, *options)))
-        .collect::<Result<_, String>>()?;
-
+/// Builds the worker-pool engine, attaching the persistent cache directory
+/// when `--cache-dir` was given.
+fn make_engine(args: &Args) -> Result<Engine, String> {
     let engine = Engine::new(EngineOptions { workers: args.jobs, ..Default::default() });
-    let report = engine.run(jobs);
-
-    println!(
-        "{:<20}{:>4}{:>14}{:>14}{:>10}{:>10}{:>8}",
-        "spec", "λ", "orig (ns)", "opt (ns)", "saved", "area Δ", "cached"
-    );
-    let mut failures = 0usize;
-    for outcome in &report.outcomes {
-        match outcome.result.as_ref() {
-            Ok(cmp) => println!(
-                "{:<20}{:>4}{:>14.2}{:>14.2}{:>9.1}%{:>9.1}%{:>8}",
-                outcome.name,
-                outcome.latency,
-                cmp.original.cycle_ns,
-                cmp.optimized.cycle_ns,
-                cmp.cycle_saved_pct(),
-                cmp.area_delta_pct(),
-                if outcome.from_cache { "yes" } else { "no" },
-            ),
-            Err(e) => {
-                failures += 1;
-                println!("{:<20}{:>4}  error: {e}", outcome.name, outcome.latency);
-            }
-        }
+    match &args.cache_dir {
+        Some(dir) => engine.with_cache_dir(dir).map_err(|e| format!("cache dir {dir}: {e}")),
+        None => Ok(engine),
     }
-    println!("\nengine: {}", report.stats);
+}
+
+/// Reads every operand into a spec list (deduplicated directory scan).
+fn read_specs(operands: &[String]) -> Result<Vec<Spec>, String> {
+    collect_spec_paths(operands)?.iter().map(|path| read_spec(path)).collect()
+}
+
+fn run_batch(args: &Args, options: &CompareOptions) -> Result<(), String> {
+    let study = Study::over(read_specs(&args.files)?)
+        .latencies([args.single_latency()?])
+        .base_options(*options);
+    let report = study.run(&make_engine(args)?);
+
+    if args.json {
+        println!("{}", report.to_json_pretty());
+    } else {
+        print!("{}", report.render_text());
+        println!("\nengine: {}", report.stats);
+    }
+    let failures = report.failures().count();
     if failures > 0 {
-        return Err(format!("{failures} of {} jobs failed", report.outcomes.len()));
+        return Err(format!("{failures} of {} jobs failed", report.cells.len()));
+    }
+    Ok(())
+}
+
+fn run_explore(args: &Args, options: &CompareOptions) -> Result<(), String> {
+    let mut study = Study::over(read_specs(&args.files)?).latencies(args.latencies.iter().copied());
+    let mut base = CompareOptions::builder().adder_arch(options.adder_arch);
+    if let Some(verify) = args.verify {
+        base = base.verify_vectors(verify);
+    }
+    study = study.base_options(base.build().map_err(|e| e.to_string())?);
+    if let Some(adders) = &args.adders {
+        study = study.adder_archs(adders.iter().copied());
+    }
+    if let Some(balance) = &args.balance {
+        study = study.balance(balance.iter().copied());
+    }
+
+    let report = study.run(&make_engine(args)?);
+    if args.json {
+        println!("{}", report.to_json_pretty());
+    } else {
+        print!("{}", report.render_text());
+        println!("\nengine: {}", report.stats);
+    }
+    // Partly infeasible grids are normal exploration output (a latency
+    // sweep legitimately contains infeasible points), but a grid with no
+    // feasible cell at all produced nothing and must fail the invocation.
+    if !report.cells.is_empty() && report.successes().count() == 0 {
+        return Err(format!("all {} grid cells failed", report.cells.len()));
     }
     Ok(())
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let options = CompareOptions { adder_arch: args.adder, ..Default::default() };
-    if args.command == "batch" {
-        return run_batch(&args, &options);
+    let options =
+        CompareOptions::builder().adder_arch(args.adder).build().map_err(|e| e.to_string())?;
+    match args.command.as_str() {
+        "batch" => return run_batch(&args, &options),
+        "explore" => return run_explore(&args, &options),
+        command if args.json && command != "sweep" => {
+            return Err(format!("--json is not supported by `{command}`"));
+        }
+        _ => {}
     }
     if args.files.len() > 1 {
         return Err(format!(
-            "`{}` takes exactly one spec file ({} given); use `batch` for many",
+            "`{}` takes exactly one spec file ({} given); use `batch` or `explore` for many",
             args.command,
             args.files.len()
         ));
@@ -218,10 +323,11 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "fragments" => {
-            let opt = optimize(&spec, args.latency, &options).map_err(|e| e.to_string())?;
+            let latency = args.single_latency()?;
+            let opt = optimize(&spec, latency, &options).map_err(|e| e.to_string())?;
             println!(
                 "cycle {}δ (critical path {}δ / λ={})",
-                opt.fragmented.cycle, opt.fragmented.critical_path, args.latency
+                opt.fragmented.cycle, opt.fragmented.critical_path, latency
             );
             for (source, ids) in &opt.fragmented.per_source {
                 let desc: Vec<String> = ids
@@ -237,7 +343,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "optimize" => {
-            let opt = optimize(&spec, args.latency, &options).map_err(|e| e.to_string())?;
+            let opt =
+                optimize(&spec, args.single_latency()?, &options).map_err(|e| e.to_string())?;
             println!(
                 "{}: cycle {}δ = {:.2} ns, execution {:.2} ns, area {}",
                 spec.name(),
@@ -262,7 +369,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "compare" => {
-            let cmp = compare(&spec, args.latency, &options).map_err(|e| e.to_string())?;
+            let cmp =
+                compare(&spec, args.single_latency()?, &options).map_err(|e| e.to_string())?;
             println!(
                 "{}",
                 render_table1(&[("Conventional", &cmp.original), ("Optimized", &cmp.optimized),])
@@ -279,9 +387,17 @@ fn run() -> Result<(), String> {
             if args.from > args.to {
                 return Err("--from must not exceed --to".into());
             }
-            let engine = Engine::new(EngineOptions { workers: args.jobs, ..Default::default() });
-            let points = engine.sweep(&spec, args.from..=args.to, &options);
-            println!("{}", render_sweep(&format!("{} sweep", spec.name()), &points));
+            let report = Study::single(spec.clone())
+                .latencies(args.from..=args.to)
+                .base_options(options)
+                .run(&make_engine(&args)?);
+            let points = report.sweep_points();
+            if args.json {
+                let json = serde_json::to_string_pretty(&points).map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                println!("{}", render_sweep(&format!("{} sweep", spec.name()), &points));
+            }
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),

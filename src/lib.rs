@@ -25,7 +25,7 @@
 //! | [`rtl`] | `bittrans-rtl` | component library with calibrated cost models |
 //! | [`benchmarks`] | `bittrans-benchmarks` | the paper's workloads |
 //! | [`core`] | `bittrans-core` | the end-to-end pipeline and comparison harness |
-//! | [`engine`] | `bittrans-engine` | parallel batch engine with content-addressed result caching |
+//! | [`engine`] | `bittrans-engine` | parallel batch engine, persistent result cache, `Study` exploration grids |
 //!
 //! ## Quickstart
 //!
@@ -72,9 +72,13 @@ pub use bittrans_timing as timing;
 pub mod prelude {
     pub use bittrans_alloc::{allocate, AllocOptions, Datapath};
     pub use bittrans_core::{
-        baseline, blc, compare, latency_sweep, optimize, CompareOptions, Comparison, Implementation,
+        baseline, blc, compare, latency_sweep, optimize, CompareOptions, CompareOptionsBuilder,
+        Comparison, Implementation, OptionsError,
     };
-    pub use bittrans_engine::{BatchReport, Engine, EngineOptions, EngineStats, Job, JobOutcome};
+    pub use bittrans_engine::{
+        BatchReport, Engine, EngineOptions, EngineStats, Job, JobOutcome, Study, StudyCell,
+        StudyReport,
+    };
     pub use bittrans_frag::{fragment, FragmentInfo, FragmentOptions, Fragmented};
     pub use bittrans_ir::prelude::*;
     pub use bittrans_kernel::{extract, extract_with_options, ExtractOptions, MulStrategy};

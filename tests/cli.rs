@@ -89,6 +89,97 @@ fn sweep_prints_series() {
 }
 
 #[test]
+fn explore_prints_grid_table() {
+    let spec = repo("specs/saturating_mac.spec");
+    let (ok, stdout, stderr) = run(&[
+        "explore",
+        spec.to_str().unwrap(),
+        "--latency",
+        "3..5",
+        "--adders",
+        "rca,cla",
+        "--balance",
+        "both",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    // 3 latencies × 2 adders × 2 balance settings = 12 labelled cells.
+    let rows = stdout.lines().filter(|l| l.starts_with("saturating_mac")).count();
+    assert_eq!(rows, 12, "{stdout}");
+    assert!(stdout.contains("carry-lookahead"), "{stdout}");
+    assert!(stdout.contains("engine:"), "{stdout}");
+}
+
+#[test]
+fn explore_emits_json_and_reuses_a_cache_dir() {
+    let dir =
+        std::env::temp_dir().join(format!("bittrans_cli_explore_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = repo("specs/ewf_section.spec");
+    let args = [
+        "explore",
+        spec.to_str().unwrap(),
+        "--latency",
+        "3..4",
+        "--cache-dir",
+        dir.to_str().unwrap(),
+        "--json",
+    ];
+    let (ok, cold, stderr) = run(&args);
+    assert!(ok, "stderr: {stderr}");
+    assert!(cold.contains("\"cells\""), "{cold}");
+    assert!(cold.contains("\"cache_misses\": 2"), "{cold}");
+
+    // Second invocation = second process: served entirely from disk.
+    let (ok, warm, _) = run(&args);
+    assert!(ok);
+    assert!(warm.contains("\"cache_hits\": 2"), "{warm}");
+    assert!(warm.contains("\"hit_rate_pct\": 100.0"), "{warm}");
+    assert!(warm.contains("\"from_cache\": true"), "{warm}");
+}
+
+#[test]
+fn json_flag_works_on_batch_and_sweep_but_not_elsewhere() {
+    let spec = repo("specs/saturating_mac.spec");
+    let (ok, stdout, stderr) = run(&["batch", spec.to_str().unwrap(), "--latency", "4", "--json"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("\"cells\""), "{stdout}");
+    let (ok, stdout, _) =
+        run(&["sweep", spec.to_str().unwrap(), "--from", "2", "--to", "4", "--json"]);
+    assert!(ok);
+    assert!(stdout.contains("\"optimized_ns\""), "{stdout}");
+    let (ok, _, stderr) = run(&["optimize", spec.to_str().unwrap(), "--latency", "4", "--json"]);
+    assert!(!ok);
+    assert!(stderr.contains("--json is not supported"), "{stderr}");
+}
+
+#[test]
+fn explore_fails_when_every_cell_is_infeasible() {
+    let spec = repo("specs/ewf_section.spec");
+    // λ = 0 is infeasible for every flow: the grid produces nothing.
+    let (ok, _, stderr) = run(&["explore", spec.to_str().unwrap(), "--latency", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("all 1 grid cells failed"), "{stderr}");
+    // A partly feasible sweep (λ=0 fails, λ=3 succeeds) stays green.
+    let (ok, stdout, stderr) = run(&["explore", spec.to_str().unwrap(), "--latency", "0..3"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("error:"), "{stdout}");
+}
+
+#[test]
+fn explore_rejects_bad_axes() {
+    let spec = repo("specs/ewf_section.spec");
+    let (ok, _, stderr) = run(&["explore", spec.to_str().unwrap(), "--latency", "5..2"]);
+    assert!(!ok);
+    assert!(stderr.contains("empty range"), "{stderr}");
+    let (ok, _, stderr) = run(&["explore", spec.to_str().unwrap(), "--adders", "quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown adder"), "{stderr}");
+    let (ok, _, stderr) = run(&["compare", spec.to_str().unwrap(), "--latency", "2..4"]);
+    assert!(!ok);
+    assert!(stderr.contains("single --latency"), "{stderr}");
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let (ok, _, stderr) = run(&["frobnicate", "nonexistent.spec"]);
     assert!(!ok);
