@@ -49,6 +49,11 @@ impl ResultCache {
         self.map.lock().expect("cache lock").len()
     }
 
+    /// The resident keys, in no particular order.
+    pub fn keys(&self) -> Vec<JobKey> {
+        self.map.lock().expect("cache lock").keys().copied().collect()
+    }
+
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

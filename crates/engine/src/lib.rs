@@ -19,12 +19,17 @@
 //!   of its canonicalized specification text, latency and options
 //!   ([`key`]); results live in an in-memory [`cache`] shared by all
 //!   batches run on one engine, with hit/miss counters surfaced through
-//!   [`EngineStats`], and optionally spill to a directory
-//!   ([`Engine::with_cache_dir`]) that later processes preload;
+//!   [`EngineStats`], and optionally spill to an indexed directory
+//!   ([`Engine::with_cache_dir`]) that later processes read lazily and
+//!   prune by size or age ([`Engine::prune_cache`]);
 //! * **design-space exploration** — a [`Study`] spans a typed axis grid
 //!   (specs × latencies × adder architectures × balancing × verification)
 //!   and returns a [`StudyReport`] of labelled cells, replacing every
-//!   hand-rolled sweep loop in the benches, examples and CLI.
+//!   hand-rolled sweep loop in the benches, examples and CLI;
+//! * **sharded multi-process execution** — [`shard::run_sharded`]
+//!   partitions a study's deduplicated job list by [`JobKey`] range across
+//!   worker processes that share one cache directory, then merges their
+//!   statistics and reassembles the exact single-process [`StudyReport`].
 //!
 //! ```
 //! use bittrans_engine::{Engine, Job};
@@ -60,6 +65,7 @@ pub mod job;
 pub mod key;
 mod persist;
 pub mod report;
+pub mod shard;
 pub mod stats;
 pub mod study;
 pub mod sweep;
@@ -67,14 +73,16 @@ pub mod sweep;
 pub use cache::ResultCache;
 pub use job::{Job, JobOutcome, JobResult};
 pub use key::JobKey;
+pub use persist::{PrunePolicy, PruneReport};
 pub use report::{StudyCell, StudyReport};
 pub use stats::{BatchReport, EngineStats};
 pub use study::Study;
 
 use bittrans_core::{compare, SweepPoint};
 use bittrans_ir::Spec;
+use persist::DirIndex;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Configuration of an [`Engine`].
@@ -99,27 +107,31 @@ impl Default for EngineOptions {
 pub struct Engine {
     options: EngineOptions,
     cache: ResultCache,
-    cache_dir: Option<PathBuf>,
+    disk: Option<Mutex<DirIndex>>,
 }
 
 impl Engine {
     /// An engine with the given options and an empty cache.
     pub fn new(options: EngineOptions) -> Self {
-        Engine { options, cache: ResultCache::new(), cache_dir: None }
+        Engine { options, cache: ResultCache::new(), disk: None }
     }
 
-    /// Attaches a persistent cache directory: existing entries (one JSON
-    /// file per [`JobKey`], written by any earlier process) are loaded into
-    /// the in-memory cache now, and every comparison this engine computes
-    /// from here on is spilled back with an atomic rename — so a repeated
-    /// CLI or CI invocation over the same inputs is served entirely from
-    /// disk and reports a 100 % hit rate.
+    /// Attaches a persistent cache directory: one JSON file per [`JobKey`],
+    /// written by any earlier process, indexed by an `index.json` manifest.
+    /// Opening reads (or rebuilds) the index only — entry bodies are parsed
+    /// lazily, on first lookup — and every comparison this engine computes
+    /// from here on is spilled back with an atomic rename. A repeated CLI
+    /// or CI invocation over the same inputs is therefore served entirely
+    /// from disk and reports a 100 % hit rate, without having paid an
+    /// upfront parse of the whole directory.
     ///
-    /// Corrupt or foreign files in the directory are skipped on load, and a
-    /// failed spill leaves the entry in memory only (the cache is an
-    /// optimization, never a correctness dependency). Only successful
-    /// comparisons are persisted; pipeline errors are recomputed.
-    /// Persistence is inert when [`EngineOptions::cache`] is false.
+    /// A corrupt entry is invisible: its job recomputes (a miss) and the
+    /// respill repairs the file. A stale or damaged `index.json` is rebuilt
+    /// from the directory contents. A failed spill leaves the entry in
+    /// memory only — the cache is an optimization, never a correctness
+    /// dependency. Only successful comparisons are persisted; pipeline
+    /// errors are recomputed. Persistence is inert when
+    /// [`EngineOptions::cache`] is false.
     ///
     /// # Errors
     ///
@@ -128,12 +140,66 @@ impl Engine {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         if self.options.cache {
-            for (key, comparison) in persist::load_dir(&dir)? {
-                self.cache.insert(key, Arc::new(Ok(comparison)));
+            self.disk = Some(Mutex::new(DirIndex::open(&dir)?));
+        }
+        Ok(self)
+    }
+
+    /// Serves `key` from the in-memory cache or, failing that, lazily from
+    /// the attached cache directory (promoting the entry into memory).
+    /// Corrupt disk entries are dropped from the index so the caller
+    /// recomputes and respills them.
+    fn lookup(&self, key: &JobKey) -> Option<Arc<JobResult>> {
+        if let Some(resident) = self.cache.peek(key) {
+            return Some(resident);
+        }
+        let mut disk = self.disk.as_ref()?.lock().expect("cache index lock");
+        match disk.load(*key) {
+            Some(comparison) => {
+                let result = Arc::new(Ok(comparison));
+                self.cache.insert(*key, Arc::clone(&result));
+                Some(result)
+            }
+            None => {
+                disk.forget(*key);
+                None
             }
         }
-        self.cache_dir = Some(dir);
-        Ok(self)
+    }
+
+    /// Results resident in memory plus on-disk entries not yet promoted.
+    fn resident_entries(&self) -> usize {
+        let in_memory = self.cache.len();
+        match &self.disk {
+            None => in_memory,
+            Some(disk) => {
+                let disk = disk.lock().expect("cache index lock");
+                in_memory + disk.keys().filter(|key| self.cache.peek(key).is_none()).count()
+            }
+        }
+    }
+
+    /// Runs one eviction sweep over the attached cache directory: entries
+    /// older than [`PrunePolicy::max_age`] go first, then oldest-first
+    /// until the directory fits in [`PrunePolicy::max_bytes`]. Entries
+    /// whose result is resident in this engine's in-memory cache are
+    /// pinned — a live run never loses the files backing it. The
+    /// `index.json` manifest is rewritten to match.
+    ///
+    /// # Errors
+    ///
+    /// If no cache directory is attached ([`Engine::with_cache_dir`]), or
+    /// deleting an entry fails.
+    pub fn prune_cache(&self, policy: PrunePolicy) -> std::io::Result<PruneReport> {
+        let disk = self.disk.as_ref().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no cache directory attached")
+        })?;
+        let mut disk = disk.lock().expect("cache index lock");
+        let pinned = self.cache.keys().into_iter().collect();
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        persist::prune(&mut disk, &policy, &pinned, now)
     }
 
     /// The number of worker threads a batch will use.
@@ -163,7 +229,7 @@ impl Engine {
         let mut fresh = vec![false; jobs.len()];
         let mut scheduled: std::collections::HashSet<JobKey> = std::collections::HashSet::new();
         for (i, key) in keys.iter().enumerate() {
-            if self.options.cache && self.cache.peek(key).is_some() {
+            if self.options.cache && self.lookup(key).is_some() {
                 hits += 1;
             } else if scheduled.insert(*key) {
                 fresh[i] = true;
@@ -192,9 +258,12 @@ impl Engine {
                 self.cache.insert(*key, Arc::clone(result));
                 // Best-effort spill: a failed write costs a recomputation
                 // in some later process, never this batch's result.
-                if let (Some(dir), Ok(comparison)) = (&self.cache_dir, result.as_ref()) {
-                    let _ = persist::save(dir, *key, comparison);
+                if let (Some(disk), Ok(comparison)) = (&self.disk, result.as_ref()) {
+                    let _ = disk.lock().expect("cache index lock").save(*key, comparison);
                 }
+            }
+            if let Some(disk) = &self.disk {
+                disk.lock().expect("cache index lock").write_if_dirty();
             }
             self.cache.record(hits, misses);
         }
@@ -226,7 +295,7 @@ impl Engine {
             jobs: jobs.len() as u64,
             cache_hits: hits,
             cache_misses: misses,
-            cache_entries: self.cache.len(),
+            cache_entries: self.resident_entries(),
             workers,
             elapsed: started.elapsed(),
         };
@@ -256,7 +325,7 @@ impl Engine {
             jobs: self.cache.hits() + self.cache.misses(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
-            cache_entries: self.cache.len(),
+            cache_entries: self.resident_entries(),
             workers: self.worker_count(),
             elapsed: std::time::Duration::ZERO,
         }

@@ -1,12 +1,22 @@
 //! On-disk spill of the content-addressed result cache: one JSON file per
-//! [`JobKey`], so repeated CLI/CI invocations reuse results across
-//! processes.
+//! [`JobKey`] plus an `index.json` manifest, so repeated CLI/CI invocations
+//! reuse results across processes without re-parsing every entry up front.
 //!
 //! Layout: `<dir>/<32-hex-digit key>.json`, each file holding one
 //! serialized [`Comparison`]. Writes go to a hidden temp file in the same
 //! directory followed by an atomic rename, so concurrent processes never
 //! observe a half-written entry — and because keys are content hashes of
 //! the full job input, racing writers always carry identical values.
+//!
+//! `index.json` records `key → file, size, mtime` under a schema version.
+//! Opening a directory ([`DirIndex::open`]) reads the index and checks its
+//! key set against a plain directory listing: when they agree, the index's
+//! metadata is trusted and **no entry file is parsed** — entries load
+//! lazily, on first lookup. When they disagree (a stale index from a
+//! crashed or racing process), or the index is corrupt or from another
+//! schema, it is rebuilt from the directory contents and rewritten. The
+//! index is therefore an optimization and a metadata store, never a
+//! correctness dependency.
 //!
 //! Only successful comparisons are persisted. Pipeline errors (infeasible
 //! latencies, mostly) are cheap to rediscover and their textual form is
@@ -16,8 +26,17 @@ use crate::key::JobKey;
 use bittrans_core::{Comparison, Implementation};
 use bittrans_rtl::AreaReport;
 use serde_json::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// The manifest file name inside a cache directory.
+pub(crate) const INDEX_FILE: &str = "index.json";
+
+/// Version of the `index.json` layout; any other value forces a rebuild.
+pub(crate) const INDEX_SCHEMA: u64 = 1;
 
 /// The file a key persists to.
 pub(crate) fn entry_path(dir: &Path, key: JobKey) -> PathBuf {
@@ -38,27 +57,11 @@ pub(crate) fn save(dir: &Path, key: JobKey, comparison: &Comparison) -> io::Resu
     std::fs::rename(&tmp, entry_path(dir, key))
 }
 
-/// Reads every parseable `<key>.json` entry in `dir`. Files that are not
-/// cache entries — wrong name shape, unreadable, or corrupt JSON — are
-/// skipped: a damaged entry costs one recomputation, not the run.
-pub(crate) fn load_dir(dir: &Path) -> io::Result<Vec<(JobKey, Comparison)>> {
-    let mut entries = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.extension().is_none_or(|ext| ext != "json") {
-            continue;
-        }
-        let Some(key) = path.file_stem().and_then(|s| s.to_str()).and_then(JobKey::from_hex) else {
-            continue;
-        };
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            continue;
-        };
-        if let Some(comparison) = parse_comparison(&text) {
-            entries.push((key, comparison));
-        }
-    }
-    Ok(entries)
+/// Parses one entry file's comparison. `None` for unreadable or corrupt
+/// files — a damaged entry costs one recomputation, not the run.
+pub(crate) fn load_entry(dir: &Path, key: JobKey) -> Option<Comparison> {
+    let text = std::fs::read_to_string(entry_path(dir, key)).ok()?;
+    parse_comparison(&text)
 }
 
 fn parse_comparison(text: &str) -> Option<Comparison> {
@@ -85,6 +88,314 @@ fn parse_implementation(value: &Value) -> Option<Implementation> {
         },
         op_count: usize::try_from(value.get("op_count")?.as_u64()?).ok()?,
         stored_bits: u32::try_from(value.get("stored_bits")?.as_u64()?).ok()?,
+    })
+}
+
+/// Size and age of one persisted entry, as recorded in the index.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EntryMeta {
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Modification time, seconds since the Unix epoch (0 if unknown).
+    pub mtime: u64,
+}
+
+/// The in-memory view of a cache directory's `index.json`: which keys are
+/// resident on disk and how big/old their files are, without having parsed
+/// any entry body.
+#[derive(Debug)]
+pub(crate) struct DirIndex {
+    dir: PathBuf,
+    entries: HashMap<JobKey, EntryMeta>,
+    dirty: bool,
+}
+
+impl DirIndex {
+    /// Opens (or rebuilds) the index of `dir`. The directory must exist.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        let on_disk = scan_keys(dir)?;
+        if let Some(entries) = read_index(dir) {
+            let indexed: HashSet<JobKey> = entries.keys().copied().collect();
+            if indexed == on_disk {
+                return Ok(DirIndex { dir: dir.to_path_buf(), entries, dirty: false });
+            }
+        }
+        // Stale, corrupt or absent index: rebuild from directory contents.
+        let mut entries = HashMap::with_capacity(on_disk.len());
+        for key in on_disk {
+            entries.insert(key, stat_entry(dir, key));
+        }
+        let mut index = DirIndex { dir: dir.to_path_buf(), entries, dirty: true };
+        // Persist the rebuild now (best effort), but never create an index
+        // in a directory that holds no entries — an engine with caching
+        // disabled, or a mere scan, must not leave droppings behind.
+        if !index.entries.is_empty() {
+            index.write_if_dirty();
+        }
+        Ok(index)
+    }
+
+    /// Number of entries on disk.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether `key` has a persisted entry.
+    pub fn contains(&self, key: &JobKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// The resident keys, in no particular order.
+    pub fn keys(&self) -> impl Iterator<Item = JobKey> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Entries with their metadata, in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobKey, EntryMeta)> + '_ {
+        self.entries.iter().map(|(&k, &m)| (k, m))
+    }
+
+    /// Parses `key`'s entry file. `None` means the file is missing or
+    /// corrupt; the caller should [`DirIndex::forget`] it.
+    pub fn load(&self, key: JobKey) -> Option<Comparison> {
+        if !self.contains(&key) {
+            return None;
+        }
+        load_entry(&self.dir, key)
+    }
+
+    /// Writes one comparison under its key (atomic temp file + rename) and
+    /// records it in the index.
+    pub fn save(&mut self, key: JobKey, comparison: &Comparison) -> io::Result<()> {
+        save(&self.dir, key, comparison)?;
+        self.note_saved(key);
+        Ok(())
+    }
+
+    /// Records that `key` was just spilled to its entry file.
+    pub fn note_saved(&mut self, key: JobKey) {
+        let meta = stat_entry(&self.dir, key);
+        self.entries.insert(key, meta);
+        self.dirty = true;
+    }
+
+    /// Drops `key` from the index without touching its file (used when the
+    /// entry turned out to be corrupt and will be rewritten by a respill).
+    pub fn forget(&mut self, key: JobKey) {
+        if self.entries.remove(&key).is_some() {
+            self.dirty = true;
+        }
+    }
+
+    /// Deletes `key`'s entry file and index record, returning the bytes
+    /// freed. A file already gone still clears the record.
+    pub fn remove_entry(&mut self, key: JobKey) -> io::Result<u64> {
+        let freed = self.entries.get(&key).map_or(0, |m| m.bytes);
+        match std::fs::remove_file(entry_path(&self.dir, key)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        self.forget(key);
+        Ok(freed)
+    }
+
+    /// Rewrites `index.json` if anything changed since the last write.
+    /// Best effort: a failed write costs a rebuild in some later process.
+    pub fn write_if_dirty(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        if self.write().is_ok() {
+            self.dirty = false;
+        }
+    }
+
+    fn write(&self) -> io::Result<()> {
+        let mut rows: Vec<(JobKey, EntryMeta)> = self.iter().collect();
+        rows.sort_by_key(|&(key, _)| key);
+        let mut json = format!("{{\"schema\": {INDEX_SCHEMA}, \"entries\": [");
+        for (i, (key, meta)) in rows.iter().enumerate() {
+            if i > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&format!(
+                "{{\"key\": \"{key}\", \"file\": \"{key}.json\", \
+                 \"bytes\": {}, \"mtime\": {}}}",
+                meta.bytes, meta.mtime
+            ));
+        }
+        json.push_str("]}");
+        let tmp = self.dir.join(format!(".index.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, self.dir.join(INDEX_FILE))
+    }
+}
+
+/// Lists the keys that have an entry file in `dir` — by file name only,
+/// without opening anything. Files that are not cache entries (wrong name
+/// shape, subdirectories, the index itself) are ignored.
+fn scan_keys(dir: &Path) -> io::Result<HashSet<JobKey>> {
+    let mut keys = HashSet::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() || path.extension().is_none_or(|ext| ext != "json") {
+            continue;
+        }
+        if let Some(key) = path.file_stem().and_then(|s| s.to_str()).and_then(JobKey::from_hex) {
+            keys.insert(key);
+        }
+    }
+    Ok(keys)
+}
+
+fn stat_entry(dir: &Path, key: JobKey) -> EntryMeta {
+    let meta = std::fs::metadata(entry_path(dir, key)).ok();
+    EntryMeta {
+        bytes: meta.as_ref().map_or(0, std::fs::Metadata::len),
+        mtime: meta
+            .and_then(|m| m.modified().ok())
+            .and_then(|t| t.duration_since(SystemTime::UNIX_EPOCH).ok())
+            .map_or(0, |d| d.as_secs()),
+    }
+}
+
+/// Parses `index.json`. `None` for a missing, corrupt or wrong-schema
+/// index (the caller rebuilds).
+fn read_index(dir: &Path) -> Option<HashMap<JobKey, EntryMeta>> {
+    let text = std::fs::read_to_string(dir.join(INDEX_FILE)).ok()?;
+    let value = serde_json::from_str(&text).ok()?;
+    if value.get("schema")?.as_u64()? != INDEX_SCHEMA {
+        return None;
+    }
+    let mut entries = HashMap::new();
+    for row in value.get("entries")?.as_array()? {
+        let key = JobKey::from_hex(row.get("key")?.as_str()?)?;
+        let meta =
+            EntryMeta { bytes: row.get("bytes")?.as_u64()?, mtime: row.get("mtime")?.as_u64()? };
+        entries.insert(key, meta);
+    }
+    Some(entries)
+}
+
+/// What [`crate::Engine::prune_cache`] may evict: entries above a total
+/// size budget and/or older than an age bound. Unset limits prune nothing,
+/// so the default policy is a no-op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrunePolicy {
+    /// Keep total entry bytes at or under this budget, evicting the oldest
+    /// entries first.
+    pub max_bytes: Option<u64>,
+    /// Evict entries whose file is older than this.
+    pub max_age: Option<Duration>,
+}
+
+/// What an eviction sweep did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Entries in the directory before the sweep.
+    pub scanned: usize,
+    /// Entries deleted.
+    pub removed: usize,
+    /// Bytes those entries occupied.
+    pub freed_bytes: u64,
+    /// Entries left after the sweep.
+    pub kept: usize,
+    /// Bytes the remaining entries occupy.
+    pub kept_bytes: u64,
+    /// Entries that were over budget but skipped because a live run pinned
+    /// them.
+    pub pinned: usize,
+}
+
+impl serde::Serialize for PruneReport {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("PruneReport", 6)?;
+        st.serialize_field("scanned", &self.scanned)?;
+        st.serialize_field("removed", &self.removed)?;
+        st.serialize_field("freed_bytes", &self.freed_bytes)?;
+        st.serialize_field("kept", &self.kept)?;
+        st.serialize_field("kept_bytes", &self.kept_bytes)?;
+        st.serialize_field("pinned", &self.pinned)?;
+        st.end()
+    }
+}
+
+impl fmt::Display for PruneReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pruned {} of {} entries ({} bytes freed), {} kept ({} bytes)",
+            self.removed, self.scanned, self.freed_bytes, self.kept, self.kept_bytes
+        )?;
+        if self.pinned > 0 {
+            write!(f, ", {} pinned by the live run", self.pinned)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one eviction sweep over `index`: first drops entries older than
+/// `max_age`, then evicts oldest-first until the remainder fits in
+/// `max_bytes`. Entries in `pinned` are never touched — they belong to a
+/// live run. The index file is rewritten afterwards.
+pub(crate) fn prune(
+    index: &mut DirIndex,
+    policy: &PrunePolicy,
+    pinned: &HashSet<JobKey>,
+    now_secs: u64,
+) -> io::Result<PruneReport> {
+    let mut rows: Vec<(JobKey, EntryMeta)> = index.iter().collect();
+    // Oldest first; key order breaks mtime ties so sweeps are deterministic.
+    rows.sort_by_key(|&(key, meta)| (meta.mtime, key));
+    let scanned = rows.len();
+
+    let mut evict: Vec<JobKey> = Vec::new();
+    let mut pinned_over_budget: HashSet<JobKey> = HashSet::new();
+    if let Some(max_age) = policy.max_age {
+        for &(key, meta) in &rows {
+            if now_secs.saturating_sub(meta.mtime) > max_age.as_secs() {
+                if pinned.contains(&key) {
+                    pinned_over_budget.insert(key);
+                } else {
+                    evict.push(key);
+                }
+            }
+        }
+    }
+    if let Some(max_bytes) = policy.max_bytes {
+        let evicted: HashSet<JobKey> = evict.iter().copied().collect();
+        let mut total: u64 =
+            rows.iter().filter(|(k, _)| !evicted.contains(k)).map(|(_, m)| m.bytes).sum();
+        for &(key, meta) in &rows {
+            if total <= max_bytes {
+                break;
+            }
+            if evicted.contains(&key) {
+                continue;
+            }
+            if pinned.contains(&key) {
+                pinned_over_budget.insert(key);
+                continue;
+            }
+            evict.push(key);
+            total -= meta.bytes;
+        }
+    }
+
+    let mut freed_bytes = 0;
+    for &key in &evict {
+        freed_bytes += index.remove_entry(key)?;
+    }
+    index.write_if_dirty();
+    Ok(PruneReport {
+        scanned,
+        removed: evict.len(),
+        freed_bytes,
+        kept: index.len(),
+        kept_bytes: index.iter().map(|(_, m)| m.bytes).sum(),
+        pinned: pinned_over_budget.len(),
     })
 }
 
@@ -117,10 +428,7 @@ mod tests {
         let cmp = comparison();
         let key = JobKey::of_bytes(b"entry");
         save(&dir, key, &cmp).unwrap();
-        let loaded = load_dir(&dir).unwrap();
-        assert_eq!(loaded.len(), 1);
-        assert_eq!(loaded[0].0, key);
-        let back = &loaded[0].1;
+        let back = load_entry(&dir, key).expect("entry loads");
         assert_eq!(back.original.name, cmp.original.name);
         assert_eq!(back.optimized.cycle_ns.to_bits(), cmp.optimized.cycle_ns.to_bits());
         assert_eq!(back.original.cycle_ns.to_bits(), cmp.original.cycle_ns.to_bits());
@@ -135,16 +443,116 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_and_foreign_files_are_skipped() {
+    fn corrupt_and_foreign_files_are_invisible() {
         let dir = temp_dir("corrupt");
         let cmp = comparison();
-        save(&dir, JobKey::of_bytes(b"good"), &cmp).unwrap();
-        let bad_key = JobKey::of_bytes(b"bad");
-        std::fs::write(entry_path(&dir, bad_key), "{ not json").unwrap();
+        let good = JobKey::of_bytes(b"good");
+        save(&dir, good, &cmp).unwrap();
+        let bad = JobKey::of_bytes(b"bad");
+        std::fs::write(entry_path(&dir, bad), "{ not json").unwrap();
         std::fs::write(dir.join("README.json"), "{}").unwrap();
         std::fs::write(dir.join("notes.txt"), "hello").unwrap();
-        let loaded = load_dir(&dir).unwrap();
-        assert_eq!(loaded.len(), 1);
-        assert_eq!(loaded[0].0, JobKey::of_bytes(b"good"));
+        // The index lists both hex-named files (it never parses bodies)...
+        let index = DirIndex::open(&dir).unwrap();
+        assert_eq!(index.len(), 2);
+        // ...but only the good one loads.
+        assert!(index.load(good).is_some());
+        assert!(index.load(bad).is_none());
+        assert!(index.load(JobKey::of_bytes(b"absent")).is_none());
+    }
+
+    #[test]
+    fn index_survives_reopen_and_tracks_membership() {
+        let dir = temp_dir("index");
+        let cmp = comparison();
+        let (a, b) = (JobKey::of_bytes(b"a"), JobKey::of_bytes(b"b"));
+        save(&dir, a, &cmp).unwrap();
+        let mut index = DirIndex::open(&dir).unwrap();
+        assert!(index.contains(&a) && index.len() == 1);
+        save(&dir, b, &cmp).unwrap();
+        index.note_saved(b);
+        index.write_if_dirty();
+        // A fresh open trusts the written index (sets agree).
+        let reopened = DirIndex::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert!(reopened.contains(&b));
+        let (_, meta) = reopened.iter().find(|(k, _)| *k == b).unwrap();
+        assert!(meta.bytes > 0);
+    }
+
+    #[test]
+    fn stale_and_corrupt_indexes_are_rebuilt() {
+        let dir = temp_dir("stale");
+        let cmp = comparison();
+        let key = JobKey::of_bytes(b"k");
+        save(&dir, key, &cmp).unwrap();
+        // Corrupt: garbage index.
+        std::fs::write(dir.join(INDEX_FILE), "not json at all").unwrap();
+        let index = DirIndex::open(&dir).unwrap();
+        assert_eq!(index.len(), 1);
+        // The rebuild rewrote a valid index.
+        assert!(read_index(&dir).is_some());
+        // Stale: an entry appears behind the index's back.
+        let other = JobKey::of_bytes(b"other");
+        save(&dir, other, &cmp).unwrap();
+        let index = DirIndex::open(&dir).unwrap();
+        assert_eq!(index.len(), 2);
+        // Wrong schema forces a rebuild too.
+        std::fs::write(dir.join(INDEX_FILE), "{\"schema\": 999, \"entries\": []}").unwrap();
+        let index = DirIndex::open(&dir).unwrap();
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn prune_evicts_oldest_first_and_respects_pins() {
+        let dir = temp_dir("prune");
+        let cmp = comparison();
+        let keys: Vec<JobKey> = (0u8..4).map(|i| JobKey::of_bytes(&[b'p', i])).collect();
+        for &key in &keys {
+            save(&dir, key, &cmp).unwrap();
+        }
+        let mut index = DirIndex::open(&dir).unwrap();
+        let entry_bytes = index.iter().next().unwrap().1.bytes;
+        // Craft deterministic ages: keys[0] oldest … keys[3] newest.
+        for (age, &key) in [400u64, 300, 200, 100].iter().zip(&keys) {
+            index.entries.get_mut(&key).unwrap().mtime = 1000 - age;
+        }
+        // Age bound removes the two entries older than 250 s; the oldest
+        // of them is pinned and must survive.
+        let pinned: HashSet<JobKey> = [keys[0]].into_iter().collect();
+        let policy = PrunePolicy { max_age: Some(Duration::from_secs(250)), max_bytes: None };
+        let report = prune(&mut index, &policy, &pinned, 1000).unwrap();
+        assert_eq!(report.scanned, 4);
+        assert_eq!(report.removed, 1);
+        assert_eq!(report.pinned, 1);
+        assert_eq!(report.freed_bytes, entry_bytes);
+        assert!(!index.contains(&keys[1]) && index.contains(&keys[0]));
+        assert!(!entry_path(&dir, keys[1]).exists());
+        // Size bound: budget for one entry evicts oldest-first among the
+        // unpinned (keys[2] before keys[3]).
+        let policy = PrunePolicy { max_bytes: Some(2 * entry_bytes), max_age: None };
+        let report = prune(&mut index, &policy, &pinned, 1000).unwrap();
+        assert_eq!(report.removed, 1);
+        assert!(!index.contains(&keys[2]) && index.contains(&keys[3]));
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.kept_bytes, 2 * entry_bytes);
+        // The rewritten index agrees with the directory.
+        let reopened = DirIndex::open(&dir).unwrap();
+        let on_disk: HashSet<JobKey> = reopened.keys().collect();
+        let expected: HashSet<JobKey> = [keys[0], keys[3]].into_iter().collect();
+        assert_eq!(on_disk, expected);
+    }
+
+    #[test]
+    fn default_policy_is_a_no_op() {
+        let dir = temp_dir("noop");
+        let key = JobKey::of_bytes(b"keep");
+        save(&dir, key, &comparison()).unwrap();
+        let mut index = DirIndex::open(&dir).unwrap();
+        let report =
+            prune(&mut index, &PrunePolicy::default(), &HashSet::new(), 1_000_000).unwrap();
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.kept, 1);
+        assert!(entry_path(&dir, key).exists());
     }
 }

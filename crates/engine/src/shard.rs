@@ -1,0 +1,691 @@
+//! Sharded multi-process execution: partition a [`Study`]'s deduplicated
+//! job list by [`JobKey`] range across worker processes that share one
+//! persistent cache directory, then reassemble the exact single-process
+//! [`StudyReport`].
+//!
+//! # Protocol
+//!
+//! The coordinator ([`run_sharded`]):
+//!
+//! 1. expands the study grid, deduplicates it by key, **sorts the distinct
+//!    jobs by [`JobKey`]** and splits the sorted list into K contiguous
+//!    ranges ([`partition`] — total and disjoint by construction);
+//! 2. writes one JSON [`Manifest`] per shard (the full study description
+//!    plus `shard_index`/`shard_count`) under `<cache-dir>/.shards/` and
+//!    spawns K worker processes — re-invocations of the `bittrans` binary
+//!    with the hidden `shard-worker` subcommand — all pointed at the same
+//!    `--cache-dir`;
+//! 3. each worker re-derives the identical sorted job list from its
+//!    manifest, takes its range, runs it through a normal [`Engine`] (so
+//!    every success is spilled into the shared directory), and prints its
+//!    [`EngineStats`] as one JSON line on stdout;
+//! 4. the coordinator waits for every worker, merges the per-shard stats
+//!    ([`EngineStats::merged`]), and re-reads the cache directory. Any
+//!    distinct key missing from the store — a gap left by a crashed or
+//!    killed worker, or an infeasible coordinate whose error is never
+//!    persisted — is computed in-process by the coordinator's own engine.
+//!    The assembled [`StudyReport`] is therefore **bit-identical** to what
+//!    a single-process [`Study::run`] over the same grid and cache state
+//!    produces, faults or no faults.
+//!
+//! The cache directory is the only result channel: workers never talk to
+//! each other, ranges are disjoint so racing writers never collide on a
+//! key, and a worker dying mid-shard costs only the recomputation of its
+//! unfinished range.
+//!
+//! Because a study's `Spec` values cannot be re-serialized into parseable
+//! DSL (the IR's `Display` is a dump format), a sharded study starts from
+//! **source text** ([`ShardedStudy`]) — exactly what the CLI has in hand —
+//! and both sides parse the same sources, so content keys agree across
+//! processes by construction.
+
+use crate::key::JobKey;
+use crate::persist::DirIndex;
+use crate::report::StudyReport;
+use crate::stats::EngineStats;
+use crate::study::{self, Study};
+use crate::{Engine, EngineOptions, Job};
+use bittrans_core::CompareOptions;
+use bittrans_ir::Spec;
+use bittrans_rtl::AdderArch;
+use bittrans_timing::TimingModel;
+use serde::ser::SerializeStruct;
+use serde::{Serialize, Serializer};
+use serde_json::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a sharded run (or a worker) could not start. Worker *crashes* are
+/// not errors — the coordinator absorbs those — only unusable inputs are.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Creating the cache directory, writing manifests, or similar I/O.
+    Io(io::Error),
+    /// A manifest or spec source failed to parse.
+    Invalid(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard i/o: {e}"),
+            ShardError::Invalid(why) => write!(f, "invalid shard input: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+fn invalid(why: impl Into<String>) -> ShardError {
+    ShardError::Invalid(why.into())
+}
+
+/// Splits `len` items into `shards` contiguous index ranges that are
+/// **total** (their concatenation is exactly `0..len`) and **disjoint**,
+/// with sizes differing by at most one. `shards` of zero is treated as
+/// one.
+pub fn partition(len: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1);
+    (0..shards).map(|i| (i * len / shards)..((i + 1) * len / shards)).collect()
+}
+
+/// A [`Study`] described by its **source text** instead of parsed specs,
+/// so it can cross a process boundary in a manifest. [`ShardedStudy::study`]
+/// parses it back; coordinator and workers both do, so their grids — and
+/// therefore their content keys — agree exactly.
+#[derive(Clone, Debug)]
+pub struct ShardedStudy {
+    /// One DSL source per specification, in grid order.
+    pub sources: Vec<String>,
+    /// The latency axis (λ values, in order).
+    pub latencies: Vec<u32>,
+    /// The adder-architecture axis, when set.
+    pub adder_archs: Option<Vec<AdderArch>>,
+    /// The balancing axis, when set.
+    pub balance: Option<Vec<bool>>,
+    /// The verification-budget axis, when set.
+    pub verify_vectors: Option<Vec<usize>>,
+    /// Base options that unset axes collapse to.
+    pub base: CompareOptions,
+}
+
+impl ShardedStudy {
+    /// Parses the sources and rebuilds the equivalent [`Study`].
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Invalid`] when a source does not parse.
+    pub fn study(&self) -> Result<Study, ShardError> {
+        let specs: Vec<Spec> = self
+            .sources
+            .iter()
+            .map(|src| Spec::parse(src).map_err(|e| invalid(e.to_string())))
+            .collect::<Result<_, _>>()?;
+        let mut study =
+            Study::over(specs).latencies(self.latencies.iter().copied()).base_options(self.base);
+        if let Some(archs) = &self.adder_archs {
+            study = study.adder_archs(archs.iter().copied());
+        }
+        if let Some(balance) = &self.balance {
+            study = study.balance(balance.iter().copied());
+        }
+        if let Some(vectors) = &self.verify_vectors {
+            study = study.verify_vectors(vectors.iter().copied());
+        }
+        Ok(study)
+    }
+}
+
+/// Version of the manifest layout; workers reject anything else.
+pub const MANIFEST_SCHEMA: u64 = 1;
+
+/// Everything one worker process needs: the full study, its shard
+/// coordinates, and the shared cache directory.
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// The study, by source text.
+    pub study: ShardedStudy,
+    /// This worker's shard (0-based).
+    pub shard_index: usize,
+    /// Total shards the sorted job list is split into.
+    pub shard_count: usize,
+    /// Worker threads inside this shard (`None`: all cores).
+    pub threads: Option<usize>,
+    /// The shared result store.
+    pub cache_dir: PathBuf,
+}
+
+fn parse_adder_code(code: &str) -> Result<AdderArch, ShardError> {
+    AdderArch::from_code(code).ok_or_else(|| invalid(format!("unknown adder code `{code}`")))
+}
+
+impl Serialize for Manifest {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("Manifest", 11)?;
+        st.serialize_field("schema", &MANIFEST_SCHEMA)?;
+        st.serialize_field("shard_index", &self.shard_index)?;
+        st.serialize_field("shard_count", &self.shard_count)?;
+        st.serialize_field("threads", &self.threads)?;
+        st.serialize_field("cache_dir", &self.cache_dir.to_string_lossy().into_owned())?;
+        st.serialize_field("sources", &self.study.sources)?;
+        st.serialize_field("latencies", &self.study.latencies)?;
+        let archs: Option<Vec<String>> = self
+            .study
+            .adder_archs
+            .as_ref()
+            .map(|archs| archs.iter().map(|a| a.code().to_string()).collect());
+        st.serialize_field("adder_archs", &archs)?;
+        st.serialize_field("balance", &self.study.balance)?;
+        st.serialize_field("verify_vectors", &self.study.verify_vectors)?;
+        st.serialize_field("base", &BaseOptions(&self.study.base))?;
+        st.end()
+    }
+}
+
+struct BaseOptions<'a>(&'a CompareOptions);
+
+impl Serialize for BaseOptions<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("CompareOptions", 5)?;
+        st.serialize_field("adder_arch", self.0.adder_arch.code())?;
+        st.serialize_field("delta_ns", &self.0.timing.delta_ns)?;
+        st.serialize_field("overhead_ns", &self.0.timing.overhead_ns)?;
+        st.serialize_field("balance", &self.0.balance)?;
+        st.serialize_field("verify_vectors", &self.0.verify_vectors)?;
+        st.end()
+    }
+}
+
+fn field<'v>(value: &'v Value, key: &str) -> Result<&'v Value, ShardError> {
+    value.get(key).ok_or_else(|| invalid(format!("manifest missing `{key}`")))
+}
+
+fn as_usize(value: &Value, key: &str) -> Result<usize, ShardError> {
+    field(value, key)?
+        .as_u64()
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or_else(|| invalid(format!("manifest `{key}` is not an unsigned integer")))
+}
+
+fn optional<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+    match value.get(key) {
+        None | Some(Value::Null) => None,
+        Some(present) => Some(present),
+    }
+}
+
+impl Manifest {
+    /// The manifest as one line of JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("manifest serializes")
+    }
+
+    /// Parses a manifest produced by [`Manifest::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Invalid`] on malformed JSON, a missing field, or a
+    /// schema this build does not understand.
+    pub fn from_json(text: &str) -> Result<Self, ShardError> {
+        let value = serde_json::from_str(text).map_err(|e| invalid(e.to_string()))?;
+        let schema = field(&value, "schema")?.as_u64();
+        if schema != Some(MANIFEST_SCHEMA) {
+            return Err(invalid(format!("unsupported manifest schema {schema:?}")));
+        }
+        let sources = string_list(field(&value, "sources")?, "sources")?;
+        let latencies = field(&value, "latencies")?
+            .as_array()
+            .ok_or_else(|| invalid("manifest `latencies` is not an array"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| invalid("bad latency in manifest"))
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+        let adder_archs = optional(&value, "adder_archs")
+            .map(|v| {
+                string_list(v, "adder_archs")?
+                    .iter()
+                    .map(|code| parse_adder_code(code))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?;
+        let balance = optional(&value, "balance")
+            .map(|v| {
+                v.as_array()
+                    .ok_or_else(|| invalid("manifest `balance` is not an array"))?
+                    .iter()
+                    .map(|b| b.as_bool().ok_or_else(|| invalid("bad balance in manifest")))
+                    .collect::<Result<Vec<bool>, _>>()
+            })
+            .transpose()?;
+        let verify_vectors = optional(&value, "verify_vectors")
+            .map(|v| {
+                v.as_array()
+                    .ok_or_else(|| invalid("manifest `verify_vectors` is not an array"))?
+                    .iter()
+                    .map(|n| {
+                        n.as_u64()
+                            .and_then(|n| usize::try_from(n).ok())
+                            .ok_or_else(|| invalid("bad verify_vectors in manifest"))
+                    })
+                    .collect::<Result<Vec<usize>, _>>()
+            })
+            .transpose()?;
+        let base_value = field(&value, "base")?;
+        let base = CompareOptions {
+            adder_arch: parse_adder_code(
+                field(base_value, "adder_arch")?
+                    .as_str()
+                    .ok_or_else(|| invalid("manifest base adder is not a string"))?,
+            )?,
+            timing: TimingModel {
+                delta_ns: field(base_value, "delta_ns")?
+                    .as_f64()
+                    .ok_or_else(|| invalid("manifest delta_ns is not a number"))?,
+                overhead_ns: field(base_value, "overhead_ns")?
+                    .as_f64()
+                    .ok_or_else(|| invalid("manifest overhead_ns is not a number"))?,
+            },
+            balance: field(base_value, "balance")?
+                .as_bool()
+                .ok_or_else(|| invalid("manifest base balance is not a boolean"))?,
+            verify_vectors: as_usize(base_value, "verify_vectors")?,
+        };
+        let shard_index = as_usize(&value, "shard_index")?;
+        let shard_count = as_usize(&value, "shard_count")?;
+        if shard_count == 0 || shard_index >= shard_count {
+            return Err(invalid(format!("shard {shard_index} of {shard_count} is out of range")));
+        }
+        let threads = optional(&value, "threads")
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| invalid("manifest `threads` is not an unsigned integer"))
+            })
+            .transpose()?;
+        let cache_dir = PathBuf::from(
+            field(&value, "cache_dir")?
+                .as_str()
+                .ok_or_else(|| invalid("manifest `cache_dir` is not a string"))?,
+        );
+        Ok(Manifest {
+            study: ShardedStudy { sources, latencies, adder_archs, balance, verify_vectors, base },
+            shard_index,
+            shard_count,
+            threads,
+            cache_dir,
+        })
+    }
+
+    /// Reads a manifest file.
+    ///
+    /// # Errors
+    ///
+    /// I/O reading the file, or anything [`Manifest::from_json`] rejects.
+    pub fn read(path: &Path) -> Result<Self, ShardError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+    }
+
+    /// This shard's slice of the study: the grid deduplicated, sorted by
+    /// key, and cut to the `shard_index`-th of `shard_count` ranges. Every
+    /// worker (and the coordinator) computes the same partition from the
+    /// same pure inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Invalid`] when a source does not parse.
+    pub fn jobs(&self) -> Result<Vec<Job>, ShardError> {
+        let sorted = sorted_distinct(&self.study.study()?);
+        let range = partition(sorted.len(), self.shard_count)
+            .into_iter()
+            .nth(self.shard_index)
+            .unwrap_or(0..0);
+        Ok(sorted[range].to_vec())
+    }
+}
+
+fn string_list(value: &Value, key: &str) -> Result<Vec<String>, ShardError> {
+    value
+        .as_array()
+        .ok_or_else(|| invalid(format!("manifest `{key}` is not an array")))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| invalid(format!("manifest `{key}` holds a non-string")))
+        })
+        .collect()
+}
+
+/// The distinct jobs of a study, sorted by content key — the canonical
+/// order every process derives independently before partitioning. Keys are
+/// content hashes of the full canonicalized spec, so each is computed once.
+fn sorted_distinct(study: &Study) -> Vec<Job> {
+    let mut jobs = study.distinct_jobs();
+    jobs.sort_by_cached_key(Job::key);
+    jobs
+}
+
+/// A test-only fault injected into [`run_worker`]: process the shard one
+/// job at a time and stop — as if the process were killed — after
+/// `abort_after` jobs. Triggered by the CLI from the
+/// `BITTRANS_SHARD_FAULT` environment variable.
+#[derive(Clone, Copy, Debug)]
+pub struct Fault {
+    /// Jobs to complete (and spill) before dying.
+    pub abort_after: usize,
+}
+
+/// What a worker did: its engine statistics, how many jobs it finished,
+/// and whether an injected fault stopped it early.
+#[derive(Clone, Debug)]
+pub struct WorkerRun {
+    /// Statistics of the work actually performed.
+    pub stats: EngineStats,
+    /// Jobs completed (equals the shard size when not aborted).
+    pub completed: usize,
+    /// Whether an injected [`Fault`] stopped the shard early. The caller
+    /// is expected to exit abnormally so the coordinator sees a dead
+    /// worker.
+    pub aborted: bool,
+}
+
+/// Runs one shard: re-derives the job range from the manifest and pushes
+/// it through an [`Engine`] attached to the shared cache directory, so
+/// every successful comparison lands in the store. With a [`Fault`], jobs
+/// run one at a time (each spilled as it completes) and the run stops
+/// early — the harness hook for killing a worker mid-shard.
+///
+/// # Errors
+///
+/// [`ShardError`] on unusable manifests or an unusable cache directory —
+/// never on pipeline errors, which are per-job results like everywhere
+/// else.
+pub fn run_worker(manifest: &Manifest, fault: Option<Fault>) -> Result<WorkerRun, ShardError> {
+    let jobs = manifest.jobs()?;
+    let total = jobs.len();
+    let engine = Engine::new(EngineOptions { workers: manifest.threads, cache: true })
+        .with_cache_dir(&manifest.cache_dir)?;
+    let Some(fault) = fault else {
+        let batch = engine.run(jobs);
+        return Ok(WorkerRun { stats: batch.stats, completed: total, aborted: false });
+    };
+    let mut stats = EngineStats::zero();
+    let mut completed = 0;
+    for job in jobs {
+        if completed == fault.abort_after {
+            return Ok(WorkerRun { stats, completed, aborted: true });
+        }
+        stats.absorb(&engine.run(vec![job]).stats);
+        completed += 1;
+    }
+    Ok(WorkerRun { stats, completed, aborted: false })
+}
+
+/// How to run a study across processes.
+#[derive(Clone, Debug)]
+pub struct ShardOptions {
+    /// Worker processes to spawn (clamped to the distinct job count; at
+    /// least one job per worker).
+    pub shards: usize,
+    /// The binary to re-invoke with `shard-worker <manifest>` — normally
+    /// `std::env::current_exe()` of the `bittrans` CLI.
+    pub worker_binary: PathBuf,
+    /// Worker threads per shard (`None`: all cores in every worker).
+    pub threads_per_worker: Option<usize>,
+}
+
+/// Everything a sharded run produces.
+#[derive(Clone, Debug)]
+pub struct ShardRun {
+    /// The assembled study report — bit-identical to a single-process
+    /// [`Study::run`] over the same grid and starting cache state. Its
+    /// `stats` describe the run in single-process terms: every
+    /// deduplicated job is accounted exactly once (hits = keys already in
+    /// the store when the run started, misses = the rest), `workers` sums
+    /// the pools that ran, `elapsed` is coordinator wall clock.
+    pub report: StudyReport,
+    /// Per-shard statistics merged ([`EngineStats::merged`]) with the
+    /// coordinator's retry work. Jobs a dead worker finished but never
+    /// reported are absent — compare with `report.stats` to spot lost
+    /// accounting.
+    pub merged: EngineStats,
+    /// Each worker's own statistics (`None` for a shard that died or
+    /// produced no parseable stats line).
+    pub shard_stats: Vec<Option<EngineStats>>,
+    /// Shards that exited abnormally or reported nothing.
+    pub failed: Vec<usize>,
+    /// Keys from failed shards' ranges that were absent from the store
+    /// after the workers finished and were recomputed in-process.
+    pub retried: Vec<JobKey>,
+}
+
+/// Runs `study` across `options.shards` worker processes sharing
+/// `cache_dir` as the result store, and reassembles the single-process
+/// report. See the [module docs](self) for the full protocol; the short
+/// version: partition → spawn → wait → merge stats → re-read the store →
+/// recompute whatever is missing (crashed-worker gaps and never-persisted
+/// pipeline errors) in-process.
+///
+/// A crashed, killed or lying worker never fails the run — its range is
+/// detected as missing and retried locally — so the result is exactly as
+/// durable as a single-process run.
+///
+/// # Errors
+///
+/// [`ShardError`] on unparseable sources or cache-directory I/O.
+///
+/// # Panics
+///
+/// On axis values the options builder rejects; see [`Study::jobs`].
+pub fn run_sharded(
+    sharded: &ShardedStudy,
+    cache_dir: &Path,
+    options: &ShardOptions,
+) -> Result<ShardRun, ShardError> {
+    let started = Instant::now();
+    let study = sharded.study()?;
+    let grid = study.dedup();
+    // Hash each distinct job's key once; every later pass reuses the list.
+    let mut keyed: Vec<(JobKey, Job)> =
+        grid.distinct.iter().map(|job| (job.key(), job.clone())).collect();
+    keyed.sort_by_key(|&(key, _)| key);
+    let sorted_keys: Vec<JobKey> = keyed.iter().map(|&(key, _)| key).collect();
+    let shards = if keyed.is_empty() { 0 } else { options.shards.clamp(1, keyed.len()) };
+    let ranges = partition(keyed.len(), shards);
+    drop(keyed);
+
+    std::fs::create_dir_all(cache_dir)?;
+    let before = DirIndex::open(cache_dir)?;
+    let preloaded_total = before.len();
+    // A key only counts as preloaded if its entry actually parses — a
+    // corrupt body is exactly what a single-process run would discover at
+    // lookup time and recompute as a miss, and the report (hits,
+    // from_cache flags) must not diverge from that. `stale` corrects the
+    // final entry count: the corrupt file is both in `preloaded_total`
+    // and recomputed as a miss, so it would otherwise be counted twice.
+    let mut preloaded: HashSet<JobKey> = HashSet::new();
+    let mut stale = 0usize;
+    for &key in &sorted_keys {
+        if before.contains(&key) {
+            if before.load(key).is_some() {
+                preloaded.insert(key);
+            } else {
+                stale += 1;
+            }
+        }
+    }
+    drop(before);
+
+    // Spawn one worker per shard, all pointed at the shared store. A shard
+    // that cannot spawn is treated exactly like one that crashed.
+    let scratch = cache_dir.join(".shards").join(format!("run-{}", std::process::id()));
+    let mut children: Vec<(usize, io::Result<Child>)> = Vec::new();
+    if shards > 0 {
+        std::fs::create_dir_all(&scratch)?;
+        for index in 0..shards {
+            let manifest = Manifest {
+                study: sharded.clone(),
+                shard_index: index,
+                shard_count: shards,
+                threads: options.threads_per_worker,
+                cache_dir: cache_dir.to_path_buf(),
+            };
+            let path = scratch.join(format!("shard-{index}.json"));
+            std::fs::write(&path, manifest.to_json())?;
+            let child = Command::new(&options.worker_binary)
+                .arg("shard-worker")
+                .arg(&path)
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn();
+            children.push((index, child));
+        }
+    }
+
+    let mut shard_stats: Vec<Option<EngineStats>> = vec![None; shards];
+    let mut failed: Vec<usize> = Vec::new();
+    for (index, child) in children {
+        let output = child.and_then(Child::wait_with_output);
+        match output {
+            Ok(out) if out.status.success() => {
+                match parse_stats(&String::from_utf8_lossy(&out.stdout)) {
+                    Some(stats) => shard_stats[index] = Some(stats),
+                    None => failed.push(index),
+                }
+            }
+            _ => failed.push(index),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Re-read the shared store and detect gaps before the final batch: a
+    // key from a failed shard's range with no entry on disk is work the
+    // dead worker never finished.
+    let after = DirIndex::open(cache_dir)?;
+    let on_disk: HashSet<JobKey> = after.keys().collect();
+    drop(after);
+    let failed_keys: HashSet<JobKey> = failed
+        .iter()
+        .flat_map(|&index| sorted_keys[ranges[index].clone()].iter().copied())
+        .collect();
+    let retried: Vec<JobKey> = sorted_keys
+        .iter()
+        .filter(|key| failed_keys.contains(key) && !on_disk.contains(key))
+        .copied()
+        .collect();
+
+    // One local batch over the distinct jobs assembles everything: keys in
+    // the store load lazily as hits; gaps and infeasible coordinates (whose
+    // errors are never persisted) compute here, exactly as a single-process
+    // run would have computed them.
+    let engine = Engine::default().with_cache_dir(cache_dir)?;
+    let batch = engine.run(grid.distinct.clone());
+
+    let mut merged = EngineStats::merged(shard_stats.iter().flatten());
+    if !retried.is_empty() {
+        merged.absorb(&EngineStats {
+            jobs: retried.len() as u64,
+            cache_hits: 0,
+            cache_misses: retried.len() as u64,
+            cache_entries: batch.stats.cache_entries,
+            workers: batch.stats.workers,
+            elapsed: batch.stats.elapsed,
+        });
+    }
+
+    let hits = preloaded.len() as u64;
+    let distinct_count = grid.distinct.len() as u64;
+    let index_of: HashMap<JobKey, usize> = grid.index_of;
+    let cells = study::assemble(grid.cells, grid.keys, |key| {
+        let outcome = &batch.outcomes[index_of[&key]];
+        (Arc::clone(&outcome.result), preloaded.contains(&key))
+    });
+    let stats = EngineStats {
+        jobs: distinct_count,
+        cache_hits: hits,
+        cache_misses: distinct_count - hits,
+        cache_entries: preloaded_total - stale + (distinct_count - hits) as usize,
+        workers: merged.workers,
+        elapsed: started.elapsed(),
+    };
+    Ok(ShardRun { report: StudyReport { cells, stats }, merged, shard_stats, failed, retried })
+}
+
+/// Parses the one-line [`EngineStats`] JSON a worker prints on stdout.
+/// `None` for anything else — the coordinator then treats the shard as
+/// failed and re-derives its work from the store.
+fn parse_stats(stdout: &str) -> Option<EngineStats> {
+    let line = stdout.lines().rev().find(|line| !line.trim().is_empty())?;
+    let value = serde_json::from_str(line.trim()).ok()?;
+    Some(EngineStats {
+        jobs: value.get("jobs")?.as_u64()?,
+        cache_hits: value.get("cache_hits")?.as_u64()?,
+        cache_misses: value.get("cache_misses")?.as_u64()?,
+        cache_entries: usize::try_from(value.get("cache_entries")?.as_u64()?).ok()?,
+        workers: usize::try_from(value.get("workers")?.as_u64()?).ok()?,
+        elapsed: Duration::from_secs_f64(value.get("elapsed_ms")?.as_f64()?.max(0.0) / 1e3),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_total_disjoint_and_balanced() {
+        for len in [0usize, 1, 2, 7, 12, 100] {
+            for shards in [1usize, 2, 3, 5, 16] {
+                let ranges = partition(len, shards);
+                assert_eq!(ranges.len(), shards);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges[shards - 1].end, len);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "len={len} shards={shards}");
+                }
+                let sizes: Vec<usize> = ranges.iter().map(|range| range.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced {sizes:?}");
+            }
+        }
+        assert_eq!(partition(5, 0).len(), 1);
+    }
+
+    #[test]
+    fn stats_line_roundtrips() {
+        let stats = EngineStats {
+            jobs: 7,
+            cache_hits: 2,
+            cache_misses: 5,
+            cache_entries: 9,
+            workers: 3,
+            elapsed: Duration::from_millis(12),
+        };
+        let line = serde_json::to_string(&stats).unwrap();
+        let back = parse_stats(&format!("noise above is ignored\n{line}\n")).unwrap();
+        assert_eq!(back.jobs, 7);
+        assert_eq!(back.cache_hits, 2);
+        assert_eq!(back.cache_misses, 5);
+        assert_eq!(back.cache_entries, 9);
+        assert_eq!(back.workers, 3);
+        assert!((back.elapsed.as_secs_f64() - 0.012).abs() < 1e-9);
+        assert!(parse_stats("").is_none());
+        assert!(parse_stats("not json").is_none());
+    }
+}

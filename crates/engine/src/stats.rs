@@ -53,6 +53,43 @@ impl EngineStats {
             self.cache_hits as f64 / self.jobs as f64 * 100.0
         }
     }
+
+    /// The all-zero counters — the identity of [`EngineStats::absorb`].
+    pub fn zero() -> Self {
+        EngineStats {
+            jobs: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_entries: 0,
+            workers: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Folds another batch's counters into this one, as when merging the
+    /// per-shard statistics of a multi-process run: `jobs`, `cache_hits`,
+    /// `cache_misses` and `workers` add (the job sets are disjoint and the
+    /// pools ran side by side); `cache_entries` takes the maximum (each
+    /// process sees the same shared store, so summing would double-count);
+    /// `elapsed` takes the maximum (the batches overlapped in time).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.jobs += other.jobs;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_entries = self.cache_entries.max(other.cache_entries);
+        self.workers += other.workers;
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+
+    /// Merges any number of batch statistics ([`EngineStats::absorb`]
+    /// semantics), e.g. the per-shard stats of a sharded run.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a EngineStats>) -> EngineStats {
+        let mut total = EngineStats::zero();
+        for part in parts {
+            total.absorb(part);
+        }
+        total
+    }
 }
 
 impl Serialize for EngineStats {
@@ -125,6 +162,35 @@ mod tests {
             elapsed: Duration::ZERO,
         };
         assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_disjoint_work_and_maxes_shared_state() {
+        let a = EngineStats {
+            jobs: 4,
+            cache_hits: 1,
+            cache_misses: 3,
+            cache_entries: 10,
+            workers: 2,
+            elapsed: Duration::from_millis(8),
+        };
+        let b = EngineStats {
+            jobs: 5,
+            cache_hits: 0,
+            cache_misses: 5,
+            cache_entries: 10,
+            workers: 3,
+            elapsed: Duration::from_millis(5),
+        };
+        let merged = EngineStats::merged([&a, &b]);
+        assert_eq!(merged.jobs, 9);
+        assert_eq!(merged.cache_hits, 1);
+        assert_eq!(merged.cache_misses, 8);
+        assert_eq!(merged.cache_hits + merged.cache_misses, merged.jobs);
+        assert_eq!(merged.cache_entries, 10);
+        assert_eq!(merged.workers, 5);
+        assert_eq!(merged.elapsed, Duration::from_millis(8));
+        assert_eq!(EngineStats::merged([]).jobs, 0);
     }
 
     #[test]

@@ -210,8 +210,30 @@ impl Study {
     ///
     /// On axis values the options builder rejects; see [`Study::jobs`].
     pub fn run(&self, engine: &Engine) -> StudyReport {
-        let cells = self.jobs();
+        let grid = self.dedup();
+        let batch = engine.run(grid.distinct);
+        let index_of = grid.index_of;
+        let cells = assemble(grid.cells, grid.keys, |key| {
+            let outcome = &batch.outcomes[index_of[&key]];
+            (std::sync::Arc::clone(&outcome.result), outcome.from_cache)
+        });
+        StudyReport { cells, stats: batch.stats }
+    }
 
+    /// The grid's distinct jobs, in first-occurrence grid order — what a
+    /// [`Study::run`] actually submits to the engine, and what a sharded
+    /// run ([`crate::shard`]) partitions across worker processes.
+    ///
+    /// # Panics
+    ///
+    /// On axis values the options builder rejects; see [`Study::jobs`].
+    pub fn distinct_jobs(&self) -> Vec<Job> {
+        self.dedup().distinct
+    }
+
+    /// Expands and deduplicates the grid in one pass.
+    pub(crate) fn dedup(&self) -> DedupedGrid {
+        let cells = self.jobs();
         // Deduplicate by content key; the engine would compute duplicates
         // only once anyway, but submitting them would inflate the batch's
         // hit statistics with grid-shape artifacts.
@@ -228,33 +250,53 @@ impl Study {
                 key
             })
             .collect();
-
-        let batch = engine.run(distinct);
-        let mut first_seen: std::collections::HashSet<JobKey> =
-            std::collections::HashSet::with_capacity(batch.outcomes.len());
-        let cells = cells
-            .into_iter()
-            .zip(keys)
-            .map(|(job, key)| {
-                let outcome = &batch.outcomes[index_of[&key]];
-                // An in-grid duplicate did no pipeline work even when its
-                // distinct representative did, so only the first cell of a
-                // key inherits the outcome's from_cache verbatim.
-                let duplicate = !first_seen.insert(key);
-                StudyCell {
-                    spec: job.spec.name().to_string(),
-                    latency: job.latency,
-                    adder_arch: job.options.adder_arch,
-                    balance: job.options.balance,
-                    verify_vectors: job.options.verify_vectors,
-                    key,
-                    from_cache: outcome.from_cache || duplicate,
-                    result: std::sync::Arc::clone(&outcome.result),
-                }
-            })
-            .collect();
-        StudyReport { cells, stats: batch.stats }
+        DedupedGrid { cells, keys, distinct, index_of }
     }
+}
+
+/// A study grid after [`Study::dedup`]: every cell with its key, plus the
+/// distinct jobs (first-occurrence grid order) and the key → distinct-index
+/// map.
+pub(crate) struct DedupedGrid {
+    /// One job per grid cell, in grid order (with duplicates).
+    pub cells: Vec<Job>,
+    /// `cells[i]`'s content key.
+    pub keys: Vec<JobKey>,
+    /// The distinct jobs, in first-occurrence order.
+    pub distinct: Vec<Job>,
+    /// Key → index into `distinct`.
+    pub index_of: HashMap<JobKey, usize>,
+}
+
+/// Labels every grid cell with its axis coordinates and result. `resolve`
+/// maps a key to its shared result plus whether it was resident before the
+/// run started; in-grid duplicates are additionally marked `from_cache`
+/// (only the first cell of a key did pipeline work).
+pub(crate) fn assemble(
+    cells: Vec<Job>,
+    keys: Vec<JobKey>,
+    mut resolve: impl FnMut(JobKey) -> (std::sync::Arc<crate::job::JobResult>, bool),
+) -> Vec<StudyCell> {
+    let mut first_seen: std::collections::HashSet<JobKey> =
+        std::collections::HashSet::with_capacity(cells.len());
+    cells
+        .into_iter()
+        .zip(keys)
+        .map(|(job, key)| {
+            let (result, cached) = resolve(key);
+            let duplicate = !first_seen.insert(key);
+            StudyCell {
+                spec: job.spec.name().to_string(),
+                latency: job.latency,
+                adder_arch: job.options.adder_arch,
+                balance: job.options.balance,
+                verify_vectors: job.options.verify_vectors,
+                key,
+                from_cache: cached || duplicate,
+                result,
+            }
+        })
+        .collect()
 }
 
 /// Convenience for report post-processing: the comparison of a successful

@@ -21,6 +21,18 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// Result files in the cache dir (32-hex-stem `.json`), excluding the
+/// `index.json` manifest.
+fn entry_count(dir: &PathBuf) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter(|e| {
+            let name = e.as_ref().unwrap().file_name().to_string_lossy().into_owned();
+            name.len() == 37 && name.ends_with(".json")
+        })
+        .count()
+}
+
 #[test]
 fn warm_cache_dir_serves_a_fresh_engine_entirely_from_disk() {
     let dir = temp_dir("warm");
@@ -31,7 +43,9 @@ fn warm_cache_dir_serves_a_fresh_engine_entirely_from_disk() {
     let cold = Engine::default().with_cache_dir(&dir).unwrap();
     let first = study.run(&cold);
     assert_eq!(first.stats.cache_misses, 4);
-    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 4);
+    assert_eq!(entry_count(&dir), 4);
+    // The run also left an index manifest behind.
+    assert!(dir.join("index.json").exists());
 
     // Second "process": a fresh engine preloads the directory and reports
     // a 100 % hit rate with bit-identical results.
@@ -59,7 +73,7 @@ fn errors_are_not_persisted_but_successes_are() {
     assert!(report.outcomes[0].result.is_err());
     assert!(report.outcomes[1].result.is_ok());
     // Only the feasible job reached the directory.
-    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+    assert_eq!(entry_count(&dir), 1);
 
     // A fresh engine re-pays the error (miss) but not the success (hit).
     let engine = Engine::default().with_cache_dir(&dir).unwrap();
@@ -80,7 +94,11 @@ fn corrupt_entries_are_recomputed_and_repaired() {
     let jobs = vec![Job::new(spec, 3)];
     let engine = Engine::default().with_cache_dir(&dir).unwrap();
     engine.run(jobs.clone());
-    let entry = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.file_name().is_some_and(|n| n != "index.json"))
+        .unwrap();
     std::fs::write(&entry, "definitely not json").unwrap();
 
     let engine = Engine::default().with_cache_dir(&dir).unwrap();

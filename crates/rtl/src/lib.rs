@@ -77,6 +77,27 @@ impl AdderArch {
             AdderArch::CarrySelect => 1.4,
         }
     }
+
+    /// The stable short code (`rca` | `cla` | `csel`) used by the CLI
+    /// flags, VHDL entity names and on-disk shard manifests — the single
+    /// source of truth for the textual form of this enum.
+    pub fn code(self) -> &'static str {
+        match self {
+            AdderArch::RippleCarry => "rca",
+            AdderArch::CarryLookahead => "cla",
+            AdderArch::CarrySelect => "csel",
+        }
+    }
+
+    /// Parses an [`AdderArch::code`] string.
+    pub fn from_code(code: &str) -> Option<Self> {
+        match code {
+            "rca" => Some(AdderArch::RippleCarry),
+            "cla" => Some(AdderArch::CarryLookahead),
+            "csel" => Some(AdderArch::CarrySelect),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AdderArch {

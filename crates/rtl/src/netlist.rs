@@ -150,14 +150,7 @@ impl Netlist {
 
 fn entity_of(c: &Component) -> String {
     match *c {
-        Component::Adder { arch, width } => format!(
-            "adder_{}_{width}",
-            match arch {
-                crate::AdderArch::RippleCarry => "rca",
-                crate::AdderArch::CarryLookahead => "cla",
-                crate::AdderArch::CarrySelect => "csel",
-            }
-        ),
+        Component::Adder { arch, width } => format!("adder_{}_{width}", arch.code()),
         Component::Multiplier { a_width, b_width } => format!("mult_{a_width}x{b_width}"),
         Component::Register { width } => format!("reg_{width}"),
         Component::Mux { inputs, width } => format!("mux{inputs}_{width}"),

@@ -7,7 +7,8 @@
 //! bittrans batch     <dir-or-files...> --latency N [--jobs K] [--cache-dir DIR] [--json]
 //! bittrans explore   <dir-or-files...> --latency N|A..B [--adders rca,cla,csel]
 //!                    [--balance on|off|both] [--verify N] [--jobs K]
-//!                    [--cache-dir DIR] [--json]
+//!                    [--shards K] [--cache-dir DIR] [--json]
+//! bittrans cache     prune --cache-dir DIR [--max-bytes N] [--max-age SECS] [--json]
 //! bittrans fragments <file.spec> --latency N
 //! bittrans check     <file.spec>
 //! ```
@@ -21,10 +22,23 @@
 //! (or, with `--json`, the full machine-readable report). `--cache-dir`
 //! persists results on disk, so a repeated invocation over the same inputs
 //! is served entirely from cache.
+//!
+//! `explore --shards K` runs the grid across K worker processes sharing
+//! the cache directory (an automatically cleaned temporary one when
+//! `--cache-dir` is not given); the printed report is bit-identical to the
+//! single-process run, and `--jobs` then caps total threads across all
+//! workers. `cache prune` sweeps a cache directory down to a size/age
+//! budget, oldest entries first. The hidden `shard-worker <manifest>`
+//! subcommand is the re-invocation target of the sharding coordinator; the
+//! `BITTRANS_SHARD_FAULT=INDEX:AFTER` environment variable makes that
+//! worker abort after `AFTER` jobs (the fault-injection hook used by the
+//! test harness).
 
 use bittrans::core::report::{render_sweep, render_table1};
+use bittrans::engine::shard;
 use bittrans::prelude::*;
 use std::io::Read as _;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -48,7 +62,10 @@ struct Args {
     adders: Option<Vec<AdderArch>>,
     balance: Option<Vec<bool>>,
     verify: Option<usize>,
+    shards: Option<usize>,
     cache_dir: Option<String>,
+    max_bytes: Option<u64>,
+    max_age: Option<u64>,
     json: bool,
     emit_vhdl: Option<String>,
     netlist: bool,
@@ -66,19 +83,23 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: bittrans <optimize|compare|sweep|batch|explore|fragments|check> \
+    "usage: bittrans <optimize|compare|sweep|batch|explore|cache|fragments|check> \
      <file.spec|dir|-> ... [--latency N|A..B] [--from N] [--to M] [--jobs K] \
      [--adder rca|cla|csel] [--adders rca,cla,csel] [--balance on|off|both] \
-     [--verify N] [--cache-dir DIR] [--json] [--emit-vhdl DIR] [--netlist]"
+     [--verify N] [--shards K] [--cache-dir DIR] [--max-bytes N] [--max-age SECS] \
+     [--json] [--emit-vhdl DIR] [--netlist]"
         .to_string()
 }
 
 fn parse_adder(name: &str) -> Result<AdderArch, String> {
+    // Canonical short codes come from the enum itself; only the CLI's
+    // long-form aliases live here.
     match name {
-        "rca" | "ripple" | "ripple-carry" => Ok(AdderArch::RippleCarry),
-        "cla" | "carry-lookahead" => Ok(AdderArch::CarryLookahead),
-        "csel" | "carry-select" => Ok(AdderArch::CarrySelect),
-        other => Err(format!("unknown adder `{other}` (rca|cla|csel)")),
+        "ripple" | "ripple-carry" => Ok(AdderArch::RippleCarry),
+        "carry-lookahead" => Ok(AdderArch::CarryLookahead),
+        "carry-select" => Ok(AdderArch::CarrySelect),
+        code => AdderArch::from_code(code)
+            .ok_or_else(|| format!("unknown adder `{code}` (rca|cla|csel)")),
     }
 }
 
@@ -120,7 +141,10 @@ fn parse_args() -> Result<Args, String> {
         adders: None,
         balance: None,
         verify: None,
+        shards: None,
         cache_dir: None,
+        max_bytes: None,
+        max_age: None,
         json: false,
         emit_vhdl: None,
         netlist: false,
@@ -164,7 +188,24 @@ fn parse_args() -> Result<Args, String> {
                 args.verify =
                     Some(value("--verify")?.parse().map_err(|e| format!("bad --verify: {e}"))?)
             }
+            "--shards" => {
+                let k: usize =
+                    value("--shards")?.parse().map_err(|e| format!("bad --shards: {e}"))?;
+                if k == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                args.shards = Some(k);
+            }
             "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--max-bytes" => {
+                args.max_bytes = Some(
+                    value("--max-bytes")?.parse().map_err(|e| format!("bad --max-bytes: {e}"))?,
+                )
+            }
+            "--max-age" => {
+                args.max_age =
+                    Some(value("--max-age")?.parse().map_err(|e| format!("bad --max-age: {e}"))?)
+            }
             "--json" => args.json = true,
             "--emit-vhdl" => args.emit_vhdl = Some(value("--emit-vhdl")?),
             "--netlist" => args.netlist = true,
@@ -180,15 +221,18 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn read_spec(path: &str) -> Result<Spec, String> {
-    let text = if path == "-" {
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
         let mut buf = String::new();
         std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("reading stdin: {e}"))?;
-        buf
+        Ok(buf)
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
-    };
-    Spec::parse(&text).map_err(|e| e.to_string())
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn read_spec(path: &str) -> Result<Spec, String> {
+    Spec::parse(&read_source(path)?).map_err(|e| e.to_string())
 }
 
 /// Expands the `batch` operands: files stay as-is, directories contribute
@@ -257,32 +301,160 @@ fn run_batch(args: &Args, options: &CompareOptions) -> Result<(), String> {
     Ok(())
 }
 
-fn run_explore(args: &Args, options: &CompareOptions) -> Result<(), String> {
-    let mut study = Study::over(read_specs(&args.files)?).latencies(args.latencies.iter().copied());
+/// Validates `--verify`/`--adder` into the base options every explore cell
+/// inherits.
+fn explore_base(args: &Args, options: &CompareOptions) -> Result<CompareOptions, String> {
     let mut base = CompareOptions::builder().adder_arch(options.adder_arch);
     if let Some(verify) = args.verify {
         base = base.verify_vectors(verify);
     }
-    study = study.base_options(base.build().map_err(|e| e.to_string())?);
+    base.build().map_err(|e| e.to_string())
+}
+
+/// Prints a study report (text table or `--json`) and applies explore's
+/// exit rule: a partly infeasible grid is normal output, a grid with no
+/// feasible cell at all fails the invocation.
+fn finish_explore(report: &StudyReport, json: bool) -> Result<(), String> {
+    if json {
+        println!("{}", report.to_json_pretty());
+    } else {
+        print!("{}", report.render_text());
+        println!("\nengine: {}", report.stats);
+    }
+    if !report.cells.is_empty() && report.successes().count() == 0 {
+        return Err(format!("all {} grid cells failed", report.cells.len()));
+    }
+    Ok(())
+}
+
+fn run_explore(args: &Args, options: &CompareOptions) -> Result<(), String> {
+    if args.shards.is_some() {
+        return run_explore_sharded(args, options);
+    }
+    let mut study = Study::over(read_specs(&args.files)?)
+        .latencies(args.latencies.iter().copied())
+        .base_options(explore_base(args, options)?);
     if let Some(adders) = &args.adders {
         study = study.adder_archs(adders.iter().copied());
     }
     if let Some(balance) = &args.balance {
         study = study.balance(balance.iter().copied());
     }
-
     let report = study.run(&make_engine(args)?);
-    if args.json {
-        println!("{}", report.to_json_pretty());
-    } else {
-        print!("{}", report.render_text());
-        println!("\nengine: {}", report.stats);
+    finish_explore(&report, args.json)
+}
+
+/// `explore --shards K`: the same grid, run by K worker processes sharing
+/// one cache directory, reassembled into the identical report.
+fn run_explore_sharded(args: &Args, options: &CompareOptions) -> Result<(), String> {
+    let shards = args.shards.unwrap_or(1);
+    let sources = collect_spec_paths(&args.files)?
+        .iter()
+        .map(|path| read_source(path))
+        .collect::<Result<Vec<_>, _>>()?;
+    let study = shard::ShardedStudy {
+        sources,
+        latencies: args.latencies.clone(),
+        adder_archs: args.adders.clone(),
+        balance: args.balance.clone(),
+        verify_vectors: None,
+        base: explore_base(args, options)?,
+    };
+    // The cache directory is the shared result store; without an explicit
+    // one, shard into a temporary directory and clean it up afterwards.
+    let (cache_dir, ephemeral) = match &args.cache_dir {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => {
+            (std::env::temp_dir().join(format!("bittrans_shards_{}", std::process::id())), true)
+        }
+    };
+    let worker_binary =
+        std::env::current_exe().map_err(|e| format!("resolving worker binary: {e}"))?;
+    let shard_options = shard::ShardOptions {
+        shards,
+        worker_binary,
+        // `--jobs` caps total threads across the run: split it over the
+        // workers, at least one thread each.
+        threads_per_worker: args.jobs.map(|jobs| (jobs / shards).max(1)),
+    };
+    let run = shard::run_sharded(&study, &cache_dir, &shard_options);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&cache_dir);
     }
-    // Partly infeasible grids are normal exploration output (a latency
-    // sweep legitimately contains infeasible points), but a grid with no
-    // feasible cell at all produced nothing and must fail the invocation.
-    if !report.cells.is_empty() && report.successes().count() == 0 {
-        return Err(format!("all {} grid cells failed", report.cells.len()));
+    let run = run.map_err(|e| e.to_string())?;
+    for (index, stats) in run.shard_stats.iter().enumerate() {
+        match stats {
+            Some(stats) => eprintln!("shard {index}/{}: {stats}", run.shard_stats.len()),
+            None => eprintln!("shard {index}/{}: failed", run.shard_stats.len()),
+        }
+    }
+    if !run.retried.is_empty() {
+        eprintln!(
+            "recovered from {} failed shard(s): retried {} missing job(s) in-process",
+            run.failed.len(),
+            run.retried.len()
+        );
+    }
+    finish_explore(&run.report, args.json)
+}
+
+/// The hidden coordinator re-invocation target: run one shard's manifest,
+/// print the worker's `EngineStats` as one JSON line. The
+/// `BITTRANS_SHARD_FAULT=INDEX:AFTER` environment variable aborts shard
+/// INDEX after AFTER jobs — the fault-injection hook the test harness uses
+/// to model a worker killed mid-shard.
+fn run_shard_worker(args: &Args) -> Result<(), String> {
+    let manifest = shard::Manifest::read(Path::new(&args.files[0])).map_err(|e| e.to_string())?;
+    let fault = match std::env::var("BITTRANS_SHARD_FAULT") {
+        Err(_) => None,
+        Ok(spec) => {
+            let (index, after) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("bad BITTRANS_SHARD_FAULT `{spec}` (want INDEX:AFTER)"))?;
+            let index: usize =
+                index.parse().map_err(|e| format!("bad BITTRANS_SHARD_FAULT index: {e}"))?;
+            let after: usize =
+                after.parse().map_err(|e| format!("bad BITTRANS_SHARD_FAULT count: {e}"))?;
+            (index == manifest.shard_index).then_some(shard::Fault { abort_after: after })
+        }
+    };
+    let run = shard::run_worker(&manifest, fault).map_err(|e| e.to_string())?;
+    if run.aborted {
+        eprintln!(
+            "shard {}: injected fault after {} job(s), aborting",
+            manifest.shard_index, run.completed
+        );
+        std::process::exit(134);
+    }
+    println!("{}", serde_json::to_string(&run.stats).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+/// `cache prune`: one size/age eviction sweep over a cache directory.
+fn run_cache(args: &Args) -> Result<(), String> {
+    match args.files[0].as_str() {
+        "prune" => {}
+        other => return Err(format!("unknown cache action `{other}` (expected `prune`)")),
+    }
+    let Some(dir) = &args.cache_dir else {
+        return Err("cache prune needs --cache-dir".into());
+    };
+    // Prune modifies an existing store; quietly creating an empty one
+    // would turn a mistyped path into a silent no-op.
+    if !Path::new(dir).is_dir() {
+        return Err(format!("cache dir {dir}: not a directory"));
+    }
+    let engine =
+        Engine::default().with_cache_dir(dir).map_err(|e| format!("cache dir {dir}: {e}"))?;
+    let policy = PrunePolicy {
+        max_bytes: args.max_bytes,
+        max_age: args.max_age.map(std::time::Duration::from_secs),
+    };
+    let report = engine.prune_cache(policy).map_err(|e| e.to_string())?;
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    } else {
+        println!("{report}");
     }
     Ok(())
 }
@@ -294,6 +466,8 @@ fn run() -> Result<(), String> {
     match args.command.as_str() {
         "batch" => return run_batch(&args, &options),
         "explore" => return run_explore(&args, &options),
+        "shard-worker" => return run_shard_worker(&args),
+        "cache" => return run_cache(&args),
         command if args.json && command != "sweep" => {
             return Err(format!("--json is not supported by `{command}`"));
         }

@@ -138,6 +138,64 @@ fn explore_emits_json_and_reuses_a_cache_dir() {
 }
 
 #[test]
+fn cache_prune_sweeps_a_directory_and_keeps_the_index_consistent() {
+    let dir = std::env::temp_dir().join(format!("bittrans_cli_prune_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = repo("specs/ewf_section.spec");
+    let (ok, _, stderr) = run(&[
+        "explore",
+        spec.to_str().unwrap(),
+        "--latency",
+        "3..4",
+        "--cache-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+
+    // A generous age bound removes nothing.
+    let (ok, stdout, _) =
+        run(&["cache", "prune", "--cache-dir", dir.to_str().unwrap(), "--max-age", "86400"]);
+    assert!(ok);
+    assert!(stdout.contains("pruned 0 of 2 entries"), "{stdout}");
+
+    // A zero byte budget (no live run in this process) empties the store.
+    let (ok, stdout, _) = run(&[
+        "cache",
+        "prune",
+        "--cache-dir",
+        dir.to_str().unwrap(),
+        "--max-bytes",
+        "0",
+        "--json",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("\"removed\": 2"), "{stdout}");
+    assert!(stdout.contains("\"kept\": 0"), "{stdout}");
+    // Only the (empty, consistent) index remains.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(names, vec!["index.json"]);
+    let index = std::fs::read_to_string(dir.join("index.json")).unwrap();
+    assert!(index.contains("\"entries\": []"), "{index}");
+
+    // Misuse fails cleanly.
+    let (ok, _, stderr) = run(&["cache", "prune"]);
+    assert!(!ok);
+    assert!(stderr.contains("--cache-dir"), "{stderr}");
+    // A mistyped path must error, not silently create an empty store.
+    let missing = dir.join("no-such-subdir");
+    let (ok, _, stderr) = run(&["cache", "prune", "--cache-dir", missing.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("not a directory"), "{stderr}");
+    assert!(!missing.exists());
+    let (ok, _, stderr) = run(&["cache", "flush", "--cache-dir", dir.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown cache action"), "{stderr}");
+}
+
+#[test]
 fn json_flag_works_on_batch_and_sweep_but_not_elsewhere() {
     let spec = repo("specs/saturating_mac.spec");
     let (ok, stdout, stderr) = run(&["batch", spec.to_str().unwrap(), "--latency", "4", "--json"]);

@@ -1,0 +1,195 @@
+//! End-to-end tests of `explore --shards K` against the compiled binary:
+//! the sharded run's `--json` output must be byte-identical to the
+//! single-process run on the same grid (after dropping the `elapsed_ms`
+//! line, which differs even between two identical single-process runs),
+//! the merged `EngineStats` totals must account for every deduplicated job
+//! exactly once, and a worker killed mid-shard (the
+//! `BITTRANS_SHARD_FAULT` hook) must not change a byte of the report.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // debug|release/
+    p.push(format!("bittrans{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn repo(path: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(path)
+}
+
+fn run_env(args: &[&str], env: &[(&str, &str)]) -> (bool, String, String) {
+    let mut cmd = Command::new(bin());
+    cmd.args(args);
+    for (key, value) in env {
+        cmd.env(key, value);
+    }
+    let out = cmd.output().expect("bittrans binary runs (build it with the test profile)");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bittrans_shardcli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drops the volatile wall-clock line; everything else must match
+/// byte for byte.
+fn strip_elapsed(json: &str) -> String {
+    json.lines().filter(|line| !line.contains("\"elapsed_ms\"")).collect::<Vec<_>>().join("\n")
+}
+
+/// Additionally drops `workers`, which legitimately differs once a shard
+/// died (its pool is no longer part of the sum).
+fn strip_run_shape(json: &str) -> String {
+    strip_elapsed(json)
+        .lines()
+        .filter(|line| !line.contains("\"workers\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn stat(json: &str, field: &str) -> u64 {
+    // The stats block is the only object with these counters; grab the
+    // first occurrence of `"<field>": N`.
+    let needle = format!("\"{field}\": ");
+    let start = json.find(&needle).unwrap_or_else(|| panic!("{field} in {json}")) + needle.len();
+    json[start..].chars().take_while(char::is_ascii_digit).collect::<String>().parse().unwrap()
+}
+
+/// The paper grid both runs share: 2 specs × 3 latencies × 2 adders = 12
+/// deduplicated jobs.
+fn grid_args<'a>(cache: &'a str, extra: &[&'a str]) -> Vec<String> {
+    let mut args: Vec<String> = vec![
+        "explore".into(),
+        repo("specs/ewf_section.spec").to_string_lossy().into_owned(),
+        repo("specs/saturating_mac.spec").to_string_lossy().into_owned(),
+        "--latency".into(),
+        "3..5".into(),
+        "--adders".into(),
+        "rca,cla".into(),
+        "--jobs".into(),
+        "4".into(),
+        "--cache-dir".into(),
+        cache.into(),
+        "--json".into(),
+    ];
+    args.extend(extra.iter().map(|s| (*s).to_string()));
+    args
+}
+
+fn run_grid(cache: &std::path::Path, extra: &[&str], env: &[(&str, &str)]) -> (String, String) {
+    let cache = cache.to_string_lossy().into_owned();
+    let args = grid_args(&cache, extra);
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (ok, stdout, stderr) = run_env(&args, env);
+    assert!(ok, "explore failed: {stderr}");
+    (stdout, stderr)
+}
+
+#[test]
+fn sharded_json_is_byte_identical_to_single_process() {
+    let (dir_a, dir_b) = (temp_dir("diff_a"), temp_dir("diff_b"));
+    let (single, _) = run_grid(&dir_a, &[], &[]);
+    let (sharded, stderr) = run_grid(&dir_b, &["--shards", "4"], &[]);
+
+    // Byte-identical modulo the wall-clock line — including from_cache
+    // flags, per-cell comparisons, and the workers count (4 one-thread
+    // shards ≡ one 4-thread pool).
+    assert_eq!(strip_elapsed(&single), strip_elapsed(&sharded));
+
+    // Merged totals: every deduplicated job exactly once.
+    assert_eq!(stat(&sharded, "jobs"), 12);
+    assert_eq!(stat(&sharded, "cache_hits") + stat(&sharded, "cache_misses"), 12);
+    assert_eq!(stat(&sharded, "cache_misses"), stat(&single, "cache_misses"));
+    // All four workers reported in.
+    for shard in 0..4 {
+        assert!(stderr.contains(&format!("shard {shard}/4:")), "{stderr}");
+    }
+    assert!(!stderr.contains("failed"), "{stderr}");
+}
+
+#[test]
+fn sharded_rerun_is_served_from_the_shared_store() {
+    let dir = temp_dir("warm");
+    run_grid(&dir, &["--shards", "3"], &[]);
+    let (warm, _) = run_grid(&dir, &["--shards", "3"], &[]);
+    assert_eq!(stat(&warm, "cache_hits"), 12, "{warm}");
+    assert_eq!(stat(&warm, "cache_misses"), 0);
+    assert!(warm.contains("\"hit_rate_pct\": 100.0"), "{warm}");
+    assert!(warm.contains("\"from_cache\": true"));
+    assert!(!warm.contains("\"from_cache\": false"));
+    // And it matches a single-process warm run over a store with the same
+    // content (modulo `workers`: an all-hits single-process batch reports
+    // its idle pool as 1, the sharded run sums the three shard pools).
+    let dir_single = temp_dir("warm_single");
+    run_grid(&dir_single, &[], &[]);
+    let (warm_single, _) = run_grid(&dir_single, &[], &[]);
+    assert_eq!(strip_run_shape(&warm_single), strip_run_shape(&warm));
+}
+
+#[test]
+fn killed_worker_is_detected_and_its_range_retried() {
+    let (dir_a, dir_b) = (temp_dir("fault_a"), temp_dir("fault_b"));
+    let (single, _) = run_grid(&dir_a, &[], &[]);
+    // Shard 1 of 4 dies after one of its three jobs.
+    let (sharded, stderr) =
+        run_grid(&dir_b, &["--shards", "4"], &[("BITTRANS_SHARD_FAULT", "1:1")]);
+
+    // The coordinator saw the abort, reported the gap, and retried it.
+    assert!(stderr.contains("injected fault after 1 job(s)"), "{stderr}");
+    assert!(stderr.contains("shard 1/4: failed"), "{stderr}");
+    assert!(stderr.contains("retried 2 missing job(s) in-process"), "{stderr}");
+
+    // The report is still bit-exact (workers legitimately differs: the
+    // dead shard's pool is not in the sum).
+    assert_eq!(strip_run_shape(&single), strip_run_shape(&sharded));
+    assert_eq!(stat(&sharded, "jobs"), 12);
+    assert_eq!(stat(&sharded, "cache_misses"), 12);
+}
+
+#[test]
+fn worker_dead_on_arrival_loses_no_results() {
+    let (dir_a, dir_b) = (temp_dir("doa_a"), temp_dir("doa_b"));
+    let (single, _) = run_grid(&dir_a, &[], &[]);
+    // Shard 2 aborts before completing anything: its whole range is a gap.
+    let (sharded, stderr) =
+        run_grid(&dir_b, &["--shards", "4"], &[("BITTRANS_SHARD_FAULT", "2:0")]);
+    assert!(stderr.contains("shard 2/4: failed"), "{stderr}");
+    assert!(stderr.contains("retried 3 missing job(s)"), "{stderr}");
+    assert_eq!(strip_run_shape(&single), strip_run_shape(&sharded));
+}
+
+#[test]
+fn single_shard_and_ephemeral_cache_dir_work() {
+    // --shards 1 still goes through the worker protocol; without
+    // --cache-dir the coordinator shards into a temporary store and cleans
+    // it up.
+    let spec = repo("specs/saturating_mac.spec");
+    let (ok, stdout, stderr) = run_env(
+        &["explore", spec.to_str().unwrap(), "--latency", "3..4", "--shards", "1", "--json"],
+        &[],
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stat(&stdout, "jobs"), 2);
+    assert!(stderr.contains("shard 0/1:"), "{stderr}");
+}
+
+#[test]
+fn shard_worker_rejects_a_bad_manifest() {
+    let dir = temp_dir("badmanifest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("manifest.json");
+    std::fs::write(&manifest, "{\"schema\": 42}").unwrap();
+    let (ok, _, stderr) = run_env(&["shard-worker", manifest.to_str().unwrap()], &[]);
+    assert!(!ok);
+    assert!(stderr.contains("schema"), "{stderr}");
+}
