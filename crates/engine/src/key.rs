@@ -6,14 +6,19 @@
 //! It is built from FNV-1a over a canonical byte string:
 //!
 //! ```text
-//! canonical(spec) \x1f latency \x1f debug(options)
+//! canonical(spec) \x1f latency \x1f canonical(options)
 //! ```
 //!
 //! where `canonical(spec)` is the specification pretty-printed from its
 //! parsed form — so formatting, comments and whitespace in the original
-//! source never affect the key — and `debug(options)` covers every
-//! [`bittrans_core::CompareOptions`] field (adder architecture, timing
-//! model, balancing, verification vectors).
+//! source never affect the key — and `canonical(options)` is an **explicit
+//! field-by-field encoding** of [`bittrans_core::CompareOptions`] (see
+//! [`canonical_options`]). The options must never be keyed through their
+//! `Debug` output: a rename or reorder of a struct field would then change
+//! every key and silently invalidate every persisted cache entry. The
+//! explicit encoding is pinned by a golden-key test
+//! (`tests/keys.rs::golden_key_pins_canonical_encoding`), so any drift
+//! becomes a test failure instead of a cold cache.
 
 use bittrans_core::CompareOptions;
 use bittrans_ir::Spec;
@@ -34,10 +39,39 @@ fn fnv1a(bytes: &[u8], mut state: u64) -> u64 {
     state
 }
 
+/// The canonical byte encoding of a [`CompareOptions`] value used as key
+/// material: every field spelled out by a stable name, floats rendered as
+/// their exact IEEE-754 bit patterns so the encoding is never subject to
+/// formatting drift. Appending a *new* field changes keys exactly once —
+/// that is unavoidable and correct, since the new field is new content —
+/// but renaming or reordering the struct's fields must not.
+///
+/// The exhaustive destructuring is load-bearing: when `CompareOptions`
+/// grows a field, this function must stop compiling until the field is
+/// keyed. Silently omitting it would make two different jobs share a key
+/// and serve each other's cached results — strictly worse than the cold
+/// cache this encoding exists to prevent.
+pub fn canonical_options(options: &CompareOptions) -> String {
+    let CompareOptions {
+        adder_arch,
+        timing: bittrans_timing::TimingModel { delta_ns, overhead_ns },
+        balance,
+        verify_vectors,
+    } = *options;
+    format!(
+        "adder={};delta_ns={:016x};overhead_ns={:016x};balance={};verify={}",
+        adder_arch.code(),
+        delta_ns.to_bits(),
+        overhead_ns.to_bits(),
+        u8::from(balance),
+        verify_vectors,
+    )
+}
+
 impl JobKey {
     /// The key of `(spec, latency, options)`.
     pub fn of(spec: &Spec, latency: u32, options: &CompareOptions) -> Self {
-        let canonical = format!("{spec}\x1f{latency}\x1f{options:?}");
+        let canonical = format!("{spec}\x1f{latency}\x1f{}", canonical_options(options));
         Self::of_bytes(canonical.as_bytes())
     }
 
@@ -53,9 +87,13 @@ impl JobKey {
     /// Parses the 32-hex-digit form produced by [`JobKey`]'s `Display`
     /// (used as the file stem of persisted cache entries). Returns `None`
     /// for anything else — including sign characters, which
-    /// `u64::from_str_radix` would otherwise accept.
+    /// `u64::from_str_radix` would otherwise accept, and **uppercase hex
+    /// digits**: `Display` only ever emits lowercase, so an
+    /// uppercase-stemmed cache file would be accepted into the index under
+    /// a key whose canonical filename it can never match, leaving a
+    /// phantom entry that fails every lookup.
     pub fn from_hex(text: &str) -> Option<Self> {
-        if text.len() != 32 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        if text.len() != 32 || !text.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
             return None;
         }
         let hi = u64::from_str_radix(&text[..16], 16).ok()?;
@@ -104,6 +142,42 @@ mod tests {
         // would take them.
         assert_eq!(JobKey::from_hex(&format!("+{}", "0".repeat(31))), None);
         assert_eq!(JobKey::from_hex(&format!("{}+{}", "0".repeat(16), "0".repeat(15))), None);
+    }
+
+    #[test]
+    fn uppercase_hex_is_rejected() {
+        // Display emits lowercase only; accepting uppercase would index a
+        // file under a key whose canonical filename never matches it.
+        let key = JobKey::of_bytes(b"case");
+        let lower = key.to_string();
+        let upper = lower.to_uppercase();
+        assert_ne!(lower, upper, "hash with no letters — pick another probe");
+        assert_eq!(JobKey::from_hex(&lower), Some(key));
+        assert_eq!(JobKey::from_hex(&upper), None);
+        // Mixed case is equally non-canonical.
+        let mixed = format!("A{}", &lower[1..]);
+        assert_eq!(JobKey::from_hex(&mixed), None);
+    }
+
+    #[test]
+    fn canonical_options_encoding_is_explicit() {
+        // The key material names every field: no Debug formatting, no
+        // dependence on struct field order.
+        let options = CompareOptions::default();
+        let encoded = canonical_options(&options);
+        assert_eq!(
+            encoded,
+            format!(
+                "adder=rca;delta_ns={:016x};overhead_ns={:016x};balance=1;verify=50",
+                0.585f64.to_bits(),
+                0.04f64.to_bits()
+            )
+        );
+        // Every field moves the encoding.
+        let flip = CompareOptions { balance: false, ..options };
+        assert_ne!(canonical_options(&flip), encoded);
+        let vectors = CompareOptions { verify_vectors: 0, ..options };
+        assert_ne!(canonical_options(&vectors), encoded);
     }
 
     #[test]

@@ -29,7 +29,11 @@
 //! * **sharded multi-process execution** — [`shard::run_sharded`]
 //!   partitions a study's deduplicated job list by [`JobKey`] range across
 //!   worker processes that share one cache directory, then merges their
-//!   statistics and reassembles the exact single-process [`StudyReport`].
+//!   statistics and reassembles the exact single-process [`StudyReport`];
+//! * **a long-running service** — [`serve::Server`] answers
+//!   newline-delimited JSON study requests over TCP from one warm engine,
+//!   so many clients share a single in-memory cache (backed by the cache
+//!   directory) instead of each paying a cold start.
 //!
 //! ```
 //! use bittrans_engine::{Engine, Job};
@@ -65,6 +69,7 @@ pub mod job;
 pub mod key;
 mod persist;
 pub mod report;
+pub mod serve;
 pub mod shard;
 pub mod stats;
 pub mod study;
@@ -75,7 +80,8 @@ pub use job::{Job, JobOutcome, JobResult};
 pub use key::JobKey;
 pub use persist::{PrunePolicy, PruneReport};
 pub use report::{StudyCell, StudyReport};
-pub use stats::{BatchReport, EngineStats};
+pub use serve::{ServeOptions, Server};
+pub use stats::{BatchReport, EngineStats, ServiceStats};
 pub use study::Study;
 
 use bittrans_core::{compare, SweepPoint};

@@ -443,6 +443,24 @@ mod tests {
     }
 
     #[test]
+    fn uppercase_stems_are_not_indexed() {
+        // `Display` writes lowercase stems only. A file named with
+        // uppercase hex can never be the target of `entry_path`, so
+        // indexing it would create a phantom entry that fails every
+        // lookup; the scan must skip it entirely.
+        let dir = temp_dir("case");
+        let cmp = comparison();
+        let key = JobKey::of_bytes(b"lower");
+        save(&dir, key, &cmp).unwrap();
+        let upper = dir.join(format!("{key}.json").to_uppercase());
+        std::fs::write(&upper, std::fs::read(entry_path(&dir, key)).unwrap()).unwrap();
+        let index = DirIndex::open(&dir).unwrap();
+        assert_eq!(index.len(), 1);
+        assert!(index.contains(&key));
+        assert!(index.load(key).is_some());
+    }
+
+    #[test]
     fn corrupt_and_foreign_files_are_invisible() {
         let dir = temp_dir("corrupt");
         let cmp = comparison();

@@ -157,6 +157,20 @@ impl StudyReport {
         out
     }
 
+    /// One human-readable line for request logs: cell totals plus the
+    /// batch statistics of the run. Used by the `serve` front end (one
+    /// line per answered request) where the full table would drown the
+    /// log.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells ({} ok, {} failed); {}",
+            self.cells.len(),
+            self.successes().count(),
+            self.failures().count(),
+            self.stats,
+        )
+    }
+
     /// The report as compact JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("study report serializes")
@@ -166,6 +180,31 @@ impl StudyReport {
     pub fn to_json_pretty(&self) -> String {
         serde_json::to_string_pretty(self).expect("study report serializes")
     }
+}
+
+/// Blanks every `"elapsed_ms"` value in a serialized report or response
+/// line (compact or pretty), leaving every other byte intact. Two runs
+/// of the same grid over the same cache state differ *only* in wall
+/// clock, so this is the normalization the serve and shard byte-identity
+/// suites apply before comparing reports (the CI smoke jobs mirror it in
+/// Python by popping the key). All occurrences are blanked because a
+/// full serve response carries two — the lifetime service counters' and
+/// the report's.
+pub fn strip_elapsed_ms(json: &str) -> String {
+    let needle = "\"elapsed_ms\":";
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(start) = rest.find(needle) {
+        let value_start = start + needle.len();
+        out.push_str(&rest[..value_start]);
+        let tail = &rest[value_start..];
+        let end = tail
+            .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E' | ' '))
+            .unwrap_or(tail.len());
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
 }
 
 impl Serialize for StudyReport {
@@ -214,6 +253,25 @@ mod tests {
         let cmp = cells[1].get("comparison").expect("comparison present");
         assert!(cmp.get("optimized").and_then(|o| o.get("cycle_ns")).is_some());
         assert!(v.get("stats").and_then(|s| s.get("cache_misses")).is_some());
+    }
+
+    #[test]
+    fn strip_elapsed_ms_blanks_only_the_wall_clock() {
+        let r = report();
+        let compact = r.to_json();
+        let stripped = strip_elapsed_ms(&compact);
+        assert_ne!(compact, stripped);
+        assert!(stripped.contains("\"elapsed_ms\":}"), "{stripped}");
+        // Idempotent, and inert on reports without the field.
+        assert_eq!(strip_elapsed_ms(&stripped), stripped);
+        assert_eq!(strip_elapsed_ms("{\"cells\":[]}"), "{\"cells\":[]}");
+        // The pretty spelling (space after the colon) is blanked too.
+        let pretty = strip_elapsed_ms("{\"elapsed_ms\": 12.5\n}");
+        assert_eq!(pretty, "{\"elapsed_ms\":\n}");
+        // Every occurrence goes — a serve response line carries two (the
+        // service counters' and the report's).
+        let twice = "{\"a\":{\"elapsed_ms\":1.5},\"b\":{\"elapsed_ms\":2.5}}";
+        assert_eq!(strip_elapsed_ms(twice), "{\"a\":{\"elapsed_ms\":},\"b\":{\"elapsed_ms\":}}");
     }
 
     #[test]

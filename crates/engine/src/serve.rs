@@ -1,0 +1,454 @@
+//! A long-running [`Study`] service over one warm [`Engine`]: newline-
+//! delimited JSON over TCP, so many clients share a single in-memory
+//! cache (backed by the indexed cache directory) instead of each paying a
+//! cold start.
+//!
+//! # Protocol
+//!
+//! One request per line, one response line per request, connections may
+//! carry any number of requests. A request is a **study body** — the same
+//! shape the shard [`Manifest`] embeds, read back by
+//! [`ShardedStudy::from_value`]:
+//!
+//! ```text
+//! {"sources": ["spec ex { ... }"], "latencies": [3, 4],
+//!  "adder_archs": ["rca", "cla"], "balance": [true, false],
+//!  "verify_vectors": [50], "base": {...}}
+//! ```
+//!
+//! Only `sources` is required; absent axes collapse exactly as they do in
+//! [`Study`]. Unknown top-level fields are rejected — a typo'd axis name
+//! must fail loudly, not silently run the default grid. The special
+//! request `{"shutdown": true}` asks the server to stop accepting, finish
+//! in-flight requests and exit.
+//!
+//! A successful response is `{"ok":true,"service":{...},"report":{...}}`
+//! with the **report field last**: its value is byte-for-byte the
+//! [`StudyReport`] JSON that a single-process [`Study::run`] serializes,
+//! so clients can slice it out of the line without re-serializing. The
+//! `service` field carries process-lifetime [`ServiceStats`]. A rejected
+//! request gets `{"ok":false,"error":"..."}` and — except after an
+//! oversized body, whose line framing is unrecoverable — the connection
+//! stays usable.
+//!
+//! # Execution model
+//!
+//! Connections are handled by one thread each, but **studies execute one
+//! at a time** over the shared engine (a run lock): the worker pool
+//! already saturates the machine, so interleaving two grids would only
+//! thrash it — and serial execution makes each response a deterministic
+//! function of the request and the engine's resident key set, which is
+//! what lets the integration suite demand byte-identical reports. Cache
+//! hits earned by one client's request are visible to every later request
+//! from any client: that is the point of the service.
+//!
+//! # Shutdown
+//!
+//! The `shutdown` request is the graceful path: stop accepting, drain
+//! in-flight work, return the final [`ServiceStats`]. Abrupt termination
+//! (SIGTERM/SIGKILL — std offers no signal hooks and this workspace
+//! vendors no libc) is *safe by design*: every cache write is an atomic
+//! temp-file + rename, so a killed server never leaves a half-written
+//! entry, and the next server warms straight back up from the directory.
+
+use crate::report::StudyReport;
+use crate::shard::ShardedStudy;
+use crate::stats::ServiceStats;
+use crate::study::Study;
+use crate::{Engine, EngineOptions};
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default cap on one request line. A study body is source text plus axis
+/// lists — far below this — so anything larger is a runaway or hostile
+/// client, and reading it unbounded would let one connection exhaust the
+/// server's memory.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 4 * 1024 * 1024;
+
+/// How long a handler blocks on an idle connection before re-checking the
+/// shutdown flag, so graceful shutdown never waits on a silent client.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Upper bound on one blocked response write. A client that requests a
+/// study and then never drains its socket would otherwise pin its handler
+/// in `write_all` forever — and [`Server::run`] joins every handler at
+/// shutdown, so one such client could hang the whole drain.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Address to bind, `host:port` (port 0 picks a free one — read the
+    /// real address back from [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads of the shared engine (`None`: all cores).
+    pub workers: Option<usize>,
+    /// Persistent cache directory backing the warm in-memory cache
+    /// (`None`: memory only, the cache dies with the process).
+    pub cache_dir: Option<PathBuf>,
+    /// Reject request lines longer than this many bytes.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: None,
+            cache_dir: None,
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+        }
+    }
+}
+
+/// The bound service: one listener, one warm [`Engine`]. Created by
+/// [`Server::bind`], driven by [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// Everything handler threads share.
+struct ServerState {
+    engine: Engine,
+    /// Serializes study execution; see the module docs.
+    run_lock: Mutex<()>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    started: Instant,
+    max_request_bytes: usize,
+    local_addr: SocketAddr,
+}
+
+impl ServerState {
+    fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::SeqCst),
+            errors: self.errors.load(Ordering::SeqCst),
+            uptime: self.started.elapsed(),
+            engine: self.engine.stats(),
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener and opens the engine (and its cache directory,
+    /// when configured). No request is served until [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Binding the address or opening the cache directory.
+    pub fn bind(options: &ServeOptions) -> io::Result<Server> {
+        let engine = Engine::new(EngineOptions { workers: options.workers, cache: true });
+        let engine = match &options.cache_dir {
+            Some(dir) => engine.with_cache_dir(dir)?,
+            None => engine,
+        };
+        let listener = TcpListener::bind(options.addr.as_str())?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            engine,
+            run_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            started: Instant::now(),
+            max_request_bytes: options.max_request_bytes,
+            local_addr,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Accepts connections until a `shutdown` request arrives, then joins
+    /// every handler (in-flight requests finish and are answered) and
+    /// returns the final process-lifetime statistics.
+    ///
+    /// # Errors
+    ///
+    /// Never on per-connection trouble — a bad client costs one handler
+    /// thread, not the service. The `Result` exists for future fatal
+    /// accept-loop conditions and keeps the CLI's `?` shape.
+    pub fn run(self) -> io::Result<ServiceStats> {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    // A long-lived process must not hoard finished handles.
+                    handlers.retain(|h| !h.is_finished());
+                    let state = Arc::clone(&self.state);
+                    handlers.push(std::thread::spawn(move || handle_connection(stream, &state)));
+                }
+                Err(e) => {
+                    // Transient accept failures (EMFILE under load) must
+                    // not kill the service; back off briefly so a
+                    // persistent condition cannot spin the loop.
+                    eprintln!("serve: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        Ok(self.state.service_stats())
+    }
+}
+
+/// What one request line resolved to.
+enum Outcome {
+    /// A response line to send; the connection keeps serving.
+    Reply(String),
+    /// A rejection to send; the connection keeps serving.
+    Error(String),
+    /// Acknowledge, then stop the whole service.
+    Shutdown,
+}
+
+/// Serves one connection: bounded line reads, one response per request.
+/// Returns (closing the connection) on EOF, I/O trouble, oversized
+/// requests, or service shutdown.
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let peer = stream.peer_addr().map_or_else(|_| "?".to_string(), |a| a.to_string());
+    // Idle reads wake periodically so shutdown can drain this thread, and
+    // writes are bounded so a client that never reads its response cannot
+    // pin the handler (both options are socket-wide, shared by the clone).
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_request_line(&mut reader, state) {
+            LineRead::Line(line) => line,
+            LineRead::Closed => return,
+            LineRead::Oversized => {
+                state.errors.fetch_add(1, Ordering::SeqCst);
+                let message = format!(
+                    "request exceeds the {} byte limit; closing connection",
+                    state.max_request_bytes
+                );
+                eprintln!("serve[{peer}]: rejected: {message}");
+                let _ = respond_error(&mut writer, &message);
+                // Drain the rest of the oversized line before closing:
+                // dropping the socket with unread input queued makes the
+                // close an RST, which can destroy the error reply in
+                // transit before the client reads it.
+                drain_line(&mut reader);
+                return;
+            }
+        };
+        if line.is_empty() {
+            continue; // blank keep-alive line
+        }
+        match process_request(&line, state, &peer) {
+            Outcome::Reply(response) => {
+                if write_line(&mut writer, &response).is_err() {
+                    // The client vanished mid-run. Its study already ran
+                    // (and warmed the cache for everyone else); only the
+                    // reply is lost.
+                    eprintln!("serve[{peer}]: client disconnected before the response");
+                    return;
+                }
+            }
+            Outcome::Error(message) => {
+                state.errors.fetch_add(1, Ordering::SeqCst);
+                eprintln!("serve[{peer}]: rejected: {message}");
+                if respond_error(&mut writer, &message).is_err() {
+                    return;
+                }
+            }
+            Outcome::Shutdown => {
+                eprintln!("serve[{peer}]: shutdown requested");
+                let _ = write_line(&mut writer, "{\"ok\":true,\"shutdown\":true}");
+                state.shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag. A wildcard
+                // bind (0.0.0.0 / ::) is not connectable on every
+                // platform, so aim the wake-up at loopback on the bound
+                // port instead.
+                let mut wake = state.local_addr;
+                if wake.ip().is_unspecified() {
+                    wake.set_ip(match wake {
+                        SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                        SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                    });
+                }
+                let _ = TcpStream::connect(wake);
+                return;
+            }
+        }
+    }
+}
+
+/// One bounded line read.
+enum LineRead {
+    /// A complete, trimmed request line.
+    Line(String),
+    /// EOF, an unrecoverable read error, or shutdown while idle.
+    Closed,
+    /// The line outgrew the configured limit before its newline arrived.
+    Oversized,
+}
+
+/// Reads up to a newline, never buffering more than the configured limit,
+/// and re-checking the shutdown flag whenever the idle timeout fires with
+/// nothing accumulated. A final unterminated line (client sent a request
+/// and shut down its write side) is still served.
+fn read_request_line(reader: &mut BufReader<TcpStream>, state: &ServerState) -> LineRead {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return LineRead::Closed;
+        }
+        // +1 beyond the cap: the newline delimiter is framing, not body,
+        // so a body of exactly `max_request_bytes` plus its newline must
+        // still fit — only a strictly longer *body* trips the cap.
+        let budget = (state.max_request_bytes + 1).saturating_sub(line.len());
+        let mut limited = reader.by_ref().take(budget as u64);
+        match limited.read_until(b'\n', &mut line) {
+            Ok(0) if line.is_empty() => return LineRead::Closed, // clean EOF
+            Ok(_) if line.ends_with(b"\n") => {
+                line.pop(); // strip the delimiter before judging the body
+                if line.len() > state.max_request_bytes {
+                    return LineRead::Oversized;
+                }
+                return finish_line(line);
+            }
+            Ok(0) | Ok(_) if line.len() > state.max_request_bytes => return LineRead::Oversized,
+            Ok(0) => {
+                // EOF (or exhausted budget — excluded above) mid-line:
+                // serve the trailing request.
+                return finish_line(line);
+            }
+            Ok(_) => continue, // partial read before the timeout hit
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Closed,
+        }
+    }
+}
+
+/// How much of an oversized line is read-and-discarded before the hard
+/// close: a client still streaming one request beyond this is hostile,
+/// and at that point an RST is the right answer.
+const DRAIN_LIMIT: u64 = 64 * 1024 * 1024;
+
+/// Discards input until the end of the current line (or EOF, the idle
+/// timeout, or [`DRAIN_LIMIT`]), so closing after an oversized-request
+/// rejection sends a clean FIN and the error reply survives transit.
+fn drain_line(reader: &mut BufReader<TcpStream>) {
+    let mut chunk = [0u8; 8192];
+    let mut discarded: u64 = 0;
+    while discarded < DRAIN_LIMIT {
+        match reader.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                if chunk[..n].contains(&b'\n') {
+                    return;
+                }
+                discarded += n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Timeout included: a client that stopped sending has nothing
+            // left to drain.
+            Err(_) => return,
+        }
+    }
+}
+
+fn finish_line(line: Vec<u8>) -> LineRead {
+    match String::from_utf8(line) {
+        Ok(text) => LineRead::Line(text.trim().to_string()),
+        // Not UTF-8, so certainly not JSON: hand the parser a line that
+        // cannot parse, producing a normal (recoverable) rejection.
+        Err(_) => LineRead::Line("\u{fffd}".to_string()),
+    }
+}
+
+/// Parses, validates and runs one request line.
+fn process_request(line: &str, state: &ServerState, peer: &str) -> Outcome {
+    let value = match serde_json::from_str(line) {
+        Ok(value) => value,
+        Err(e) => return Outcome::Error(format!("bad request: {e}")),
+    };
+    let Value::Object(fields) = &value else {
+        return Outcome::Error("bad request: body must be a JSON object".to_string());
+    };
+    match value.get("shutdown") {
+        Some(Value::Bool(true)) => return Outcome::Shutdown,
+        Some(_) => return Outcome::Error("bad request: `shutdown` must be `true`".to_string()),
+        None => {}
+    }
+    // Strict field check: a typo'd axis must not silently collapse to the
+    // default grid.
+    for (key, _) in fields {
+        if !ShardedStudy::FIELDS.contains(&key.as_str()) {
+            return Outcome::Error(format!(
+                "unknown field `{key}` (expected {}, or shutdown)",
+                ShardedStudy::FIELDS.join(", ")
+            ));
+        }
+    }
+    let sharded = match ShardedStudy::from_value(&value) {
+        Ok(sharded) => sharded,
+        Err(e) => return Outcome::Error(format!("bad request: {e}")),
+    };
+    let study = match sharded.study() {
+        Ok(study) => study,
+        Err(e) => return Outcome::Error(format!("bad request: {e}")),
+    };
+    // Pre-validate axis ranges: Study::run panics on them (programmer
+    // error in code-built grids), and a client's bad request must never
+    // bring a worker thread down.
+    if let Err(e) = study.check() {
+        return Outcome::Error(format!("bad request: {e}"));
+    }
+    let report = run_study(&study, state);
+    state.requests.fetch_add(1, Ordering::SeqCst);
+    eprintln!("serve[{peer}]: {}", report.summary());
+    let service = serde_json::to_string(&state.service_stats()).expect("service stats serialize");
+    // `report` goes last so clients can slice the exact single-process
+    // StudyReport bytes out of the line; see the module docs.
+    Outcome::Reply(format!("{{\"ok\":true,\"service\":{service},\"report\":{}}}", report.to_json()))
+}
+
+/// Runs one study under the run lock. A poisoned lock (a panic in a
+/// previous run — "never happens", but a service must outlive it) is
+/// recovered: the engine's state is a content-addressed cache, valid at
+/// every step, so continuing is safe.
+fn run_study(study: &Study, state: &ServerState) -> StudyReport {
+    let _guard = match state.run_lock.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    study.run(&state.engine)
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn respond_error(writer: &mut TcpStream, message: &str) -> io::Result<()> {
+    let escaped = serde_json::to_string(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_line(writer, &format!("{{\"ok\":false,\"error\":{escaped}}}"))
+}

@@ -122,6 +122,102 @@ pub struct ShardedStudy {
 }
 
 impl ShardedStudy {
+    /// The field names [`ShardedStudy::from_value`] consumes — the wire
+    /// schema of a study body. Strict front ends (the `serve` request
+    /// parser) reject objects carrying anything else, so a typo'd axis
+    /// name fails loudly instead of silently collapsing to the default.
+    pub const FIELDS: [&'static str; 6] =
+        ["sources", "latencies", "adder_archs", "balance", "verify_vectors", "base"];
+
+    /// Reads a study body back from a parsed JSON object — the reverse of
+    /// this type's `Serialize` impl. Shared by the [`Manifest`] reader
+    /// (whose flat layout carries the same field names) and the `serve`
+    /// request parser, so a study serialized by any front end deserializes
+    /// identically everywhere.
+    ///
+    /// Ignores fields outside [`ShardedStudy::FIELDS`]; callers that must
+    /// reject unknown fields check the key set first. Only `sources` is
+    /// required: an absent `latencies` collapses to the [`Study`] default
+    /// (λ = 3) and an absent `base` to [`CompareOptions::default`] —
+    /// machine writers (the [`Manifest`]) always spell both out, and
+    /// because every reader applies the same defaults, a hand-written
+    /// request and its expanded form produce identical grids and keys.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Invalid`] on a missing `sources` or an ill-typed
+    /// field.
+    pub fn from_value(value: &Value) -> Result<Self, ShardError> {
+        let sources = string_list(field(value, "sources")?, "sources")?;
+        let latencies = optional(value, "latencies")
+            .map(|v| {
+                v.as_array()
+                    .ok_or_else(|| invalid("`latencies` is not an array"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(|| invalid("bad value in `latencies`"))
+                    })
+                    .collect::<Result<Vec<u32>, _>>()
+            })
+            .transpose()?
+            .unwrap_or_else(|| vec![3]);
+        let adder_archs = optional(value, "adder_archs")
+            .map(|v| {
+                string_list(v, "adder_archs")?
+                    .iter()
+                    .map(|code| parse_adder_code(code))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?;
+        let balance = optional(value, "balance")
+            .map(|v| {
+                v.as_array()
+                    .ok_or_else(|| invalid("`balance` is not an array"))?
+                    .iter()
+                    .map(|b| b.as_bool().ok_or_else(|| invalid("bad value in `balance`")))
+                    .collect::<Result<Vec<bool>, _>>()
+            })
+            .transpose()?;
+        let verify_vectors = optional(value, "verify_vectors")
+            .map(|v| {
+                v.as_array()
+                    .ok_or_else(|| invalid("`verify_vectors` is not an array"))?
+                    .iter()
+                    .map(|n| {
+                        n.as_u64()
+                            .and_then(|n| usize::try_from(n).ok())
+                            .ok_or_else(|| invalid("bad value in `verify_vectors`"))
+                    })
+                    .collect::<Result<Vec<usize>, _>>()
+            })
+            .transpose()?;
+        let base = match optional(value, "base") {
+            None => CompareOptions::default(),
+            Some(base_value) => CompareOptions {
+                adder_arch: parse_adder_code(
+                    field(base_value, "adder_arch")?
+                        .as_str()
+                        .ok_or_else(|| invalid("base `adder_arch` is not a string"))?,
+                )?,
+                timing: TimingModel {
+                    delta_ns: field(base_value, "delta_ns")?
+                        .as_f64()
+                        .ok_or_else(|| invalid("base `delta_ns` is not a number"))?,
+                    overhead_ns: field(base_value, "overhead_ns")?
+                        .as_f64()
+                        .ok_or_else(|| invalid("base `overhead_ns` is not a number"))?,
+                },
+                balance: field(base_value, "balance")?
+                    .as_bool()
+                    .ok_or_else(|| invalid("base `balance` is not a boolean"))?,
+                verify_vectors: as_usize(base_value, "verify_vectors")?,
+            },
+        };
+        Ok(ShardedStudy { sources, latencies, adder_archs, balance, verify_vectors, base })
+    }
+
     /// Parses the sources and rebuilds the equivalent [`Study`].
     ///
     /// # Errors
@@ -179,17 +275,35 @@ impl Serialize for Manifest {
         st.serialize_field("shard_count", &self.shard_count)?;
         st.serialize_field("threads", &self.threads)?;
         st.serialize_field("cache_dir", &self.cache_dir.to_string_lossy().into_owned())?;
-        st.serialize_field("sources", &self.study.sources)?;
-        st.serialize_field("latencies", &self.study.latencies)?;
-        let archs: Option<Vec<String>> = self
-            .study
-            .adder_archs
-            .as_ref()
-            .map(|archs| archs.iter().map(|a| a.code().to_string()).collect());
-        st.serialize_field("adder_archs", &archs)?;
-        st.serialize_field("balance", &self.study.balance)?;
-        st.serialize_field("verify_vectors", &self.study.verify_vectors)?;
-        st.serialize_field("base", &BaseOptions(&self.study.base))?;
+        serialize_study_fields(&mut st, &self.study)?;
+        st.end()
+    }
+}
+
+/// Writes the six study-body fields into an in-progress JSON object —
+/// shared by the standalone [`ShardedStudy`] serialization (the `serve`
+/// request body) and the flat [`Manifest`] layout, so both spell the wire
+/// schema identically.
+fn serialize_study_fields<S: SerializeStruct>(
+    st: &mut S,
+    study: &ShardedStudy,
+) -> Result<(), S::Error> {
+    st.serialize_field("sources", &study.sources)?;
+    st.serialize_field("latencies", &study.latencies)?;
+    let archs: Option<Vec<String>> = study
+        .adder_archs
+        .as_ref()
+        .map(|archs| archs.iter().map(|a| a.code().to_string()).collect());
+    st.serialize_field("adder_archs", &archs)?;
+    st.serialize_field("balance", &study.balance)?;
+    st.serialize_field("verify_vectors", &study.verify_vectors)?;
+    st.serialize_field("base", &BaseOptions(&study.base))
+}
+
+impl Serialize for ShardedStudy {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("ShardedStudy", 6)?;
+        serialize_study_fields(&mut st, self)?;
         st.end()
     }
 }
@@ -209,14 +323,14 @@ impl Serialize for BaseOptions<'_> {
 }
 
 fn field<'v>(value: &'v Value, key: &str) -> Result<&'v Value, ShardError> {
-    value.get(key).ok_or_else(|| invalid(format!("manifest missing `{key}`")))
+    value.get(key).ok_or_else(|| invalid(format!("missing field `{key}`")))
 }
 
 fn as_usize(value: &Value, key: &str) -> Result<usize, ShardError> {
     field(value, key)?
         .as_u64()
         .and_then(|n| usize::try_from(n).ok())
-        .ok_or_else(|| invalid(format!("manifest `{key}` is not an unsigned integer")))
+        .ok_or_else(|| invalid(format!("`{key}` is not an unsigned integer")))
 }
 
 fn optional<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
@@ -244,67 +358,14 @@ impl Manifest {
         if schema != Some(MANIFEST_SCHEMA) {
             return Err(invalid(format!("unsupported manifest schema {schema:?}")));
         }
-        let sources = string_list(field(&value, "sources")?, "sources")?;
-        let latencies = field(&value, "latencies")?
-            .as_array()
-            .ok_or_else(|| invalid("manifest `latencies` is not an array"))?
-            .iter()
-            .map(|v| {
-                v.as_u64()
-                    .and_then(|n| u32::try_from(n).ok())
-                    .ok_or_else(|| invalid("bad latency in manifest"))
-            })
-            .collect::<Result<Vec<u32>, _>>()?;
-        let adder_archs = optional(&value, "adder_archs")
-            .map(|v| {
-                string_list(v, "adder_archs")?
-                    .iter()
-                    .map(|code| parse_adder_code(code))
-                    .collect::<Result<Vec<_>, _>>()
-            })
-            .transpose()?;
-        let balance = optional(&value, "balance")
-            .map(|v| {
-                v.as_array()
-                    .ok_or_else(|| invalid("manifest `balance` is not an array"))?
-                    .iter()
-                    .map(|b| b.as_bool().ok_or_else(|| invalid("bad balance in manifest")))
-                    .collect::<Result<Vec<bool>, _>>()
-            })
-            .transpose()?;
-        let verify_vectors = optional(&value, "verify_vectors")
-            .map(|v| {
-                v.as_array()
-                    .ok_or_else(|| invalid("manifest `verify_vectors` is not an array"))?
-                    .iter()
-                    .map(|n| {
-                        n.as_u64()
-                            .and_then(|n| usize::try_from(n).ok())
-                            .ok_or_else(|| invalid("bad verify_vectors in manifest"))
-                    })
-                    .collect::<Result<Vec<usize>, _>>()
-            })
-            .transpose()?;
-        let base_value = field(&value, "base")?;
-        let base = CompareOptions {
-            adder_arch: parse_adder_code(
-                field(base_value, "adder_arch")?
-                    .as_str()
-                    .ok_or_else(|| invalid("manifest base adder is not a string"))?,
-            )?,
-            timing: TimingModel {
-                delta_ns: field(base_value, "delta_ns")?
-                    .as_f64()
-                    .ok_or_else(|| invalid("manifest delta_ns is not a number"))?,
-                overhead_ns: field(base_value, "overhead_ns")?
-                    .as_f64()
-                    .ok_or_else(|| invalid("manifest overhead_ns is not a number"))?,
-            },
-            balance: field(base_value, "balance")?
-                .as_bool()
-                .ok_or_else(|| invalid("manifest base balance is not a boolean"))?,
-            verify_vectors: as_usize(base_value, "verify_vectors")?,
-        };
+        // `from_value` defaults absent `latencies`/`base` for hand-written
+        // serve requests; a machine-written manifest always spells them
+        // out, so absence here is corruption or coordinator/worker version
+        // skew and silently running a default grid would persist results
+        // under the wrong study. Require them.
+        field(&value, "latencies")?;
+        field(&value, "base")?;
+        let study = ShardedStudy::from_value(&value)?;
         let shard_index = as_usize(&value, "shard_index")?;
         let shard_count = as_usize(&value, "shard_count")?;
         if shard_count == 0 || shard_index >= shard_count {
@@ -322,13 +383,7 @@ impl Manifest {
                 .as_str()
                 .ok_or_else(|| invalid("manifest `cache_dir` is not a string"))?,
         );
-        Ok(Manifest {
-            study: ShardedStudy { sources, latencies, adder_archs, balance, verify_vectors, base },
-            shard_index,
-            shard_count,
-            threads,
-            cache_dir,
-        })
+        Ok(Manifest { study, shard_index, shard_count, threads, cache_dir })
     }
 
     /// Reads a manifest file.
@@ -362,12 +417,12 @@ impl Manifest {
 fn string_list(value: &Value, key: &str) -> Result<Vec<String>, ShardError> {
     value
         .as_array()
-        .ok_or_else(|| invalid(format!("manifest `{key}` is not an array")))?
+        .ok_or_else(|| invalid(format!("`{key}` is not an array")))?
         .iter()
         .map(|v| {
             v.as_str()
                 .map(str::to_string)
-                .ok_or_else(|| invalid(format!("manifest `{key}` holds a non-string")))
+                .ok_or_else(|| invalid(format!("`{key}` holds a non-string")))
         })
         .collect()
 }

@@ -126,6 +126,52 @@ impl fmt::Display for EngineStats {
     }
 }
 
+/// Process-lifetime counters of a long-running service front end
+/// ([`crate::serve`]), distinct from the **per-request** [`EngineStats`]
+/// that travel inside each response's report: a service answers many
+/// requests over one warm engine, so "how did this request do" (one
+/// batch's hits/misses) and "what has this process absorbed so far"
+/// (cumulative engine counters, request totals, uptime) are different
+/// questions with different counters.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Study requests answered with a report.
+    pub requests: u64,
+    /// Requests rejected at the protocol layer (malformed JSON, unknown
+    /// fields, oversized bodies, unparseable or invalid studies) — these
+    /// never reach the engine.
+    pub errors: u64,
+    /// Time since the service started.
+    pub uptime: Duration,
+    /// The engine's cumulative counters ([`crate::Engine::stats`]) across
+    /// every request served so far.
+    pub engine: EngineStats,
+}
+
+impl Serialize for ServiceStats {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("ServiceStats", 4)?;
+        st.serialize_field("requests", &self.requests)?;
+        st.serialize_field("errors", &self.errors)?;
+        st.serialize_field("uptime_ms", &(self.uptime.as_secs_f64() * 1e3))?;
+        st.serialize_field("engine", &self.engine)?;
+        st.end()
+    }
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests served, {} rejected, up {:.1} s; engine: {}",
+            self.requests,
+            self.errors,
+            self.uptime.as_secs_f64(),
+            self.engine,
+        )
+    }
+}
+
 /// Everything one [`crate::Engine::run`] call produces.
 #[derive(Clone, Debug)]
 pub struct BatchReport {
@@ -191,6 +237,23 @@ mod tests {
         assert_eq!(merged.workers, 5);
         assert_eq!(merged.elapsed, Duration::from_millis(8));
         assert_eq!(EngineStats::merged([]).jobs, 0);
+    }
+
+    #[test]
+    fn service_stats_serialize_and_display() {
+        let stats = ServiceStats {
+            requests: 3,
+            errors: 1,
+            uptime: Duration::from_millis(1500),
+            engine: EngineStats { jobs: 9, cache_hits: 6, cache_misses: 3, ..EngineStats::zero() },
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"requests\":3"), "{json}");
+        assert!(json.contains("\"errors\":1"), "{json}");
+        assert!(json.contains("\"uptime_ms\":1500"), "{json}");
+        assert!(json.contains("\"engine\":{"), "{json}");
+        let text = stats.to_string();
+        assert!(text.contains("3 requests served, 1 rejected"), "{text}");
     }
 
     #[test]

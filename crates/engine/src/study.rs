@@ -152,24 +152,41 @@ impl Study {
         jobs
     }
 
-    /// Checks every axis value against the options builder's ranges, so
-    /// the validated-construction invariant holds for grids as well as for
-    /// options assembled one at a time.
-    fn validate(&self) {
+    /// Checks every axis value against the options builder's ranges
+    /// without panicking: the first rejected value's [`OptionsError`]
+    /// comes back as `Err`.
+    ///
+    /// [`Study::run`] and [`Study::jobs`] enforce the same invariant by
+    /// panicking (programmer error in code-built grids); front ends that
+    /// assemble a grid from *untrusted* input — the `serve` request
+    /// handler above all, which must never bring a worker thread down on a
+    /// client's bad request — call this first and turn the error into a
+    /// protocol reply.
+    ///
+    /// [`OptionsError`]: bittrans_core::OptionsError
+    pub fn check(&self) -> Result<(), bittrans_core::OptionsError> {
         let check = |options: CompareOptions| {
-            if let Err(e) = CompareOptions::builder()
+            CompareOptions::builder()
                 .adder_arch(options.adder_arch)
                 .timing(options.timing)
                 .balance(options.balance)
                 .verify_vectors(options.verify_vectors)
                 .build()
-            {
-                panic!("invalid study axis value: {e}");
-            }
+                .map(|_| ())
         };
-        check(self.base);
+        check(self.base)?;
         for &verify_vectors in self.verify_vectors.iter().flatten() {
-            check(CompareOptions { verify_vectors, ..self.base });
+            check(CompareOptions { verify_vectors, ..self.base })?;
+        }
+        Ok(())
+    }
+
+    /// Checks every axis value against the options builder's ranges, so
+    /// the validated-construction invariant holds for grids as well as for
+    /// options assembled one at a time.
+    fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("invalid study axis value: {e}");
         }
     }
 

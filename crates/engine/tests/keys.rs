@@ -92,6 +92,29 @@ fn key_of(source: &str, latency: u32, options: CompareOptions) -> bittrans_engin
     Job::with_options(spec, latency, options).key()
 }
 
+/// Pins the canonical `JobKey` encoding to fixed 32-hex strings. Any edit
+/// to the key material — the spec canonical form, the field encoding in
+/// `key::canonical_options`, the FNV lanes — moves these digests and must
+/// fail here loudly instead of silently cold-starting every persisted
+/// cache in the field. If a change is *intentional* (new keyed content),
+/// update the golden values and call out the one-time cache invalidation
+/// in the change log.
+#[test]
+fn golden_key_pins_canonical_encoding() {
+    let source = "spec golden { input a: u8; input b: u8; s: u8 = a + b; output s; }";
+    let golden = key_of(source, 3, CompareOptions::default());
+    assert_eq!(golden.to_string(), "3d3ddb021a68639c330a44500400e6c9");
+
+    let options = CompareOptions {
+        adder_arch: AdderArch::CarrySelect,
+        balance: false,
+        verify_vectors: 7,
+        ..CompareOptions::default()
+    };
+    let tuned = key_of(source, 5, options);
+    assert_eq!(tuned.to_string(), "d4ca6b501b77e3e03bcebc99c63e477d");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

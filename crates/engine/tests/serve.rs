@@ -1,0 +1,257 @@
+//! In-process integration tests of the `serve` subsystem: a real
+//! `Server` bound to a loopback port, driven over real `TcpStream`s.
+//!
+//! The headline property mirrors the sharding suite's: a served study's
+//! report must be **byte-identical** to what a single-process
+//! `Study::run` produces (modulo the wall-clock `elapsed_ms` line) — a
+//! cold request matches a cold run, a warm request matches a rerun on the
+//! same engine — and concurrent clients must observe cross-request cache
+//! hits, because one warm engine is the whole point of the service. The
+//! fault cases mirror `tests/shard_cli.rs`' style: malformed input,
+//! protocol abuse and vanishing clients must each cost one response (or
+//! one connection), never the service.
+
+use bittrans_engine::{Engine, EngineOptions, ServeOptions, Server, ServiceStats, Study};
+use bittrans_ir::Spec;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+
+const SOURCE: &str = "spec srv { input A: u16; input B: u16; input D: u16; input F: u16;
+  C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }";
+
+/// The grid every byte-identity test runs: one spec, three latencies.
+const LATENCIES: [u32; 3] = [2, 3, 4];
+
+/// Worker-pool width fixed on both sides so batch `workers` counts agree.
+const WORKERS: usize = 2;
+
+fn start_server(max_request_bytes: usize) -> (SocketAddr, JoinHandle<ServiceStats>) {
+    let server = Server::bind(&ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: Some(WORKERS),
+        cache_dir: None,
+        max_request_bytes,
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+/// Sends one request line and reads one response line.
+fn roundtrip(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    read_response(&mut BufReader::new(stream))
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    line.trim().to_string()
+}
+
+fn send_line(stream: &mut TcpStream, request: &str) {
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+}
+
+fn study_request() -> String {
+    let source = serde_json::to_string(SOURCE).unwrap();
+    let latencies: Vec<String> = LATENCIES.iter().map(u32::to_string).collect();
+    format!("{{\"sources\": [{source}], \"latencies\": [{}]}}", latencies.join(", "))
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<ServiceStats>) -> ServiceStats {
+    let reply = roundtrip(addr, "{\"shutdown\": true}");
+    assert!(reply.contains("\"shutdown\":true"), "{reply}");
+    handle.join().expect("server thread")
+}
+
+/// The exact single-process `StudyReport` bytes embedded in a response
+/// line: the `report` field is serialized last precisely so this slice is
+/// possible without re-serializing.
+fn report_slice(response: &str) -> &str {
+    let needle = "\"report\":";
+    let start = response.find(needle).unwrap_or_else(|| panic!("no report in {response}"));
+    assert!(response.ends_with('}'), "{response}");
+    &response[start + needle.len()..response.len() - 1]
+}
+
+/// Drops the volatile wall-clock value; everything else must match byte
+/// for byte.
+fn strip_elapsed(json: &str) -> String {
+    bittrans_engine::report::strip_elapsed_ms(json)
+}
+
+/// The reference: the same grid run directly, on a fresh engine with the
+/// same pool width — once cold, once warm.
+fn reference_reports() -> (String, String) {
+    let engine = Engine::new(EngineOptions { workers: Some(WORKERS), cache: true });
+    let study = Study::single(Spec::parse(SOURCE).unwrap()).latencies(LATENCIES);
+    let cold = study.run(&engine).to_json();
+    let warm = study.run(&engine).to_json();
+    (cold, warm)
+}
+
+#[test]
+fn concurrent_clients_get_single_process_reports_and_share_the_cache() {
+    let (addr, handle) = start_server(1 << 20);
+    let (cold_ref, warm_ref) = reference_reports();
+
+    // Three clients race the same study at the cold server. The run lock
+    // serializes execution, so exactly one pays the misses and the other
+    // two are served from the warm cache — every response byte-identical
+    // (modulo wall clock) to the corresponding single-process run.
+    let clients: Vec<JoinHandle<String>> =
+        (0..3).map(|_| std::thread::spawn(move || roundtrip(addr, &study_request()))).collect();
+    let responses: Vec<String> = clients.into_iter().map(|c| c.join().expect("client")).collect();
+
+    let mut cold_seen = 0;
+    let mut warm_seen = 0;
+    for response in &responses {
+        assert!(response.starts_with("{\"ok\":true,"), "{response}");
+        assert!(response.contains("\"service\":{\"requests\":"), "{response}");
+        let report = strip_elapsed(report_slice(response));
+        if report == strip_elapsed(&cold_ref) {
+            cold_seen += 1;
+        } else if report == strip_elapsed(&warm_ref) {
+            warm_seen += 1;
+        } else {
+            panic!("report matches neither cold nor warm reference:\n{report}");
+        }
+    }
+    assert_eq!((cold_seen, warm_seen), (1, 2));
+
+    // A fourth, sequential request is pure cross-request cache reuse.
+    let fourth = roundtrip(addr, &study_request());
+    assert_eq!(strip_elapsed(report_slice(&fourth)), strip_elapsed(&warm_ref));
+    assert!(fourth.contains("\"hit_rate_pct\":100"), "{fourth}");
+
+    let stats = shutdown(addr, handle);
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.errors, 0);
+    // Cross-request hits: three of the four requests never computed.
+    assert!(stats.engine.cache_hits >= 3 * LATENCIES.len() as u64, "{stats}");
+    assert_eq!(stats.engine.cache_misses, LATENCIES.len() as u64, "{stats}");
+}
+
+#[test]
+fn malformed_json_is_rejected_and_the_connection_keeps_serving() {
+    let (addr, handle) = start_server(1 << 20);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    send_line(&mut stream, "{ this is not json");
+    let reply = read_response(&mut reader);
+    assert!(reply.starts_with("{\"ok\":false,"), "{reply}");
+    assert!(reply.contains("bad request"), "{reply}");
+
+    // The same connection still serves a valid study afterwards.
+    send_line(&mut stream, &study_request());
+    let reply = read_response(&mut reader);
+    assert!(reply.starts_with("{\"ok\":true,"), "{reply}");
+
+    // Non-object bodies are rejected the same recoverable way.
+    send_line(&mut stream, "[1, 2, 3]");
+    let reply = read_response(&mut reader);
+    assert!(reply.contains("must be a JSON object"), "{reply}");
+
+    let stats = shutdown(addr, handle);
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.errors, 2);
+}
+
+#[test]
+fn unknown_fields_and_invalid_studies_are_rejected_without_harm() {
+    let (addr, handle) = start_server(1 << 20);
+
+    // A typo'd axis name must not silently run the default grid.
+    let source = serde_json::to_string(SOURCE).unwrap();
+    let reply = roundtrip(addr, &format!("{{\"sources\": [{source}], \"latencys\": [3]}}"));
+    assert!(reply.contains("unknown field `latencys`"), "{reply}");
+
+    // An unparseable spec source is a per-request failure.
+    let reply = roundtrip(addr, "{\"sources\": [\"spec broken {\"]}");
+    assert!(reply.starts_with("{\"ok\":false,"), "{reply}");
+
+    // Axis values the options builder rejects must come back as protocol
+    // errors, not kill the worker thread (Study::run would panic).
+    let reply =
+        roundtrip(addr, &format!("{{\"sources\": [{source}], \"verify_vectors\": [2000000]}}"));
+    assert!(reply.contains("verify_vectors"), "{reply}");
+
+    // `shutdown` must be literally true.
+    let reply = roundtrip(addr, "{\"shutdown\": \"please\"}");
+    assert!(reply.contains("`shutdown` must be `true`"), "{reply}");
+
+    // Infeasible coordinates are report content, not request errors —
+    // exactly like a single-process study.
+    let reply = roundtrip(addr, &format!("{{\"sources\": [{source}], \"latencies\": [0]}}"));
+    assert!(reply.starts_with("{\"ok\":true,"), "{reply}");
+    assert!(report_slice(&reply).contains("\"ok\":false"), "{reply}");
+
+    // After all that abuse the engine still serves.
+    let reply = roundtrip(addr, &study_request());
+    assert!(reply.starts_with("{\"ok\":true,"), "{reply}");
+
+    let stats = shutdown(addr, handle);
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.errors, 4);
+}
+
+#[test]
+fn oversized_requests_close_only_their_own_connection() {
+    let (addr, handle) = start_server(512);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let huge = format!("{{\"sources\": [\"{}\"]}}", "x".repeat(2048));
+    send_line(&mut stream, &huge);
+    let reply = read_response(&mut reader);
+    assert!(reply.contains("byte limit"), "{reply}");
+
+    // The line framing is unrecoverable, so that connection is done...
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).unwrap_or(0), 0, "connection should be closed");
+
+    // ...but a fresh connection is served normally (the study body fits
+    // under the tiny limit because the spec is referenced, not inflated).
+    let small = "{\"sources\": [\"spec t { input a: u4; output o = a; }\"]}";
+    let reply = roundtrip(addr, small);
+    assert!(reply.starts_with("{\"ok\":true,"), "{reply}");
+
+    // A body of *exactly* the limit is within bounds: the newline is
+    // framing, not body, so it must not count against the cap.
+    let at_limit = format!("{small:<512}");
+    assert_eq!(at_limit.len(), 512);
+    let reply = roundtrip(addr, &at_limit);
+    assert!(reply.starts_with("{\"ok\":true,"), "at-limit request rejected: {reply}");
+
+    let stats = shutdown(addr, handle);
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.errors, 1);
+}
+
+#[test]
+fn client_disconnecting_mid_run_leaves_the_engine_serving() {
+    let (addr, handle) = start_server(1 << 20);
+
+    // Send a full request and vanish without reading the response.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        send_line(&mut stream, &study_request());
+        // Dropped here: the server computes, fails to reply, moves on.
+    }
+
+    // The next client is served — and if the abandoned study finished
+    // first, it even inherits the warm cache.
+    let reply = roundtrip(addr, &study_request());
+    assert!(reply.starts_with("{\"ok\":true,"), "{reply}");
+
+    let stats = shutdown(addr, handle);
+    assert!(stats.requests >= 1, "{stats}");
+    assert_eq!(stats.errors, 0);
+}

@@ -188,6 +188,19 @@ fn manifest_rejects_garbage() {
     assert!(Manifest::from_json("not json").is_err());
     assert!(Manifest::from_json("{}").is_err());
     assert!(Manifest::from_json("{\"schema\": 999}").is_err());
+    // The serve request reader defaults absent `latencies`/`base`, but a
+    // manifest missing either is version skew or corruption — running a
+    // default grid instead would persist results under the wrong study.
+    let complete = manifest(&random_study(7), 0, 2, &PathBuf::from("/tmp/x")).to_json();
+    for required in ["\"latencies\":", "\"base\":"] {
+        let start = complete.find(required).unwrap();
+        let renamed = format!(
+            "{}\"dropped_{}",
+            &complete[..start],
+            &complete[start + 1..] // rename the field: value stays valid JSON
+        );
+        assert!(Manifest::from_json(&renamed).is_err(), "manifest without {required} was accepted");
+    }
     // Out-of-range shard coordinates are caught at parse time.
     let study = random_study(1);
     let mut good = manifest(&study, 0, 2, &PathBuf::from("/tmp/x"));

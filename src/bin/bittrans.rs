@@ -9,6 +9,10 @@
 //!                    [--balance on|off|both] [--verify N] [--jobs K]
 //!                    [--shards K] [--cache-dir DIR] [--json]
 //! bittrans cache     prune --cache-dir DIR [--max-bytes N] [--max-age SECS] [--json]
+//! bittrans serve     --addr HOST:PORT [--cache-dir DIR] [--jobs K]
+//! bittrans client    <dir-or-files...> --addr HOST:PORT [--latency N|A..B]
+//!                    [--adders rca,cla,csel] [--balance on|off|both] [--verify N] [--json]
+//! bittrans client    --addr HOST:PORT --shutdown
 //! bittrans fragments <file.spec> --latency N
 //! bittrans check     <file.spec>
 //! ```
@@ -33,11 +37,21 @@
 //! `BITTRANS_SHARD_FAULT=INDEX:AFTER` environment variable makes that
 //! worker abort after `AFTER` jobs (the fault-injection hook used by the
 //! test harness).
+//!
+//! `serve` runs the long-lived study service: one warm engine answering
+//! newline-delimited JSON study requests over TCP (see
+//! `bittrans_engine::serve`), printing `listening on HOST:PORT` once
+//! bound (pass port 0 to pick a free one). `client` is its thin
+//! counterpart: it assembles the same grid `explore` would from the same
+//! flags, sends it as one request, and prints the response — with
+//! `--json`, the exact `StudyReport` bytes the server computed. `client
+//! --shutdown` asks the server to drain and exit.
 
 use bittrans::core::report::{render_sweep, render_table1};
+use bittrans::engine::serve;
 use bittrans::engine::shard;
 use bittrans::prelude::*;
-use std::io::Read as _;
+use std::io::{BufRead as _, Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -66,6 +80,8 @@ struct Args {
     cache_dir: Option<String>,
     max_bytes: Option<u64>,
     max_age: Option<u64>,
+    addr: Option<String>,
+    shutdown: bool,
     json: bool,
     emit_vhdl: Option<String>,
     netlist: bool,
@@ -83,11 +99,11 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: bittrans <optimize|compare|sweep|batch|explore|cache|fragments|check> \
+    "usage: bittrans <optimize|compare|sweep|batch|explore|cache|serve|client|fragments|check> \
      <file.spec|dir|-> ... [--latency N|A..B] [--from N] [--to M] [--jobs K] \
      [--adder rca|cla|csel] [--adders rca,cla,csel] [--balance on|off|both] \
      [--verify N] [--shards K] [--cache-dir DIR] [--max-bytes N] [--max-age SECS] \
-     [--json] [--emit-vhdl DIR] [--netlist]"
+     [--addr HOST:PORT] [--shutdown] [--json] [--emit-vhdl DIR] [--netlist]"
         .to_string()
 }
 
@@ -145,6 +161,8 @@ fn parse_args() -> Result<Args, String> {
         cache_dir: None,
         max_bytes: None,
         max_age: None,
+        addr: None,
+        shutdown: false,
         json: false,
         emit_vhdl: None,
         netlist: false,
@@ -206,6 +224,8 @@ fn parse_args() -> Result<Args, String> {
                 args.max_age =
                     Some(value("--max-age")?.parse().map_err(|e| format!("bad --max-age: {e}"))?)
             }
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--shutdown" => args.shutdown = true,
             "--json" => args.json = true,
             "--emit-vhdl" => args.emit_vhdl = Some(value("--emit-vhdl")?),
             "--netlist" => args.netlist = true,
@@ -215,7 +235,10 @@ fn parse_args() -> Result<Args, String> {
             positional => args.files.push(positional.to_string()),
         }
     }
-    if args.files.is_empty() {
+    // `serve` addresses a socket, not files; `client --shutdown` sends a
+    // bodyless control request. Everything else needs an operand.
+    let fileless = args.command == "serve" || (args.command == "client" && args.shutdown);
+    if args.files.is_empty() && !fileless {
         return Err(usage());
     }
     Ok(args)
@@ -346,20 +369,27 @@ fn run_explore(args: &Args, options: &CompareOptions) -> Result<(), String> {
 
 /// `explore --shards K`: the same grid, run by K worker processes sharing
 /// one cache directory, reassembled into the identical report.
-fn run_explore_sharded(args: &Args, options: &CompareOptions) -> Result<(), String> {
-    let shards = args.shards.unwrap_or(1);
+/// The explore-shaped grid as transportable source text — what a shard
+/// manifest embeds and what `client` sends as a serve request. One
+/// builder for both, so the two front ends cannot drift apart.
+fn sharded_study(args: &Args, options: &CompareOptions) -> Result<shard::ShardedStudy, String> {
     let sources = collect_spec_paths(&args.files)?
         .iter()
         .map(|path| read_source(path))
         .collect::<Result<Vec<_>, _>>()?;
-    let study = shard::ShardedStudy {
+    Ok(shard::ShardedStudy {
         sources,
         latencies: args.latencies.clone(),
         adder_archs: args.adders.clone(),
         balance: args.balance.clone(),
         verify_vectors: None,
         base: explore_base(args, options)?,
-    };
+    })
+}
+
+fn run_explore_sharded(args: &Args, options: &CompareOptions) -> Result<(), String> {
+    let shards = args.shards.unwrap_or(1);
+    let study = sharded_study(args, options)?;
     // The cache directory is the shared result store; without an explicit
     // one, shard into a temporary directory and clean it up afterwards.
     let (cache_dir, ephemeral) = match &args.cache_dir {
@@ -430,6 +460,114 @@ fn run_shard_worker(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve`: the long-lived study service — one warm engine, newline-
+/// delimited JSON requests over TCP, until a `shutdown` request arrives.
+fn run_serve(args: &Args) -> Result<(), String> {
+    let Some(addr) = &args.addr else {
+        return Err("serve needs --addr HOST:PORT".to_string());
+    };
+    if !args.files.is_empty() {
+        return Err("serve takes no spec operands (clients send the specs)".to_string());
+    }
+    let options = serve::ServeOptions {
+        addr: addr.clone(),
+        workers: args.jobs,
+        cache_dir: args.cache_dir.as_ref().map(PathBuf::from),
+        max_request_bytes: serve::DEFAULT_MAX_REQUEST_BYTES,
+    };
+    let server = serve::Server::bind(&options).map_err(|e| format!("serve {addr}: {e}"))?;
+    // Announce the resolved address (scripts bind port 0 and need the
+    // real port); flush because stdout is block-buffered under a pipe.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let stats = server.run().map_err(|e| e.to_string())?;
+    eprintln!("serve: {stats}");
+    Ok(())
+}
+
+/// `client`: assemble the same grid `explore` would, send it to a running
+/// `serve` process as one request, print the response.
+fn run_client(args: &Args, options: &CompareOptions) -> Result<(), String> {
+    let Some(addr) = &args.addr else {
+        return Err("client needs --addr HOST:PORT".to_string());
+    };
+    let request = if args.shutdown {
+        if !args.files.is_empty() {
+            return Err("client --shutdown takes no spec operands".to_string());
+        }
+        "{\"shutdown\": true}".to_string()
+    } else {
+        let study = sharded_study(args, options)?;
+        serde_json::to_string(&study).map_err(|e| e.to_string())?
+    };
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    stream
+        .write_all(request.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let mut reader = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("reading response: {e}"))?;
+    let line = line.trim();
+    if line.is_empty() {
+        return Err("server closed the connection without a response".to_string());
+    }
+    let value = serde_json::from_str(line).map_err(|e| format!("bad response: {e}"))?;
+    if value.get("ok").and_then(serde_json::Value::as_bool) != Some(true) {
+        let why = value
+            .get("error")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("no error detail in response");
+        return Err(format!("server rejected the request: {why}"));
+    }
+    if args.shutdown {
+        println!("server acknowledged shutdown");
+        return Ok(());
+    }
+    if args.json {
+        // The exact StudyReport bytes the server computed: the `report`
+        // field is the line's final field precisely so it can be sliced
+        // out without re-serializing (and re-ordering) anything.
+        let needle = "\"report\":";
+        let start =
+            line.find(needle).ok_or_else(|| format!("response carries no report: {line}"))?;
+        if !line.ends_with('}') {
+            return Err(format!("malformed response: {line}"));
+        }
+        println!("{}", &line[start + needle.len()..line.len() - 1]);
+        return Ok(());
+    }
+    let report =
+        value.get("report").ok_or_else(|| format!("response carries no report: {line}"))?;
+    let cells = report
+        .get("cells")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| format!("response report carries no cells: {line}"))?;
+    let ok = cells
+        .iter()
+        .filter(|c| c.get("ok").and_then(serde_json::Value::as_bool) == Some(true))
+        .count();
+    let hits = report
+        .get("stats")
+        .and_then(|s| s.get("cache_hits"))
+        .and_then(serde_json::Value::as_u64)
+        .unwrap_or(0);
+    println!(
+        "{} cells ({} ok, {} failed), {} served from the warm cache",
+        cells.len(),
+        ok,
+        cells.len() - ok,
+        hits
+    );
+    // Mirror explore's exit rule: a grid with no feasible cell fails.
+    if !cells.is_empty() && ok == 0 {
+        return Err(format!("all {} grid cells failed", cells.len()));
+    }
+    Ok(())
+}
+
 /// `cache prune`: one size/age eviction sweep over a cache directory.
 fn run_cache(args: &Args) -> Result<(), String> {
     match args.files[0].as_str() {
@@ -468,6 +606,8 @@ fn run() -> Result<(), String> {
         "explore" => return run_explore(&args, &options),
         "shard-worker" => return run_shard_worker(&args),
         "cache" => return run_cache(&args),
+        "serve" => return run_serve(&args),
+        "client" => return run_client(&args, &options),
         command if args.json && command != "sweep" => {
             return Err(format!("--json is not supported by `{command}`"));
         }

@@ -237,6 +237,38 @@ fn explore_rejects_bad_axes() {
     assert!(stderr.contains("single --latency"), "{stderr}");
 }
 
+/// Regression tests for the degenerate-count guards: a zero worker pool
+/// or a zero-shard partition is always a mistyped flag, and an inverted
+/// range must be an error, never a silently empty sweep.
+#[test]
+fn zero_jobs_and_zero_shards_are_rejected() {
+    let spec = repo("specs/ewf_section.spec");
+    for command in ["explore", "sweep", "batch"] {
+        let (ok, _, stderr) = run(&[command, spec.to_str().unwrap(), "--jobs", "0"]);
+        assert!(!ok, "{command} accepted --jobs 0");
+        assert!(stderr.contains("--jobs must be at least 1"), "{command}: {stderr}");
+    }
+    let (ok, _, stderr) = run(&["explore", spec.to_str().unwrap(), "--shards", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--shards must be at least 1"), "{stderr}");
+}
+
+#[test]
+fn inverted_ranges_are_errors_not_empty_sweeps() {
+    let spec = repo("specs/ewf_section.spec");
+    // `--latency 9..3` must never expand to an empty grid — on any
+    // command that takes the range syntax.
+    for command in ["explore", "batch"] {
+        let (ok, stdout, stderr) = run(&[command, spec.to_str().unwrap(), "--latency", "9..3"]);
+        assert!(!ok, "{command} accepted an inverted latency range: {stdout}");
+        assert!(stderr.contains("empty range"), "{command}: {stderr}");
+    }
+    // sweep's separate --from/--to spelling has the same guard.
+    let (ok, _, stderr) = run(&["sweep", spec.to_str().unwrap(), "--from", "9", "--to", "3"]);
+    assert!(!ok);
+    assert!(stderr.contains("--from must not exceed --to"), "{stderr}");
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     let (ok, _, stderr) = run(&["frobnicate", "nonexistent.spec"]);

@@ -41,10 +41,10 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Drops the volatile wall-clock line; everything else must match
+/// Blanks the volatile wall-clock value; everything else must match
 /// byte for byte.
 fn strip_elapsed(json: &str) -> String {
-    json.lines().filter(|line| !line.contains("\"elapsed_ms\"")).collect::<Vec<_>>().join("\n")
+    bittrans::engine::report::strip_elapsed_ms(json)
 }
 
 /// Additionally drops `workers`, which legitimately differs once a shard
