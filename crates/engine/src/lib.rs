@@ -28,8 +28,10 @@
 //!   hand-rolled sweep loop in the benches, examples and CLI;
 //! * **sharded multi-process execution** — [`shard::run_sharded`]
 //!   partitions a study's deduplicated job list by [`JobKey`] range across
-//!   worker processes that share one cache directory, then merges their
-//!   statistics and reassembles the exact single-process [`StudyReport`];
+//!   workers that share one cache directory — local worker processes or a
+//!   fleet of remote `serve` endpoints, a per-run [`shard::Transport`]
+//!   choice — then merges their statistics and reassembles the exact
+//!   single-process [`StudyReport`];
 //! * **a long-running service** — [`serve::Server`] answers
 //!   newline-delimited JSON study requests over TCP from one warm engine,
 //!   so many clients share a single in-memory cache (backed by the cache
@@ -68,6 +70,7 @@ pub mod executor;
 pub mod job;
 pub mod key;
 mod persist;
+pub mod proto;
 pub mod report;
 pub mod serve;
 pub mod shard;
@@ -81,7 +84,7 @@ pub use key::JobKey;
 pub use persist::{PrunePolicy, PruneReport};
 pub use report::{StudyCell, StudyReport};
 pub use serve::{ServeOptions, Server};
-pub use stats::{BatchReport, EngineStats, ServiceStats};
+pub use stats::{BatchReport, EndpointStats, EngineStats, ServiceStats};
 pub use study::Study;
 
 use bittrans_core::{compare, SweepPoint};
@@ -149,6 +152,15 @@ impl Engine {
             self.disk = Some(Mutex::new(DirIndex::open(&dir)?));
         }
         Ok(self)
+    }
+
+    /// Whether a persistent cache directory is attached (and caching
+    /// enabled) — i.e. whether this engine's results are visible to other
+    /// processes sharing the store. The `serve` front end uses this to
+    /// reject shard requests on a store-less server, whose work could
+    /// never reach the dispatching coordinator.
+    pub fn has_cache_dir(&self) -> bool {
+        self.disk.is_some()
     }
 
     /// Serves `key` from the in-memory cache or, failing that, lazily from

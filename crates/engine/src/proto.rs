@@ -1,0 +1,290 @@
+//! The `serve` wire codec shared by every client of the study service:
+//! the CLI `client` subcommand, the remote shard coordinator
+//! ([`crate::shard`]'s `Remote` transport), and the integration suites.
+//!
+//! The protocol itself lives in [`crate::serve`]: one JSON request per
+//! line, one response line per request. This module owns the *client
+//! side* of that framing, and its one hard rule is that **every read has
+//! a deadline**. A stalled or half-dead endpoint must surface as a
+//! [`std::io::ErrorKind::TimedOut`] error the caller can retry or fall
+//! back from — never as a hung caller. (Before this module existed the
+//! `client` subcommand read responses with no deadline, so a server that
+//! accepted and then went silent hung it forever.)
+
+use crate::stats::EngineStats;
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Default deadline for connecting to an endpoint and for one whole
+/// response read. A study computes server-side before its response line
+/// appears, so this is generous; interactive callers can lower it (the
+/// CLI's `--timeout` flag).
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Cap on one buffered response line. Reports scale with the grid, so
+/// this sits far above any real study's report; a longer line is a
+/// runaway or hostile endpoint, and buffering it unbounded would let one
+/// endpoint exhaust the caller's memory.
+pub const MAX_RESPONSE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Time left until `deadline`, `None` once it has passed.
+fn remaining(deadline: Instant) -> Option<Duration> {
+    let left = deadline.saturating_duration_since(Instant::now());
+    (!left.is_zero()).then_some(left)
+}
+
+/// One connection to a `serve` endpoint: line-oriented requests with
+/// deadlines on connect, write and the **whole** of every response read
+/// — an endpoint trickling bytes cannot reset its way past the budget.
+pub struct LineClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    timeout: Duration,
+}
+
+impl LineClient {
+    /// Connects with `timeout` as the total connect budget — shared
+    /// across every address the endpoint resolves to, so a multi-address
+    /// name whose first address blackholes cannot cost one timeout per
+    /// address — and keeps the same duration as the per-exchange
+    /// deadline of every later call.
+    ///
+    /// # Errors
+    ///
+    /// Resolution failure, no reachable address, or socket configuration.
+    pub fn connect(endpoint: &str, timeout: Duration) -> io::Result<LineClient> {
+        let deadline = Instant::now() + timeout;
+        let addrs: Vec<SocketAddr> = endpoint.to_socket_addrs()?.collect();
+        let mut last: Option<io::Error> = None;
+        for addr in addrs {
+            let Some(left) = remaining(deadline) else { break };
+            match TcpStream::connect_timeout(&addr, left) {
+                Ok(stream) => return LineClient::over(stream, timeout),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("`{endpoint}` resolves to no address"),
+            )
+        }))
+    }
+
+    /// Wraps an already-connected stream (the test-harness path),
+    /// installing `timeout` as its exchange deadline.
+    ///
+    /// # Errors
+    ///
+    /// Socket configuration (setting the deadlines, cloning the handle).
+    pub fn over(stream: TcpStream, timeout: Duration) -> io::Result<LineClient> {
+        stream.set_write_timeout(Some(timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(LineClient { writer, reader: BufReader::new(stream), timeout })
+    }
+
+    /// Sends one request line (the newline delimiter is appended).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, including a write blocked past the deadline.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one complete response line under one overall deadline.
+    ///
+    /// The deadline covers the **whole line**, re-checked after every
+    /// chunk the socket delivers — an endpoint trickling one byte per
+    /// read cannot reset its way past the budget, and the buffered line
+    /// is capped at [`MAX_RESPONSE_BYTES`].
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] when the deadline passes without the
+    /// line completing (a stalled or dripping endpoint),
+    /// [`io::ErrorKind::UnexpectedEof`] when the connection closes before
+    /// the line starts or inside it (a truncated reply),
+    /// [`io::ErrorKind::InvalidData`] on an oversized or non-UTF-8 line,
+    /// and any other transport error as-is.
+    pub fn receive(&mut self) -> io::Result<String> {
+        let deadline = Instant::now() + self.timeout;
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            if line.len() > MAX_RESPONSE_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response line exceeds the {MAX_RESPONSE_BYTES} byte cap"),
+                ));
+            }
+            let Some(left) = remaining(deadline) else {
+                return Err(stalled());
+            };
+            self.reader.get_ref().set_read_timeout(Some(left))?;
+            let available = match self.reader.fill_buf() {
+                Ok(available) => available,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    return Err(stalled());
+                }
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // EOF: before the line started, or inside it.
+                return Err(if line.is_empty() {
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed without a response",
+                    )
+                } else {
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "connection closed mid-response ({} bytes of a truncated line)",
+                            line.len()
+                        ),
+                    )
+                });
+            }
+            let (taken, complete) = match available.iter().position(|&b| b == b'\n') {
+                Some(newline) => (newline + 1, true),
+                None => (available.len(), false),
+            };
+            line.extend_from_slice(&available[..taken]);
+            self.reader.consume(taken);
+            if complete {
+                line.pop(); // the newline delimiter
+                let text = String::from_utf8(line).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "response line is not UTF-8")
+                })?;
+                return Ok(text.trim().to_string());
+            }
+        }
+    }
+
+    /// One full exchange: [`LineClient::send`] then [`LineClient::receive`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever either half reports.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.send(line)?;
+        self.receive()
+    }
+}
+
+fn stalled() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::TimedOut,
+        "endpoint stalled: the response line timed out before completing",
+    )
+}
+
+/// The exact `StudyReport` bytes embedded in a successful response line —
+/// the server serializes the `report` field **last** precisely so this
+/// slice exists without re-serializing (and re-ordering) anything. `None`
+/// when the line carries no report or is not a complete JSON object.
+pub fn report_slice(line: &str) -> Option<&str> {
+    let needle = "\"report\":";
+    let start = line.find(needle)?;
+    if !line.ends_with('}') {
+        return None;
+    }
+    Some(&line[start + needle.len()..line.len() - 1])
+}
+
+/// Reads an [`EngineStats`] object back from its parsed JSON form — the
+/// shape the `Serialize` impl writes. `None` on any missing or ill-typed
+/// counter, so callers treat a damaged reply as a failed exchange.
+pub fn stats_from_value(value: &Value) -> Option<EngineStats> {
+    Some(EngineStats {
+        jobs: value.get("jobs")?.as_u64()?,
+        cache_hits: value.get("cache_hits")?.as_u64()?,
+        cache_misses: value.get("cache_misses")?.as_u64()?,
+        cache_entries: usize::try_from(value.get("cache_entries")?.as_u64()?).ok()?,
+        workers: usize::try_from(value.get("workers")?.as_u64()?).ok()?,
+        elapsed: Duration::from_secs_f64(value.get("elapsed_ms")?.as_f64()?.max(0.0) / 1e3),
+    })
+}
+
+/// Parses the one-line [`EngineStats`] JSON a shard worker prints on
+/// stdout (the last non-empty line; noise above it is ignored). `None`
+/// for anything else — the coordinator then treats the shard as failed
+/// and re-derives its work from the store.
+pub fn stats_line(stdout: &str) -> Option<EngineStats> {
+    let line = stdout.lines().rev().find(|line| !line.trim().is_empty())?;
+    stats_from_value(&serde_json::from_str(line.trim()).ok()?)
+}
+
+/// Validates one `host:port` endpoint spelling without resolving it: a
+/// non-empty host and a nonzero 16-bit port. (Port 0 means "pick one" to
+/// a *listener*; as a dial target nothing can be listening there.)
+///
+/// # Errors
+///
+/// A human-readable description of what is wrong with the spelling.
+pub fn validate_endpoint(endpoint: &str) -> Result<(), String> {
+    let Some((host, port)) = endpoint.rsplit_once(':') else {
+        return Err(format!("`{endpoint}` is not host:port"));
+    };
+    if host.is_empty() {
+        return Err(format!("`{endpoint}` has an empty host"));
+    }
+    match port.parse::<u16>() {
+        Ok(0) => Err(format!("`{endpoint}` dials port 0, which nothing can listen on")),
+        Ok(_) => Ok(()),
+        Err(_) => Err(format!("`{endpoint}` has a bad port `{port}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_line_roundtrips() {
+        let stats = EngineStats {
+            jobs: 7,
+            cache_hits: 2,
+            cache_misses: 5,
+            cache_entries: 9,
+            workers: 3,
+            elapsed: Duration::from_millis(12),
+        };
+        let line = serde_json::to_string(&stats).unwrap();
+        let back = stats_line(&format!("noise above is ignored\n{line}\n")).unwrap();
+        assert_eq!(back.jobs, 7);
+        assert_eq!(back.cache_hits, 2);
+        assert_eq!(back.cache_misses, 5);
+        assert_eq!(back.cache_entries, 9);
+        assert_eq!(back.workers, 3);
+        assert!((back.elapsed.as_secs_f64() - 0.012).abs() < 1e-9);
+        assert!(stats_line("").is_none());
+        assert!(stats_line("not json").is_none());
+        assert!(stats_line("{\"jobs\": 1}").is_none(), "missing counters are a failed parse");
+    }
+
+    #[test]
+    fn report_slice_requires_the_trailing_field() {
+        let line = "{\"ok\":true,\"service\":{},\"report\":{\"cells\":[]}}";
+        assert_eq!(report_slice(line), Some("{\"cells\":[]}"));
+        assert!(report_slice("{\"ok\":true}").is_none(), "no report field");
+        assert!(report_slice("{\"report\":{\"cells\":[").is_none(), "truncated line");
+    }
+
+    #[test]
+    fn endpoint_spellings_are_validated() {
+        assert!(validate_endpoint("127.0.0.1:4850").is_ok());
+        assert!(validate_endpoint("grid-7.internal:80").is_ok());
+        assert!(validate_endpoint("[::1]:4850").is_ok());
+        for bad in ["", "nohost", ":5", "h:", "h:0", "h:notaport", "h:70000"] {
+            assert!(validate_endpoint(bad).is_err(), "`{bad}` should not validate");
+        }
+    }
+}

@@ -22,6 +22,17 @@
 //! request `{"shutdown": true}` asks the server to stop accepting, finish
 //! in-flight requests and exit.
 //!
+//! A study body carrying `shard_index`/`shard_count`
+//! ([`crate::shard::SHARD_COORD_FIELDS`]) is a **shard request**: the
+//! server executes only that range of the study's key-sorted distinct
+//! jobs ([`crate::shard::shard_slice`]) and answers
+//! `{"ok":true,"shard_index":…,"shard_count":…,"service":{…},"stats":{…}}`
+//! — the batch's [`EngineStats`] instead of a report, mirroring the
+//! stats line a local `shard-worker` process prints on stdout. The
+//! results travel through the server's `--cache-dir` (which must be the
+//! store the dispatching coordinator reads), so shard requests are
+//! rejected on a server started without one.
+//!
 //! A successful response is `{"ok":true,"service":{...},"report":{...}}`
 //! with the **report field last**: its value is byte-for-byte the
 //! [`StudyReport`] JSON that a single-process [`Study::run`] serializes,
@@ -52,10 +63,10 @@
 //! entry, and the next server warms straight back up from the directory.
 
 use crate::report::StudyReport;
-use crate::shard::ShardedStudy;
-use crate::stats::ServiceStats;
+use crate::shard::{self, ShardedStudy};
+use crate::stats::{EngineStats, ServiceStats};
 use crate::study::Study;
-use crate::{Engine, EngineOptions};
+use crate::{Engine, EngineOptions, Job};
 use serde_json::Value;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -69,6 +80,12 @@ use std::time::{Duration, Instant};
 /// client, and reading it unbounded would let one connection exhaust the
 /// server's memory.
 pub const DEFAULT_MAX_REQUEST_BYTES: usize = 4 * 1024 * 1024;
+
+/// Upper bound on a shard request's `shard_count`. Real fleets are a
+/// handful of machines; anything bigger is a typo or abuse, and a hard
+/// cap keeps hostile coordinates from costing the service anything —
+/// the request is one error response, like every other rejection.
+pub const MAX_SHARD_COUNT: usize = 1 << 16;
 
 /// How long a handler blocks on an idle connection before re-checking the
 /// shutdown flag, so graceful shutdown never waits on a silent client.
@@ -399,13 +416,20 @@ fn process_request(line: &str, state: &ServerState, peer: &str) -> Outcome {
     // Strict field check: a typo'd axis must not silently collapse to the
     // default grid.
     for (key, _) in fields {
-        if !ShardedStudy::FIELDS.contains(&key.as_str()) {
+        let known = ShardedStudy::FIELDS.contains(&key.as_str())
+            || shard::SHARD_COORD_FIELDS.contains(&key.as_str());
+        if !known {
             return Outcome::Error(format!(
-                "unknown field `{key}` (expected {}, or shutdown)",
-                ShardedStudy::FIELDS.join(", ")
+                "unknown field `{key}` (expected {}, {}, or shutdown)",
+                ShardedStudy::FIELDS.join(", "),
+                shard::SHARD_COORD_FIELDS.join(", "),
             ));
         }
     }
+    let coords = match shard_coords(&value) {
+        Ok(coords) => coords,
+        Err(why) => return Outcome::Error(format!("bad request: {why}")),
+    };
     let sharded = match ShardedStudy::from_value(&value) {
         Ok(sharded) => sharded,
         Err(e) => return Outcome::Error(format!("bad request: {e}")),
@@ -420,6 +444,29 @@ fn process_request(line: &str, state: &ServerState, peer: &str) -> Outcome {
     if let Err(e) = study.check() {
         return Outcome::Error(format!("bad request: {e}"));
     }
+    if let Some((index, count)) = coords {
+        // A shard request: run the range, answer with the batch stats.
+        // The results travel through the shared store, so a server
+        // without one cannot usefully serve shards — reject loudly
+        // instead of letting the coordinator recompute everything.
+        if !state.engine.has_cache_dir() {
+            return Outcome::Error(
+                "shard requests need a server started with --cache-dir \
+                 (the shared result store the coordinator reads)"
+                    .to_string(),
+            );
+        }
+        let stats = run_shard(shard::shard_slice(&study, index, count), state);
+        state.requests.fetch_add(1, Ordering::SeqCst);
+        eprintln!("serve[{peer}]: shard {index}/{count}: {stats}");
+        let service =
+            serde_json::to_string(&state.service_stats()).expect("service stats serialize");
+        let stats = serde_json::to_string(&stats).expect("engine stats serialize");
+        return Outcome::Reply(format!(
+            "{{\"ok\":true,\"shard_index\":{index},\"shard_count\":{count},\
+             \"service\":{service},\"stats\":{stats}}}"
+        ));
+    }
     let report = run_study(&study, state);
     state.requests.fetch_add(1, Ordering::SeqCst);
     eprintln!("serve[{peer}]: {}", report.summary());
@@ -427,6 +474,34 @@ fn process_request(line: &str, state: &ServerState, peer: &str) -> Outcome {
     // `report` goes last so clients can slice the exact single-process
     // StudyReport bytes out of the line; see the module docs.
     Outcome::Reply(format!("{{\"ok\":true,\"service\":{service},\"report\":{}}}", report.to_json()))
+}
+
+/// Reads the optional shard coordinates off a request: both fields or
+/// neither, well-typed and in range.
+fn shard_coords(value: &Value) -> Result<Option<(usize, usize)>, String> {
+    let read = |key: &str| {
+        value
+            .get(key)
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| format!("`{key}` is not an unsigned integer"))
+            })
+            .transpose()
+    };
+    match (read("shard_index")?, read("shard_count")?) {
+        (None, None) => Ok(None),
+        (Some(index), Some(count)) => {
+            if count == 0 || index >= count {
+                return Err(format!("shard {index} of {count} is out of range"));
+            }
+            if count > MAX_SHARD_COUNT {
+                return Err(format!("shard_count {count} exceeds the {MAX_SHARD_COUNT} limit"));
+            }
+            Ok(Some((index, count)))
+        }
+        _ => Err("`shard_index` and `shard_count` must be given together".to_string()),
+    }
 }
 
 /// Runs one study under the run lock. A poisoned lock (a panic in a
@@ -439,6 +514,17 @@ fn run_study(study: &Study, state: &ServerState) -> StudyReport {
         Err(poisoned) => poisoned.into_inner(),
     };
     study.run(&state.engine)
+}
+
+/// Runs one shard request's job range under the run lock (same poisoning
+/// recovery as [`run_study`]); every success spills into the shared
+/// store, and the batch statistics are the whole reply.
+fn run_shard(jobs: Vec<Job>, state: &ServerState) -> EngineStats {
+    let _guard = match state.run_lock.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    state.engine.run(jobs).stats
 }
 
 fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {

@@ -126,6 +126,49 @@ impl fmt::Display for EngineStats {
     }
 }
 
+/// Attribution of one dispatch target's share of a multi-process run:
+/// which shards it served and the merged [`EngineStats`] of that work.
+/// A sharded run ([`crate::shard::run_sharded`]) reports one of these per
+/// endpoint that did work — the `serve` endpoints of a `Remote`
+/// transport, the `local` worker-process pool of a `Local` one, and the
+/// `coordinator` itself when gap-fill recomputation ran — so the merged
+/// totals stay auditable: every job in the sum can be pointed at the
+/// machine that ran it.
+#[derive(Clone, Debug)]
+pub struct EndpointStats {
+    /// Who did the work: a `host:port` endpoint, `local` for worker
+    /// processes, or `coordinator` for in-process gap-fill.
+    pub endpoint: String,
+    /// The shard indices this endpoint completed.
+    pub shards: Vec<usize>,
+    /// The merged statistics of those shards
+    /// ([`EngineStats::merged`] semantics).
+    pub stats: EngineStats,
+}
+
+impl Serialize for EndpointStats {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("EndpointStats", 3)?;
+        st.serialize_field("endpoint", &self.endpoint)?;
+        st.serialize_field("shards", &self.shards)?;
+        st.serialize_field("stats", &self.stats)?;
+        st.end()
+    }
+}
+
+impl fmt::Display for EndpointStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "endpoint {}: {} shard(s) {:?}, {}",
+            self.endpoint,
+            self.shards.len(),
+            self.shards,
+            self.stats
+        )
+    }
+}
+
 /// Process-lifetime counters of a long-running service front end
 /// ([`crate::serve`]), distinct from the **per-request** [`EngineStats`]
 /// that travel inside each response's report: a service answers many
@@ -254,6 +297,21 @@ mod tests {
         assert!(json.contains("\"engine\":{"), "{json}");
         let text = stats.to_string();
         assert!(text.contains("3 requests served, 1 rejected"), "{text}");
+    }
+
+    #[test]
+    fn endpoint_stats_serialize_and_display() {
+        let stats = EndpointStats {
+            endpoint: "127.0.0.1:4850".to_string(),
+            shards: vec![0, 2],
+            stats: EngineStats { jobs: 6, cache_hits: 0, cache_misses: 6, ..EngineStats::zero() },
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"endpoint\":\"127.0.0.1:4850\""), "{json}");
+        assert!(json.contains("\"shards\":[0,2]"), "{json}");
+        assert!(json.contains("\"stats\":{"), "{json}");
+        let text = stats.to_string();
+        assert!(text.contains("endpoint 127.0.0.1:4850: 2 shard(s) [0, 2]"), "{text}");
     }
 
     #[test]

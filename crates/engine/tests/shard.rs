@@ -13,7 +13,8 @@
 
 use bittrans_core::CompareOptions;
 use bittrans_engine::shard::{
-    partition, run_sharded, run_worker, Fault, Manifest, ShardOptions, ShardedStudy,
+    partition, run_sharded, run_worker, Fault, LocalTransport, Manifest, ShardOptions,
+    ShardedStudy, Transport,
 };
 use bittrans_engine::{Engine, JobKey, StudyReport};
 use bittrans_rtl::AdderArch;
@@ -215,8 +216,10 @@ fn reference_report(study: &ShardedStudy) -> StudyReport {
 fn options(worker_binary: &str, shards: usize) -> ShardOptions {
     ShardOptions {
         shards,
-        worker_binary: PathBuf::from(worker_binary),
-        threads_per_worker: Some(1),
+        transport: Transport::Local(LocalTransport {
+            worker_binary: PathBuf::from(worker_binary),
+            threads_per_worker: Some(1),
+        }),
     }
 }
 

@@ -7,11 +7,13 @@
 //! bittrans batch     <dir-or-files...> --latency N [--jobs K] [--cache-dir DIR] [--json]
 //! bittrans explore   <dir-or-files...> --latency N|A..B [--adders rca,cla,csel]
 //!                    [--balance on|off|both] [--verify N] [--jobs K]
-//!                    [--shards K] [--cache-dir DIR] [--json]
+//!                    [--shards K] [--workers host:port,...] [--timeout SECS]
+//!                    [--cache-dir DIR] [--json]
 //! bittrans cache     prune --cache-dir DIR [--max-bytes N] [--max-age SECS] [--json]
 //! bittrans serve     --addr HOST:PORT [--cache-dir DIR] [--jobs K]
 //! bittrans client    <dir-or-files...> --addr HOST:PORT [--latency N|A..B]
-//!                    [--adders rca,cla,csel] [--balance on|off|both] [--verify N] [--json]
+//!                    [--adders rca,cla,csel] [--balance on|off|both] [--verify N]
+//!                    [--timeout SECS] [--json]
 //! bittrans client    --addr HOST:PORT --shutdown
 //! bittrans fragments <file.spec> --latency N
 //! bittrans check     <file.spec>
@@ -31,9 +33,15 @@
 //! the cache directory (an automatically cleaned temporary one when
 //! `--cache-dir` is not given); the printed report is bit-identical to the
 //! single-process run, and `--jobs` then caps total threads across all
-//! workers. `cache prune` sweeps a cache directory down to a size/age
-//! budget, oldest entries first. The hidden `shard-worker <manifest>`
-//! subcommand is the re-invocation target of the sharding coordinator; the
+//! workers. `explore --workers host:port,host:port` dispatches the shards
+//! to running `bittrans serve` endpoints instead (round-robin, retrying a
+//! failed endpoint's shard on the next one, recomputing in-process
+//! whatever the fleet never delivered); it requires `--cache-dir` — the
+//! store the whole fleet shares — composes with `--shards K` (default:
+//! one shard per endpoint), and bounds every exchange by `--timeout`.
+//! `cache prune` sweeps a cache directory down to a size/age budget,
+//! oldest entries first. The hidden `shard-worker <manifest>` subcommand
+//! is the re-invocation target of the sharding coordinator; the
 //! `BITTRANS_SHARD_FAULT=INDEX:AFTER` environment variable makes that
 //! worker abort after `AFTER` jobs (the fault-injection hook used by the
 //! test harness).
@@ -48,12 +56,14 @@
 //! --shutdown` asks the server to drain and exit.
 
 use bittrans::core::report::{render_sweep, render_table1};
+use bittrans::engine::proto;
 use bittrans::engine::serve;
 use bittrans::engine::shard;
 use bittrans::prelude::*;
-use std::io::{BufRead as _, Read as _, Write as _};
+use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     match run() {
@@ -77,6 +87,8 @@ struct Args {
     balance: Option<Vec<bool>>,
     verify: Option<usize>,
     shards: Option<usize>,
+    workers: Option<String>,
+    timeout: Option<u64>,
     cache_dir: Option<String>,
     max_bytes: Option<u64>,
     max_age: Option<u64>,
@@ -102,7 +114,8 @@ fn usage() -> String {
     "usage: bittrans <optimize|compare|sweep|batch|explore|cache|serve|client|fragments|check> \
      <file.spec|dir|-> ... [--latency N|A..B] [--from N] [--to M] [--jobs K] \
      [--adder rca|cla|csel] [--adders rca,cla,csel] [--balance on|off|both] \
-     [--verify N] [--shards K] [--cache-dir DIR] [--max-bytes N] [--max-age SECS] \
+     [--verify N] [--shards K] [--workers host:port,...] [--timeout SECS] \
+     [--cache-dir DIR] [--max-bytes N] [--max-age SECS] \
      [--addr HOST:PORT] [--shutdown] [--json] [--emit-vhdl DIR] [--netlist]"
         .to_string()
 }
@@ -158,6 +171,8 @@ fn parse_args() -> Result<Args, String> {
         balance: None,
         verify: None,
         shards: None,
+        workers: None,
+        timeout: None,
         cache_dir: None,
         max_bytes: None,
         max_age: None,
@@ -213,6 +228,15 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--shards must be at least 1".into());
                 }
                 args.shards = Some(k);
+            }
+            "--workers" => args.workers = Some(value("--workers")?),
+            "--timeout" => {
+                let secs: u64 =
+                    value("--timeout")?.parse().map_err(|e| format!("bad --timeout: {e}"))?;
+                if secs == 0 {
+                    return Err("--timeout must be at least 1 second".into());
+                }
+                args.timeout = Some(secs);
             }
             "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
             "--max-bytes" => {
@@ -351,7 +375,7 @@ fn finish_explore(report: &StudyReport, json: bool) -> Result<(), String> {
 }
 
 fn run_explore(args: &Args, options: &CompareOptions) -> Result<(), String> {
-    if args.shards.is_some() {
+    if args.shards.is_some() || args.workers.is_some() {
         return run_explore_sharded(args, options);
     }
     let mut study = Study::over(read_specs(&args.files)?)
@@ -388,8 +412,42 @@ fn sharded_study(args: &Args, options: &CompareOptions) -> Result<shard::Sharded
 }
 
 fn run_explore_sharded(args: &Args, options: &CompareOptions) -> Result<(), String> {
-    let shards = args.shards.unwrap_or(1);
     let study = sharded_study(args, options)?;
+    let (transport, shards) = match &args.workers {
+        Some(list) => {
+            // Remote dispatch to a `serve` fleet. The coordinator reads
+            // results back from the store the fleet writes, so a shared
+            // --cache-dir is not optional — an ephemeral local one would
+            // silently degrade every run to in-process recomputation.
+            let endpoints = shard::parse_endpoints(list).map_err(|e| e.to_string())?;
+            if args.cache_dir.is_none() {
+                return Err("explore --workers needs --cache-dir: the coordinator and the \
+                            serve fleet must share one result store"
+                    .into());
+            }
+            if args.jobs.is_some() {
+                eprintln!(
+                    "warning: --jobs has no effect with --workers; each endpoint's pool \
+                     width is set by its own `serve --jobs`"
+                );
+            }
+            let shards = args.shards.unwrap_or(endpoints.len());
+            let timeout = args.timeout.map_or(proto::DEFAULT_TIMEOUT, Duration::from_secs);
+            (shard::Transport::Remote(shard::RemoteTransport { endpoints, timeout }), shards)
+        }
+        None => {
+            let shards = args.shards.unwrap_or(1);
+            let worker_binary =
+                std::env::current_exe().map_err(|e| format!("resolving worker binary: {e}"))?;
+            let transport = shard::Transport::Local(shard::LocalTransport {
+                worker_binary,
+                // `--jobs` caps total threads across the run: split it
+                // over the workers, at least one thread each.
+                threads_per_worker: args.jobs.map(|jobs| (jobs / shards.max(1)).max(1)),
+            });
+            (transport, shards)
+        }
+    };
     // The cache directory is the shared result store; without an explicit
     // one, shard into a temporary directory and clean it up afterwards.
     let (cache_dir, ephemeral) = match &args.cache_dir {
@@ -398,16 +456,7 @@ fn run_explore_sharded(args: &Args, options: &CompareOptions) -> Result<(), Stri
             (std::env::temp_dir().join(format!("bittrans_shards_{}", std::process::id())), true)
         }
     };
-    let worker_binary =
-        std::env::current_exe().map_err(|e| format!("resolving worker binary: {e}"))?;
-    let shard_options = shard::ShardOptions {
-        shards,
-        worker_binary,
-        // `--jobs` caps total threads across the run: split it over the
-        // workers, at least one thread each.
-        threads_per_worker: args.jobs.map(|jobs| (jobs / shards).max(1)),
-    };
-    let run = shard::run_sharded(&study, &cache_dir, &shard_options);
+    let run = shard::run_sharded(&study, &cache_dir, &shard::ShardOptions { shards, transport });
     if ephemeral {
         let _ = std::fs::remove_dir_all(&cache_dir);
     }
@@ -416,6 +465,11 @@ fn run_explore_sharded(args: &Args, options: &CompareOptions) -> Result<(), Stri
         match stats {
             Some(stats) => eprintln!("shard {index}/{}: {stats}", run.shard_stats.len()),
             None => eprintln!("shard {index}/{}: failed", run.shard_stats.len()),
+        }
+    }
+    if args.workers.is_some() {
+        for endpoint in &run.endpoints {
+            eprintln!("{endpoint}");
         }
     }
     if !run.retried.is_empty() {
@@ -500,21 +554,15 @@ fn run_client(args: &Args, options: &CompareOptions) -> Result<(), String> {
         let study = sharded_study(args, options)?;
         serde_json::to_string(&study).map_err(|e| e.to_string())?
     };
-    let mut stream =
-        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
-    stream
-        .write_all(request.as_bytes())
-        .and_then(|()| stream.write_all(b"\n"))
-        .and_then(|()| stream.flush())
-        .map_err(|e| format!("sending request: {e}"))?;
-    let mut reader = std::io::BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line).map_err(|e| format!("reading response: {e}"))?;
-    let line = line.trim();
-    if line.is_empty() {
-        return Err("server closed the connection without a response".to_string());
-    }
-    let value = serde_json::from_str(line).map_err(|e| format!("bad response: {e}"))?;
+    // The shared line codec bounds the whole exchange: connect, send and
+    // — crucially — the response read, so a stalled server costs one
+    // timeout error instead of a client hung forever.
+    let timeout = args.timeout.map_or(proto::DEFAULT_TIMEOUT, Duration::from_secs);
+    let mut client =
+        proto::LineClient::connect(addr, timeout).map_err(|e| format!("connecting {addr}: {e}"))?;
+    client.send(&request).map_err(|e| format!("sending request: {e}"))?;
+    let line = client.receive().map_err(|e| format!("reading response: {e}"))?;
+    let value = serde_json::from_str(&line).map_err(|e| format!("bad response: {e}"))?;
     if value.get("ok").and_then(serde_json::Value::as_bool) != Some(true) {
         let why = value
             .get("error")
@@ -530,13 +578,9 @@ fn run_client(args: &Args, options: &CompareOptions) -> Result<(), String> {
         // The exact StudyReport bytes the server computed: the `report`
         // field is the line's final field precisely so it can be sliced
         // out without re-serializing (and re-ordering) anything.
-        let needle = "\"report\":";
-        let start =
-            line.find(needle).ok_or_else(|| format!("response carries no report: {line}"))?;
-        if !line.ends_with('}') {
-            return Err(format!("malformed response: {line}"));
-        }
-        println!("{}", &line[start + needle.len()..line.len() - 1]);
+        let report = proto::report_slice(&line)
+            .ok_or_else(|| format!("response carries no report: {line}"))?;
+        println!("{report}");
         return Ok(());
     }
     let report =

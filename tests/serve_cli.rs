@@ -5,100 +5,17 @@
 //! wall-clock line) with the second served entirely from the cache — and
 //! protocol abuse must cost one response, never the server.
 
+mod support;
+
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
-
-fn bin() -> PathBuf {
-    let mut p = std::env::current_exe().expect("test exe path");
-    p.pop(); // deps/
-    p.pop(); // debug|release/
-    p.push(format!("bittrans{}", std::env::consts::EXE_SUFFIX));
-    p
-}
-
-fn repo(path: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(path)
-}
+use support::{repo, run, ServerProc};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("bittrans_servecli_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
-}
-
-fn run(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(bin())
-        .args(args)
-        .output()
-        .expect("bittrans binary runs (build it with the test profile)");
-    (
-        out.status.success(),
-        String::from_utf8_lossy(&out.stdout).into_owned(),
-        String::from_utf8_lossy(&out.stderr).into_owned(),
-    )
-}
-
-/// A running `bittrans serve` process, killed on drop so a failing assert
-/// never leaks a listener.
-struct ServerProc {
-    child: Child,
-    addr: String,
-}
-
-impl ServerProc {
-    fn start(cache_dir: &std::path::Path) -> ServerProc {
-        let mut child = Command::new(bin())
-            .args([
-                "serve",
-                "--addr",
-                "127.0.0.1:0",
-                "--cache-dir",
-                cache_dir.to_str().unwrap(),
-                "--jobs",
-                "2",
-            ])
-            .stdin(Stdio::null())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null())
-            .spawn()
-            .expect("serve spawns");
-        // The first stdout line announces the resolved port.
-        let stdout = child.stdout.take().expect("piped stdout");
-        let mut line = String::new();
-        BufReader::new(stdout).read_line(&mut line).expect("serve announces its address");
-        let addr = line
-            .trim()
-            .strip_prefix("listening on ")
-            .unwrap_or_else(|| panic!("unexpected serve banner: {line}"))
-            .to_string();
-        ServerProc { child, addr }
-    }
-
-    /// Runs `bittrans client` against this server.
-    fn client(&self, extra: &[&str]) -> (bool, String, String) {
-        let mut args = vec!["client"];
-        args.extend_from_slice(extra);
-        args.extend_from_slice(&["--addr", &self.addr]);
-        run(&args)
-    }
-
-    /// Asks the server to drain and exit, then reaps it.
-    fn shutdown(mut self) {
-        let (ok, stdout, stderr) = self.client(&["--shutdown"]);
-        assert!(ok, "shutdown failed: {stderr}");
-        assert!(stdout.contains("acknowledged"), "{stdout}");
-        let status = self.child.wait().expect("serve exits");
-        assert!(status.success(), "serve exited with {status}");
-    }
-}
-
-impl Drop for ServerProc {
-    fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
 }
 
 /// Drops the volatile wall-clock value from a compact report.
@@ -117,7 +34,7 @@ fn payload(report: &str) -> String {
 #[test]
 fn repeated_requests_are_byte_identical_and_warm() {
     let cache = temp_dir("warm");
-    let server = ServerProc::start(&cache);
+    let server = ServerProc::start(&cache, 2);
     let spec = repo("specs/saturating_mac.spec");
     let grid = [spec.to_str().unwrap(), "--latency", "3..5", "--adders", "rca,cla", "--json"];
 
@@ -153,7 +70,7 @@ fn repeated_requests_are_byte_identical_and_warm() {
 #[test]
 fn raw_protocol_rejections_leave_the_server_serving() {
     let cache = temp_dir("faults");
-    let server = ServerProc::start(&cache);
+    let server = ServerProc::start(&cache, 2);
 
     // Speak the protocol directly, like a hand-rolled netcat client.
     let mut stream = TcpStream::connect(&server.addr).expect("connect");
@@ -186,6 +103,43 @@ fn raw_protocol_rejections_leave_the_server_serving() {
     assert!(stderr.contains("error:"), "{stderr}");
 
     server.shutdown();
+}
+
+#[test]
+fn client_read_times_out_on_a_stalled_server() {
+    // The latent-timeout regression: the client once read responses with
+    // no deadline, so a server that accepted and never wrote hung it
+    // forever. A listener that accepts and stays silent must now cost one
+    // bounded, clearly-reported timeout.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind silent listener");
+    let addr = listener.local_addr().unwrap().to_string();
+    let holder = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        // Hold the connection open, reading until the client gives up and
+        // closes (EOF) — never write a byte. No sleeps: the client's own
+        // deadline is the only clock.
+        let mut reader = BufReader::new(stream);
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {}
+    });
+
+    let spec = repo("specs/saturating_mac.spec");
+    let started = std::time::Instant::now();
+    let (ok, _, stderr) = run(&[
+        "client",
+        spec.to_str().unwrap(),
+        "--latency",
+        "3",
+        "--addr",
+        &addr,
+        "--timeout",
+        "1",
+    ]);
+    assert!(!ok, "a stalled server must be an error, not a hang");
+    assert!(stderr.contains("reading response"), "{stderr}");
+    assert!(stderr.contains("timed out"), "{stderr}");
+    assert!(started.elapsed() < std::time::Duration::from_secs(30), "bounded");
+    holder.join().unwrap();
 }
 
 #[test]

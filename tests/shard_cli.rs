@@ -5,35 +5,15 @@
 //! the merged `EngineStats` totals must account for every deduplicated job
 //! exactly once, and a worker killed mid-shard (the
 //! `BITTRANS_SHARD_FAULT` hook) must not change a byte of the report.
+//!
+//! The remote-transport half drives `explore --workers` against spawned
+//! `bittrans serve` processes: the same byte-identity contract over TCP,
+//! plus flag validation and the unreachable-fleet fallback.
+
+mod support;
 
 use std::path::PathBuf;
-use std::process::Command;
-
-fn bin() -> PathBuf {
-    let mut p = std::env::current_exe().expect("test exe path");
-    p.pop(); // deps/
-    p.pop(); // debug|release/
-    p.push(format!("bittrans{}", std::env::consts::EXE_SUFFIX));
-    p
-}
-
-fn repo(path: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(path)
-}
-
-fn run_env(args: &[&str], env: &[(&str, &str)]) -> (bool, String, String) {
-    let mut cmd = Command::new(bin());
-    cmd.args(args);
-    for (key, value) in env {
-        cmd.env(key, value);
-    }
-    let out = cmd.output().expect("bittrans binary runs (build it with the test profile)");
-    (
-        out.status.success(),
-        String::from_utf8_lossy(&out.stdout).into_owned(),
-        String::from_utf8_lossy(&out.stderr).into_owned(),
-    )
-}
+use support::{repo, run_env, ServerProc};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("bittrans_shardcli_{tag}_{}", std::process::id()));
@@ -181,6 +161,92 @@ fn single_shard_and_ephemeral_cache_dir_work() {
     assert!(ok, "stderr: {stderr}");
     assert_eq!(stat(&stdout, "jobs"), 2);
     assert!(stderr.contains("shard 0/1:"), "{stderr}");
+}
+
+#[test]
+fn remote_workers_match_single_process_byte_for_byte() {
+    let (shared, dir_single) = (temp_dir("remote"), temp_dir("remote_single"));
+    std::fs::create_dir_all(&shared).unwrap();
+    let a = ServerProc::start(&shared, 1);
+    let b = ServerProc::start(&shared, 1);
+    let workers = format!("{},{}", a.addr, b.addr);
+
+    let (single, _) = run_grid(&dir_single, &[], &[]);
+    let (remote, stderr) = run_grid(&shared, &["--workers", &workers, "--shards", "2"], &[]);
+
+    // Byte-identical modulo wall clock and pool shape (the remote merged
+    // `workers` sums the fleet's batch pools, not one local pool).
+    assert_eq!(strip_run_shape(&single), strip_run_shape(&remote));
+    // run_grid passes --jobs, which remote dispatch cannot honor — the
+    // CLI must say so instead of silently dropping the cap.
+    assert!(stderr.contains("--jobs has no effect with --workers"), "{stderr}");
+    assert_eq!(stat(&remote, "jobs"), 12);
+    assert_eq!(stat(&remote, "cache_hits") + stat(&remote, "cache_misses"), 12);
+    // Both shards dispatched, none failed, and the per-endpoint
+    // attribution lines name the fleet.
+    assert!(stderr.contains("shard 0/2:"), "{stderr}");
+    assert!(stderr.contains("shard 1/2:"), "{stderr}");
+    assert!(!stderr.contains("failed"), "{stderr}");
+    assert!(
+        stderr.contains(&format!("endpoint {}", a.addr))
+            || stderr.contains(&format!("endpoint {}", b.addr)),
+        "{stderr}"
+    );
+
+    // A warm remote rerun is served entirely from the shared store.
+    let (warm, _) = run_grid(&shared, &["--workers", &workers, "--shards", "2"], &[]);
+    assert_eq!(stat(&warm, "cache_hits"), 12, "{warm}");
+    assert_eq!(stat(&warm, "cache_misses"), 0);
+    assert!(warm.contains("\"hit_rate_pct\": 100.0"), "{warm}");
+
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn unreachable_fleet_falls_back_to_in_process() {
+    let (dir_a, dir_b) = (temp_dir("fallback_a"), temp_dir("fallback_b"));
+    let (single, _) = run_grid(&dir_a, &[], &[]);
+    // Port 1 on loopback refuses instantly; the run must complete via the
+    // coordinator's in-process recomputation, not hang or fail.
+    let (remote, stderr) = run_grid(&dir_b, &["--workers", "127.0.0.1:1", "--timeout", "2"], &[]);
+    assert_eq!(strip_run_shape(&single), strip_run_shape(&remote));
+    assert!(stderr.contains("the coordinator recomputes the range"), "{stderr}");
+    assert!(stderr.contains("retried 12 missing job(s) in-process"), "{stderr}");
+}
+
+#[test]
+fn workers_flag_is_validated() {
+    let spec = repo("specs/saturating_mac.spec");
+    let spec = spec.to_str().unwrap();
+    let cache = temp_dir("workers_valid");
+    let cache = cache.to_string_lossy().into_owned();
+
+    // An empty endpoint list.
+    let (ok, _, stderr) = run_env(&["explore", spec, "--workers", "", "--cache-dir", &cache], &[]);
+    assert!(!ok);
+    assert!(stderr.contains("at least one host:port"), "{stderr}");
+
+    // Unparseable endpoints: no port, bad port.
+    for bad in ["nohost", "h:notaport", "h:0", "a:1,,b:2"] {
+        let (ok, _, stderr) =
+            run_env(&["explore", spec, "--workers", bad, "--cache-dir", &cache], &[]);
+        assert!(!ok, "`--workers {bad}` should be rejected");
+        assert!(stderr.contains("error:"), "{stderr}");
+    }
+
+    // Remote dispatch without the shared store is refused up front.
+    let (ok, _, stderr) = run_env(&["explore", spec, "--workers", "127.0.0.1:4850"], &[]);
+    assert!(!ok);
+    assert!(stderr.contains("--cache-dir"), "{stderr}");
+
+    // A zero timeout is always a mistyped flag.
+    let (ok, _, stderr) = run_env(
+        &["explore", spec, "--workers", "127.0.0.1:4850", "--cache-dir", &cache, "--timeout", "0"],
+        &[],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--timeout must be at least 1"), "{stderr}");
 }
 
 #[test]
