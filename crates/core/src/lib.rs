@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod stage;
 
 use bittrans_alloc::{allocate, AllocOptions, Datapath};
 use bittrans_frag::{fragment, FragError, FragmentOptions, Fragmented};
@@ -327,17 +328,23 @@ pub fn optimize(
     latency: u32,
     options: &CompareOptions,
 ) -> Result<OptimizedDesign, PipelineError> {
-    let kernel = extract(spec)?;
-    let fragmented = fragment(&kernel, &FragmentOptions::with_latency(latency))?;
+    let kernel = stage::observe("extract", || extract(spec))?;
+    let fragmented =
+        stage::observe("fragment", || fragment(&kernel, &FragmentOptions::with_latency(latency)))?;
     if options.verify_vectors > 0 {
-        check_equivalence(spec, &fragmented.spec, 0x2005, options.verify_vectors)?;
+        stage::observe("verify", || {
+            check_equivalence(spec, &fragmented.spec, 0x2005, options.verify_vectors)
+        })?;
     }
-    let schedule =
-        schedule_fragments(&fragmented, &FragmentScheduleOptions { balance: options.balance })?;
-    let datapath =
-        allocate(&fragmented.spec, &schedule, &AllocOptions { adder_arch: options.adder_arch });
-    let implementation =
-        implementation(spec.name(), &fragmented.spec, &schedule, &datapath, &options.timing);
+    let schedule = stage::observe("schedule", || {
+        schedule_fragments(&fragmented, &FragmentScheduleOptions { balance: options.balance })
+    })?;
+    let datapath = stage::observe("allocate", || {
+        allocate(&fragmented.spec, &schedule, &AllocOptions { adder_arch: options.adder_arch })
+    });
+    let implementation = stage::observe("time", || {
+        implementation(spec.name(), &fragmented.spec, &schedule, &datapath, &options.timing)
+    });
     Ok(OptimizedDesign { kernel, fragmented, schedule, datapath, implementation })
 }
 
@@ -352,17 +359,23 @@ pub fn baseline(
     latency: u32,
     options: &CompareOptions,
 ) -> Result<BaselineDesign, PipelineError> {
-    let schedule = schedule_conventional(
-        spec,
-        &ConventionalOptions {
-            latency,
-            cycle_override: None,
-            chaining: Chaining::ComponentSum,
-            balance: options.balance,
-        },
-    )?;
-    let datapath = allocate(spec, &schedule, &AllocOptions { adder_arch: options.adder_arch });
-    let implementation = implementation(spec.name(), spec, &schedule, &datapath, &options.timing);
+    let schedule = stage::observe("schedule", || {
+        schedule_conventional(
+            spec,
+            &ConventionalOptions {
+                latency,
+                cycle_override: None,
+                chaining: Chaining::ComponentSum,
+                balance: options.balance,
+            },
+        )
+    })?;
+    let datapath = stage::observe("allocate", || {
+        allocate(spec, &schedule, &AllocOptions { adder_arch: options.adder_arch })
+    });
+    let implementation = stage::observe("time", || {
+        implementation(spec.name(), spec, &schedule, &datapath, &options.timing)
+    });
     Ok(BaselineDesign { schedule, datapath, implementation })
 }
 
@@ -378,17 +391,23 @@ pub fn blc(
     latency: u32,
     options: &CompareOptions,
 ) -> Result<BaselineDesign, PipelineError> {
-    let schedule = schedule_conventional(
-        spec,
-        &ConventionalOptions {
-            latency,
-            cycle_override: None,
-            chaining: Chaining::BitLevel,
-            balance: options.balance,
-        },
-    )?;
-    let datapath = allocate(spec, &schedule, &AllocOptions { adder_arch: options.adder_arch });
-    let implementation = implementation(spec.name(), spec, &schedule, &datapath, &options.timing);
+    let schedule = stage::observe("schedule", || {
+        schedule_conventional(
+            spec,
+            &ConventionalOptions {
+                latency,
+                cycle_override: None,
+                chaining: Chaining::BitLevel,
+                balance: options.balance,
+            },
+        )
+    })?;
+    let datapath = stage::observe("allocate", || {
+        allocate(spec, &schedule, &AllocOptions { adder_arch: options.adder_arch })
+    });
+    let implementation = stage::observe("time", || {
+        implementation(spec.name(), spec, &schedule, &datapath, &options.timing)
+    });
     Ok(BaselineDesign { schedule, datapath, implementation })
 }
 

@@ -1,0 +1,87 @@
+//! Stage-timing observation hooks for the pipeline.
+//!
+//! The core crate cannot depend on the engine (the dependency points the
+//! other way), yet the engine's trace collector wants per-stage child
+//! spans around [`optimize`](crate::optimize) /
+//! [`baseline`](crate::baseline) — kernel extraction, fragmentation,
+//! verification, scheduling, allocation, timing — so stage-level caching
+//! work has a measured baseline. This module is the seam: the pipeline
+//! wraps each stage in [`observe`], and an embedder may register one
+//! process-global observer that receives `(stage name, duration)` after
+//! each stage completes.
+//!
+//! With no observer registered, [`observe`] is one relaxed atomic load
+//! plus a direct call — no clock read, no allocation — so the pipeline's
+//! hot path is unchanged for every caller that never traces.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+type Observer = Box<dyn Fn(&'static str, Duration) + Send + Sync>;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static OBSERVER: Mutex<Option<Observer>> = Mutex::new(None);
+
+/// Registers the process-global stage observer, replacing any previous
+/// one. The observer runs on whichever thread executes the stage, after
+/// the stage completes; it must not call back into the pipeline.
+pub fn set_observer(observer: impl Fn(&'static str, Duration) + Send + Sync + 'static) {
+    *OBSERVER.lock().expect("stage observer lock") = Some(Box::new(observer));
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Unregisters the stage observer; [`observe`] reverts to a direct call.
+pub fn clear_observer() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    *OBSERVER.lock().expect("stage observer lock") = None;
+}
+
+/// Runs `stage`, reporting its wall-clock duration to the registered
+/// observer (if any) under `name`.
+pub(crate) fn observe<R>(name: &'static str, stage: impl FnOnce() -> R) -> R {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return stage();
+    }
+    let started = Instant::now();
+    let result = stage();
+    let elapsed = started.elapsed();
+    if let Ok(guard) = OBSERVER.lock() {
+        if let Some(observer) = guard.as_ref() {
+            observer(name, elapsed);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn observer_sees_stage_names_and_durations() {
+        let seen: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let calls = Arc::new(AtomicUsize::new(0));
+        {
+            let seen = Arc::clone(&seen);
+            let calls = Arc::clone(&calls);
+            // The observer is process-global and sibling tests exercise
+            // the pipeline concurrently; count only this test's stage.
+            set_observer(move |name, _dur| {
+                if name == "unit" {
+                    seen.lock().unwrap().push(name);
+                    calls.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        let value = observe("unit", || 41 + 1);
+        assert_eq!(value, 42);
+        clear_observer();
+        // After clearing, stages run unobserved.
+        observe("unit", || ());
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(*seen.lock().unwrap(), vec!["unit"]);
+    }
+}

@@ -1,0 +1,544 @@
+//! The performance-trajectory harness behind `bittrans bench`: a small,
+//! self-contained benchmark suite over the real engine, service and shard
+//! coordinator, reported as one JSON document (`BENCH_<n>.json` in the
+//! repository root tracks it release over release).
+//!
+//! Four metric groups, each exercising a different layer:
+//!
+//! * **throughput** — jobs/second of one cold batch at 1, 2 and 4
+//!   workers, on a fresh engine each time ([`crate::executor`] scaling);
+//! * **cache** — the same batch cold then warm on one engine, so the
+//!   speedup is the price of the pipeline relative to a content-addressed
+//!   hit ([`crate::cache`]);
+//! * **serve** — round-trip p50/p99 of concurrent clients against an
+//!   in-process [`Server`], measured through the real TCP codec
+//!   ([`crate::proto`]);
+//! * **sharding** — wall-clock of the same study dispatched over 1 and 2
+//!   single-threaded serve endpoints by [`shard::run_sharded`]'s remote
+//!   transport, with scaling efficiency.
+//!
+//! A fifth group, **trace_check**, cross-checks the observability layer
+//! against the statistics layer: it runs a cold+warm batch under the
+//! in-memory trace collector and reconciles the per-job provenance
+//! events ([`crate::trace`]) with the [`EngineStats`](crate::stats::EngineStats) counters — the two
+//! systems count the same work through entirely different code paths, so
+//! agreement here is a real invariant, not a tautology.
+//!
+//! Numbers come from wall clocks and are machine-dependent; the committed
+//! document is a trajectory record, not a regression gate. The `quick`
+//! mode shrinks every axis so CI can validate the schema in seconds.
+
+use crate::shard::{self, RemoteTransport, ShardOptions, ShardedStudy, Transport};
+use crate::{proto, trace, Engine, EngineOptions, Job, ServeOptions, Server};
+use bittrans_core::CompareOptions;
+use bittrans_ir::Spec;
+use serde_json::Value;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration of one [`run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BenchOptions {
+    /// Shrink every axis (fewer jobs, fewer vectors, fewer requests) so
+    /// the whole suite finishes in seconds — the CI schema-validation
+    /// mode. Full runs produce the committed trajectory document.
+    pub quick: bool,
+}
+
+/// One worker-count throughput measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputPoint {
+    /// Worker threads the batch ran with.
+    pub workers: usize,
+    /// Jobs in the batch (all cold).
+    pub jobs: u64,
+    /// Batch wall clock.
+    pub elapsed: Duration,
+}
+
+impl ThroughputPoint {
+    /// Jobs per second (0 for a degenerate zero-duration clock).
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.jobs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Cold-versus-warm cache measurement on one engine.
+#[derive(Clone, Copy, Debug)]
+pub struct CachePoint {
+    /// First batch: everything computed.
+    pub cold: Duration,
+    /// Second identical batch: everything served from memory.
+    pub warm: Duration,
+    /// Hits the warm batch reported.
+    pub warm_hits: u64,
+}
+
+impl CachePoint {
+    /// How many times faster the warm batch was.
+    pub fn speedup(&self) -> f64 {
+        let warm = self.warm.as_secs_f64();
+        if warm > 0.0 {
+            self.cold.as_secs_f64() / warm
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Round-trip latency distribution of concurrent serve clients.
+#[derive(Clone, Copy, Debug)]
+pub struct ServePoint {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests measured across all clients.
+    pub requests: usize,
+    /// Median round trip.
+    pub p50: Duration,
+    /// 99th-percentile round trip.
+    pub p99: Duration,
+}
+
+/// One shard-count scaling measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardPoint {
+    /// Shards (and single-threaded endpoints) the study was cut across.
+    pub shards: usize,
+    /// Coordinator wall clock for the whole sharded run.
+    pub elapsed: Duration,
+}
+
+/// Trace-versus-stats reconciliation of one cold+warm batch pair.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceCheck {
+    /// `job` events with `provenance: "computed"` in the trace.
+    pub traced_computed: u64,
+    /// `job` events with a hit provenance (memory / disk / duplicate).
+    pub traced_hits: u64,
+    /// Misses the two batches' [`EngineStats`](crate::stats::EngineStats) reported.
+    pub stats_misses: u64,
+    /// Hits the two batches' [`EngineStats`](crate::stats::EngineStats) reported.
+    pub stats_hits: u64,
+}
+
+impl TraceCheck {
+    /// Whether the trace events and the statistics counters agree.
+    pub fn consistent(&self) -> bool {
+        self.traced_computed == self.stats_misses && self.traced_hits == self.stats_hits
+    }
+}
+
+/// Everything one benchmark run measured.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Whether the reduced `quick` grid ran.
+    pub quick: bool,
+    /// Distinct jobs in the workload batch.
+    pub jobs: usize,
+    /// Cold throughput at each worker count.
+    pub throughput: Vec<ThroughputPoint>,
+    /// Cold-versus-warm cache speedup.
+    pub cache: CachePoint,
+    /// Serve round-trip distribution.
+    pub serve: ServePoint,
+    /// Sharded scaling, ascending shard counts (first entry is the
+    /// single-shard baseline).
+    pub sharding: Vec<ShardPoint>,
+    /// Trace/stats cross-check.
+    pub trace_check: TraceCheck,
+}
+
+/// Identifies the document layout; bumped if fields change shape.
+pub const SCHEMA: &str = "bittrans-bench-v1";
+
+impl BenchReport {
+    /// The report as one pretty-printed JSON document (the committed
+    /// `BENCH_<n>.json` format). Hand-assembled so float formatting is
+    /// stable across serializer changes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"quick\": {},\n  \"jobs\": {},\n",
+            self.quick, self.jobs
+        ));
+        out.push_str("  \"throughput\": [\n");
+        for (i, point) in self.throughput.iter().enumerate() {
+            let comma = if i + 1 < self.throughput.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"workers\": {}, \"jobs\": {}, \"elapsed_ms\": {:.3}, \
+                 \"jobs_per_sec\": {:.1}}}{comma}\n",
+                point.workers,
+                point.jobs,
+                point.elapsed.as_secs_f64() * 1e3,
+                point.jobs_per_sec(),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"cache\": {{\"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {:.1}, \
+             \"warm_hits\": {}}},\n",
+            self.cache.cold.as_secs_f64() * 1e3,
+            self.cache.warm.as_secs_f64() * 1e3,
+            self.cache.speedup(),
+            self.cache.warm_hits,
+        ));
+        out.push_str(&format!(
+            "  \"serve\": {{\"clients\": {}, \"requests\": {}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}}},\n",
+            self.serve.clients,
+            self.serve.requests,
+            self.serve.p50.as_secs_f64() * 1e3,
+            self.serve.p99.as_secs_f64() * 1e3,
+        ));
+        out.push_str("  \"sharding\": [\n");
+        let baseline = self.sharding.first().map_or(Duration::ZERO, |p| p.elapsed);
+        for (i, point) in self.sharding.iter().enumerate() {
+            let comma = if i + 1 < self.sharding.len() { "," } else { "" };
+            let speedup = if point.elapsed.as_secs_f64() > 0.0 {
+                baseline.as_secs_f64() / point.elapsed.as_secs_f64()
+            } else {
+                0.0
+            };
+            let efficiency = if point.shards > 0 { speedup / point.shards as f64 } else { 0.0 };
+            out.push_str(&format!(
+                "    {{\"shards\": {}, \"elapsed_ms\": {:.3}, \"speedup\": {:.2}, \
+                 \"efficiency\": {:.2}}}{comma}\n",
+                point.shards,
+                point.elapsed.as_secs_f64() * 1e3,
+                speedup,
+                efficiency,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"trace_check\": {{\"traced_computed\": {}, \"traced_hits\": {}, \
+             \"stats_misses\": {}, \"stats_hits\": {}, \"consistent\": {}}}\n}}\n",
+            self.trace_check.traced_computed,
+            self.trace_check.traced_hits,
+            self.trace_check.stats_misses,
+            self.trace_check.stats_hits,
+            self.trace_check.consistent(),
+        ));
+        out
+    }
+
+    /// A short human-readable summary (the default `bittrans bench`
+    /// output when `--json` is not given).
+    pub fn summary(&self) -> String {
+        let mut out =
+            format!("bench ({} jobs{}):\n", self.jobs, if self.quick { ", quick" } else { "" });
+        for point in &self.throughput {
+            out.push_str(&format!(
+                "  {} worker(s): {:.1} jobs/sec\n",
+                point.workers,
+                point.jobs_per_sec()
+            ));
+        }
+        out.push_str(&format!(
+            "  cache: cold {:.1} ms, warm {:.3} ms ({:.0}x)\n",
+            self.cache.cold.as_secs_f64() * 1e3,
+            self.cache.warm.as_secs_f64() * 1e3,
+            self.cache.speedup(),
+        ));
+        out.push_str(&format!(
+            "  serve: p50 {:.2} ms, p99 {:.2} ms over {} requests from {} clients\n",
+            self.serve.p50.as_secs_f64() * 1e3,
+            self.serve.p99.as_secs_f64() * 1e3,
+            self.serve.requests,
+            self.serve.clients,
+        ));
+        for point in &self.sharding {
+            out.push_str(&format!(
+                "  {} shard(s): {:.1} ms\n",
+                point.shards,
+                point.elapsed.as_secs_f64() * 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "  trace/stats reconciliation: {}\n",
+            if self.trace_check.consistent() { "consistent" } else { "INCONSISTENT" }
+        ));
+        out
+    }
+}
+
+/// The workload: 3-add chains at several bit widths — distinct content
+/// keys, identical structure — crossed with a feasible latency range,
+/// made compute-heavy through the verification budget so worker scaling
+/// is measurable on such small specs.
+struct Workload {
+    sources: Vec<String>,
+    latencies: Vec<u32>,
+    options: CompareOptions,
+}
+
+impl Workload {
+    fn new(quick: bool) -> Workload {
+        let widths: &[u32] = if quick { &[8, 16] } else { &[8, 10, 12, 14, 16, 20, 24, 32] };
+        let latencies: Vec<u32> = if quick { vec![2, 3] } else { vec![2, 3, 4, 5] };
+        let sources = widths
+            .iter()
+            .map(|w| {
+                format!(
+                    "spec chain{w} {{ input A: u{w}; input B: u{w}; input D: u{w}; \
+                     input F: u{w}; C: u{w} = A + B; E: u{w} = C + D; G: u{w} = E + F; \
+                     output G; }}"
+                )
+            })
+            .collect();
+        let options = CompareOptions {
+            verify_vectors: if quick { 64 } else { 2000 },
+            ..CompareOptions::default()
+        };
+        Workload { sources, latencies, options }
+    }
+
+    fn jobs(&self) -> Vec<Job> {
+        let specs: Vec<Spec> =
+            self.sources.iter().map(|src| Spec::parse(src).expect("bench spec parses")).collect();
+        specs
+            .iter()
+            .flat_map(|spec| {
+                self.latencies
+                    .iter()
+                    .map(|&latency| Job::with_options(spec.clone(), latency, self.options))
+            })
+            .collect()
+    }
+
+    fn sharded_study(&self) -> ShardedStudy {
+        ShardedStudy {
+            sources: self.sources.clone(),
+            latencies: self.latencies.clone(),
+            adder_archs: None,
+            balance: None,
+            verify_vectors: None,
+            base: self.options,
+        }
+    }
+}
+
+/// Runs the whole suite. The trace collector is taken over for the
+/// `trace_check` group (in-memory sink) and released afterwards, so
+/// `bench` should not be combined with a file trace of the same process.
+///
+/// # Errors
+///
+/// I/O from the in-process serve fleet or the scratch cache directories.
+pub fn run(options: &BenchOptions) -> io::Result<BenchReport> {
+    let workload = Workload::new(options.quick);
+    let jobs = workload.jobs();
+
+    let throughput = measure_throughput(&jobs, options.quick);
+    let cache = measure_cache(&jobs);
+    let serve = measure_serve(&workload, options.quick)?;
+    let sharding = measure_sharding(&workload)?;
+    let trace_check = measure_trace_check(&jobs);
+
+    Ok(BenchReport {
+        quick: options.quick,
+        jobs: jobs.len(),
+        throughput,
+        cache,
+        serve,
+        sharding,
+        trace_check,
+    })
+}
+
+/// Cold batches on fresh engines at ascending worker counts.
+fn measure_throughput(jobs: &[Job], quick: bool) -> Vec<ThroughputPoint> {
+    let counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    counts
+        .iter()
+        .map(|&workers| {
+            let engine = Engine::new(EngineOptions { workers: Some(workers), cache: true });
+            let batch = engine.run(jobs.to_vec());
+            ThroughputPoint { workers, jobs: batch.stats.jobs, elapsed: batch.stats.elapsed }
+        })
+        .collect()
+}
+
+/// The same batch cold then warm on one engine.
+fn measure_cache(jobs: &[Job]) -> CachePoint {
+    let engine = Engine::default();
+    let cold = engine.run(jobs.to_vec());
+    let warm = engine.run(jobs.to_vec());
+    CachePoint {
+        cold: cold.stats.elapsed,
+        warm: warm.stats.elapsed,
+        warm_hits: warm.stats.cache_hits,
+    }
+}
+
+/// Concurrent clients round-tripping a small study against an in-process
+/// server; the engine is warm after each client's first request, so the
+/// distribution mostly measures the protocol and the run-lock queue.
+fn measure_serve(workload: &Workload, quick: bool) -> io::Result<ServePoint> {
+    let server = Server::bind(&ServeOptions::default())?;
+    let addr = server.local_addr().to_string();
+    let server = std::thread::spawn(move || server.run());
+
+    let clients = if quick { 2 } else { 4 };
+    let per_client = if quick { 3 } else { 8 };
+    let body = serde_json::to_string(&workload.sharded_study()).expect("study serializes");
+    let timeout = Duration::from_secs(120);
+    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let Ok(mut client) = proto::LineClient::connect(&addr, timeout) else { return };
+                for _ in 0..per_client {
+                    let started = Instant::now();
+                    if client.request(&body).is_err() {
+                        return;
+                    }
+                    latencies.lock().expect("latency lock").push(started.elapsed());
+                }
+            });
+        }
+    });
+    let mut samples = latencies.into_inner().expect("latency lock");
+    samples.sort_unstable();
+
+    let mut shutdown = proto::LineClient::connect(&addr, timeout)?;
+    let _ = shutdown.request("{\"shutdown\":true}");
+    let _ = server.join();
+
+    let percentile = |p: usize| -> Duration {
+        if samples.is_empty() {
+            Duration::ZERO
+        } else {
+            samples[(samples.len() - 1) * p / 100]
+        }
+    };
+    Ok(ServePoint { clients, requests: samples.len(), p50: percentile(50), p99: percentile(99) })
+}
+
+/// The same study dispatched over 1 and 2 single-threaded in-process
+/// serve endpoints, each run from a cold scratch store, through the real
+/// remote shard transport.
+fn measure_sharding(workload: &Workload) -> io::Result<Vec<ShardPoint>> {
+    let sharded = workload.sharded_study();
+    let mut points = Vec::new();
+    for (which, shards) in [1usize, 2].into_iter().enumerate() {
+        let cache_dir = scratch_dir(which)?;
+        let mut endpoints = Vec::new();
+        let mut servers = Vec::new();
+        for _ in 0..shards {
+            let server = Server::bind(&ServeOptions {
+                workers: Some(1),
+                cache_dir: Some(cache_dir.clone()),
+                ..ServeOptions::default()
+            })?;
+            endpoints.push(server.local_addr().to_string());
+            servers.push(std::thread::spawn(move || server.run()));
+        }
+        let options = ShardOptions {
+            shards,
+            transport: Transport::Remote(RemoteTransport {
+                endpoints: endpoints.clone(),
+                timeout: Duration::from_secs(120),
+            }),
+        };
+        let started = Instant::now();
+        let run = shard::run_sharded(&sharded, &cache_dir, &options)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        let elapsed = started.elapsed();
+        drop(run);
+        for endpoint in &endpoints {
+            if let Ok(mut client) = proto::LineClient::connect(endpoint, Duration::from_secs(5)) {
+                let _ = client.request("{\"shutdown\":true}");
+            }
+        }
+        for server in servers {
+            let _ = server.join();
+        }
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        points.push(ShardPoint { shards, elapsed });
+    }
+    Ok(points)
+}
+
+/// A cold+warm batch pair under the in-memory trace collector, with the
+/// per-job provenance events reconciled against the statistics counters.
+fn measure_trace_check(jobs: &[Job]) -> TraceCheck {
+    trace::install_memory();
+    let engine = Engine::default();
+    let cold = engine.run(jobs.to_vec());
+    let warm = engine.run(jobs.to_vec());
+    let lines = trace::drain();
+    trace::uninstall();
+
+    let mut traced_computed = 0u64;
+    let mut traced_hits = 0u64;
+    for line in &lines {
+        let Ok(value) = serde_json::from_str(line) else { continue };
+        if value.get("name").and_then(Value::as_str) != Some("job") {
+            continue;
+        }
+        match value.get("provenance").and_then(Value::as_str) {
+            Some("computed") => traced_computed += 1,
+            Some("memory" | "disk" | "duplicate") => traced_hits += 1,
+            _ => {}
+        }
+    }
+    TraceCheck {
+        traced_computed,
+        traced_hits,
+        stats_misses: cold.stats.cache_misses + warm.stats.cache_misses,
+        stats_hits: cold.stats.cache_hits + warm.stats.cache_hits,
+    }
+}
+
+/// A process-unique scratch cache directory under the system temp dir.
+fn scratch_dir(which: usize) -> io::Result<PathBuf> {
+    let dir = std::env::temp_dir().join(format!("bittrans-bench-{}-{which}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_a_valid_consistent_document() {
+        let report = run(&BenchOptions { quick: true }).expect("quick bench runs");
+        assert!(report.quick);
+        assert!(report.jobs > 0);
+        assert_eq!(report.throughput.len(), 2);
+        assert!(report.throughput.iter().all(|p| p.jobs == report.jobs as u64));
+        assert!(report.cache.warm_hits == report.jobs as u64);
+        assert!(report.serve.requests > 0);
+        assert_eq!(report.sharding.len(), 2);
+        assert!(
+            report.trace_check.consistent(),
+            "trace {:?} disagrees with stats",
+            report.trace_check
+        );
+
+        // The JSON document parses and carries every metric group.
+        let json = report.to_json();
+        let value: Value = serde_json::from_str(&json).expect("bench JSON parses");
+        assert_eq!(value.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        for group in ["throughput", "cache", "serve", "sharding", "trace_check"] {
+            assert!(value.get(group).is_some(), "missing `{group}` in {json}");
+        }
+        assert_eq!(
+            value.get("trace_check").and_then(|t| t.get("consistent")).and_then(Value::as_bool),
+            Some(true)
+        );
+        assert!(!report.summary().is_empty());
+    }
+}

@@ -6,8 +6,10 @@
 //! equals the input order no matter how many workers run or how the OS
 //! schedules them.
 
+use crate::trace;
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Applies `f` to every task on `workers` threads, returning results in
 /// task order.
@@ -26,10 +28,22 @@ where
     F: Fn(T) -> R + Sync,
 {
     let task_count = tasks.len();
+    // When tracing, each task runs inside an `exec.task` span (parented
+    // to the caller's open span even across the spawn boundary) whose
+    // `queue_ns` attribute splits time-on-queue from time-on-CPU.
+    let enqueued = trace::enabled().then(Instant::now);
     if workers <= 1 || task_count <= 1 {
-        return tasks.into_iter().map(f).collect();
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(index, task)| {
+                let _span = task_span(trace::current_span_id(), index, enqueued);
+                f(task)
+            })
+            .collect();
     }
 
+    let parent = trace::current_span_id();
     let queue: Mutex<std::vec::IntoIter<(usize, T)>> =
         Mutex::new(tasks.into_iter().enumerate().collect::<Vec<_>>().into_iter());
     let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
@@ -45,9 +59,13 @@ where
                 let next = queue.lock().expect("task queue lock").next();
                 match next {
                     Some((index, task)) => {
+                        let result = {
+                            let _span = task_span(parent, index, enqueued);
+                            f(task)
+                        };
                         // A send error means the receiver is gone because a
                         // sibling worker panicked; just stop.
-                        if result_tx.send((index, f(task))).is_err() {
+                        if result_tx.send((index, result)).is_err() {
                             return;
                         }
                     }
@@ -62,6 +80,18 @@ where
     });
 
     slots.into_iter().map(|slot| slot.expect("worker pool completed every task")).collect()
+}
+
+/// Opens one task's trace span: `queue_ns` is how long the task sat on
+/// the queue before a worker picked it up; the span's own duration is
+/// the run time.
+fn task_span(parent: u64, index: usize, enqueued: Option<Instant>) -> trace::Span {
+    trace::span_under(parent, "exec.task", |a| {
+        a.num("index", index as u64);
+        if let Some(enqueued) = enqueued {
+            a.num("queue_ns", u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    })
 }
 
 #[cfg(test)]

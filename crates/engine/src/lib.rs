@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod cache;
 pub mod executor;
 pub mod job;
@@ -77,6 +78,7 @@ pub mod shard;
 pub mod stats;
 pub mod study;
 pub mod sweep;
+pub mod trace;
 
 pub use cache::ResultCache;
 pub use job::{Job, JobOutcome, JobResult};
@@ -107,6 +109,15 @@ impl Default for EngineOptions {
     fn default() -> Self {
         EngineOptions { workers: None, cache: true }
     }
+}
+
+/// Which cache tier answered a [`Engine::lookup`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HitTier {
+    /// Resident in the in-memory cache.
+    Memory,
+    /// Lazily loaded (and promoted) from the cache directory.
+    Disk,
 }
 
 /// The batch-optimization engine: a worker pool plus a content-addressed
@@ -166,17 +177,17 @@ impl Engine {
     /// Serves `key` from the in-memory cache or, failing that, lazily from
     /// the attached cache directory (promoting the entry into memory).
     /// Corrupt disk entries are dropped from the index so the caller
-    /// recomputes and respills them.
-    fn lookup(&self, key: &JobKey) -> Option<Arc<JobResult>> {
-        if let Some(resident) = self.cache.peek(key) {
-            return Some(resident);
+    /// recomputes and respills them. The returned provenance says which
+    /// tier answered — the trace collector attributes every hit with it.
+    fn lookup(&self, key: &JobKey) -> Option<HitTier> {
+        if self.cache.peek(key).is_some() {
+            return Some(HitTier::Memory);
         }
         let mut disk = self.disk.as_ref()?.lock().expect("cache index lock");
         match disk.load(*key) {
             Some(comparison) => {
-                let result = Arc::new(Ok(comparison));
-                self.cache.insert(*key, Arc::clone(&result));
-                Some(result)
+                self.cache.insert(*key, Arc::new(Ok(comparison)));
+                Some(HitTier::Disk)
             }
             None => {
                 disk.forget(*key);
@@ -237,18 +248,34 @@ impl Engine {
     /// `from_cache = true` — they did no pipeline work). Everything else
     /// fans out across [`Engine::worker_count`] threads.
     pub fn run(&self, jobs: Vec<Job>) -> BatchReport {
+        let _batch = trace::span_attrs("engine.run", |a| {
+            a.num("jobs", jobs.len() as u64);
+        });
         let started = Instant::now();
         let keys: Vec<JobKey> = jobs.iter().map(Job::key).collect();
 
         // Classify each job: cached, duplicate-of-earlier, or to-compute.
-        // `fresh[i]` marks the one job per key that actually runs.
+        // `fresh[i]` marks the one job per key that actually runs. Each
+        // classification is one `job` trace event whose provenance
+        // (memory / disk / duplicate, plus `computed` in the pool below)
+        // reconciles exactly with the hit/miss counters.
         let mut hits = 0u64;
         let mut to_compute: Vec<(usize, JobKey)> = Vec::new();
         let mut fresh = vec![false; jobs.len()];
         let mut scheduled: std::collections::HashSet<JobKey> = std::collections::HashSet::new();
         for (i, key) in keys.iter().enumerate() {
-            if self.options.cache && self.lookup(key).is_some() {
+            let tier = if self.options.cache { self.lookup(key) } else { None };
+            if let Some(tier) = tier {
                 hits += 1;
+                trace::event("job", |a| {
+                    a.str("key", &key.to_string()).str(
+                        "provenance",
+                        match tier {
+                            HitTier::Memory => "memory",
+                            HitTier::Disk => "disk",
+                        },
+                    );
+                });
             } else if scheduled.insert(*key) {
                 fresh[i] = true;
                 to_compute.push((i, *key));
@@ -257,6 +284,9 @@ impl Engine {
                 // outcome shares the first occurrence's computation, so it
                 // counts as a hit.
                 hits += 1;
+                trace::event("job", |a| {
+                    a.str("key", &key.to_string()).str("provenance", "duplicate");
+                });
             }
         }
         let misses = to_compute.len() as u64;
@@ -268,6 +298,11 @@ impl Engine {
             workers,
             |(key, job): (JobKey, &Job)| {
                 let result = Arc::new(compare(&job.spec, job.latency, &job.options));
+                trace::event("job", |a| {
+                    a.str("key", &key.to_string())
+                        .str("provenance", "computed")
+                        .flag("ok", result.is_ok());
+                });
                 (key, result)
             },
         );
@@ -317,6 +352,12 @@ impl Engine {
             workers,
             elapsed: started.elapsed(),
         };
+        trace::event("engine.batch", |a| {
+            a.num("jobs", stats.jobs)
+                .num("cache_hits", stats.cache_hits)
+                .num("cache_misses", stats.cache_misses)
+                .num("workers", stats.workers as u64);
+        });
         BatchReport { outcomes, stats }
     }
 

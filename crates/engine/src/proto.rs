@@ -12,6 +12,7 @@
 //! accepted and then went silent hung it forever.)
 
 use crate::stats::EngineStats;
+use crate::trace;
 use serde_json::Value;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -55,22 +56,35 @@ impl LineClient {
     ///
     /// Resolution failure, no reachable address, or socket configuration.
     pub fn connect(endpoint: &str, timeout: Duration) -> io::Result<LineClient> {
-        let deadline = Instant::now() + timeout;
+        let started = Instant::now();
+        let deadline = started + timeout;
         let addrs: Vec<SocketAddr> = endpoint.to_socket_addrs()?.collect();
         let mut last: Option<io::Error> = None;
         for addr in addrs {
             let Some(left) = remaining(deadline) else { break };
             match TcpStream::connect_timeout(&addr, left) {
-                Ok(stream) => return LineClient::over(stream, timeout),
+                Ok(stream) => {
+                    trace::event("proto.connect", |a| {
+                        a.str("endpoint", endpoint).num(
+                            "elapsed_ns",
+                            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                    });
+                    return LineClient::over(stream, timeout);
+                }
                 Err(e) => last = Some(e),
             }
         }
-        Err(last.unwrap_or_else(|| {
+        let error = last.unwrap_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidInput,
                 format!("`{endpoint}` resolves to no address"),
             )
-        }))
+        });
+        trace::event("proto.connect_error", |a| {
+            a.str("endpoint", endpoint).str("error", &error.to_string());
+        });
+        Err(error)
     }
 
     /// Wraps an already-connected stream (the test-harness path),
@@ -91,9 +105,17 @@ impl LineClient {
     ///
     /// Transport errors, including a write blocked past the deadline.
     pub fn send(&mut self, line: &str) -> io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()
+        let outcome = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush());
+        if let Err(e) = &outcome {
+            trace::event("proto.write_error", |a| {
+                a.num("bytes", line.len() as u64 + 1).str("error", &e.to_string());
+            });
+        }
+        outcome
     }
 
     /// Reads one complete response line under one overall deadline.
@@ -122,7 +144,7 @@ impl LineClient {
                 ));
             }
             let Some(left) = remaining(deadline) else {
-                return Err(stalled());
+                return Err(stalled(line.len()));
             };
             self.reader.get_ref().set_read_timeout(Some(left))?;
             let available = match self.reader.fill_buf() {
@@ -131,7 +153,7 @@ impl LineClient {
                 Err(e)
                     if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
                 {
-                    return Err(stalled());
+                    return Err(stalled(line.len()));
                 }
                 Err(e) => return Err(e),
             };
@@ -179,7 +201,10 @@ impl LineClient {
     }
 }
 
-fn stalled() -> io::Error {
+fn stalled(buffered: usize) -> io::Error {
+    trace::event("proto.read_timeout", |a| {
+        a.num("buffered_bytes", buffered as u64);
+    });
     io::Error::new(
         io::ErrorKind::TimedOut,
         "endpoint stalled: the response line timed out before completing",

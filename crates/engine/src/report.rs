@@ -171,6 +171,20 @@ impl StudyReport {
         )
     }
 
+    /// The report with its run shape erased: `elapsed` zeroed and
+    /// `workers` zeroed, everything else untouched. Two runs of the same
+    /// grid over the same cache state — single-process vs. sharded,
+    /// direct vs. served — legitimately differ only in wall clock and
+    /// pool width, so serializing `normalized()` reports is the
+    /// byte-identity comparison the shard/serve suites make. For
+    /// already-serialized text use [`normalize_run_shape`].
+    pub fn normalized(&self) -> StudyReport {
+        let mut report = self.clone();
+        report.stats.elapsed = std::time::Duration::ZERO;
+        report.stats.workers = 0;
+        report
+    }
+
     /// The report as compact JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("study report serializes")
@@ -191,10 +205,25 @@ impl StudyReport {
 /// full serve response carries two — the lifetime service counters' and
 /// the report's.
 pub fn strip_elapsed_ms(json: &str) -> String {
-    let needle = "\"elapsed_ms\":";
+    blank_number_values(json, "elapsed_ms")
+}
+
+/// Blanks every volatile run-shape value — `"elapsed_ms"` and
+/// `"workers"` — in a serialized report or response line (compact or
+/// pretty), leaving every other byte intact. This is the textual
+/// counterpart of [`StudyReport::normalized`], for call sites that only
+/// have serialized output in hand (CLI stdout, CI smoke diffs, raw
+/// response lines).
+pub fn normalize_run_shape(json: &str) -> String {
+    blank_number_values(&blank_number_values(json, "elapsed_ms"), "workers")
+}
+
+/// Blanks the numeric value after every `"<field>":` occurrence.
+fn blank_number_values(json: &str, field: &str) -> String {
+    let needle = format!("\"{field}\":");
     let mut out = String::with_capacity(json.len());
     let mut rest = json;
-    while let Some(start) = rest.find(needle) {
+    while let Some(start) = rest.find(&needle) {
         let value_start = start + needle.len();
         out.push_str(&rest[..value_start]);
         let tail = &rest[value_start..];
@@ -272,6 +301,28 @@ mod tests {
         // service counters' and the report's).
         let twice = "{\"a\":{\"elapsed_ms\":1.5},\"b\":{\"elapsed_ms\":2.5}}";
         assert_eq!(strip_elapsed_ms(twice), "{\"a\":{\"elapsed_ms\":},\"b\":{\"elapsed_ms\":}}");
+    }
+
+    #[test]
+    fn normalized_erases_only_the_run_shape() {
+        let r = report();
+        let mut wider = r.clone();
+        wider.stats.workers += 3;
+        wider.stats.elapsed += std::time::Duration::from_millis(7);
+        assert_ne!(r.to_json(), wider.to_json());
+        assert_eq!(r.normalized().to_json(), wider.normalized().to_json());
+        // Different cell content survives normalization.
+        let mut other = r.clone();
+        other.cells.pop();
+        assert_ne!(r.normalized().to_json(), other.normalized().to_json());
+        // The textual form agrees with the structural one.
+        assert_eq!(normalize_run_shape(&r.to_json()), normalize_run_shape(&wider.to_json()));
+        assert!(normalize_run_shape(&r.to_json()).contains("\"workers\":,"));
+        // Pretty spelling (space after the colon) is blanked too.
+        assert_eq!(
+            normalize_run_shape("{\"workers\": 4,\n\"elapsed_ms\": 1.5}"),
+            "{\"workers\":,\n\"elapsed_ms\":}"
+        );
     }
 
     #[test]

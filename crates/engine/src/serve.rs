@@ -66,7 +66,7 @@ use crate::report::StudyReport;
 use crate::shard::{self, ShardedStudy};
 use crate::stats::{EngineStats, ServiceStats};
 use crate::study::Study;
-use crate::{Engine, EngineOptions, Job};
+use crate::{trace, Engine, EngineOptions, Job};
 use serde_json::Value;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -138,6 +138,14 @@ struct ServerState {
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// Request-id allocator for the structured per-request logs; counts
+    /// every received line, unlike `requests` (answered studies only).
+    next_request: AtomicU64,
+    /// Per-class answer counters for `{"stats":true}` introspection:
+    /// study reports, shard ranges, stats snapshots.
+    class_study: AtomicU64,
+    class_shard: AtomicU64,
+    class_stats: AtomicU64,
     started: Instant,
     max_request_bytes: usize,
     local_addr: SocketAddr,
@@ -175,6 +183,10 @@ impl Server {
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            next_request: AtomicU64::new(0),
+            class_study: AtomicU64::new(0),
+            class_shard: AtomicU64::new(0),
+            class_stats: AtomicU64::new(0),
             started: Instant::now(),
             max_request_bytes: options.max_request_bytes,
             local_addr,
@@ -213,7 +225,9 @@ impl Server {
                     // Transient accept failures (EMFILE under load) must
                     // not kill the service; back off briefly so a
                     // persistent condition cannot spin the loop.
-                    eprintln!("serve: accept failed: {e}");
+                    trace::stderr_log("serve", "accept_error", |a| {
+                        a.str("error", &e.to_string());
+                    });
                     std::thread::sleep(Duration::from_millis(10));
                 }
             }
@@ -260,7 +274,9 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                     "request exceeds the {} byte limit; closing connection",
                     state.max_request_bytes
                 );
-                eprintln!("serve[{peer}]: rejected: {message}");
+                trace::stderr_log("serve", "rejected", |a| {
+                    a.str("peer", &peer).str("error", &message);
+                });
                 let _ = respond_error(&mut writer, &message);
                 // Drain the rest of the oversized line before closing:
                 // dropping the socket with unread input queued makes the
@@ -273,25 +289,37 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         if line.is_empty() {
             continue; // blank keep-alive line
         }
-        match process_request(&line, state, &peer) {
+        // Every received request line gets a process-unique id; it ties
+        // the structured log lines below to the request's trace span.
+        let req = state.next_request.fetch_add(1, Ordering::SeqCst) + 1;
+        let _span = trace::span_attrs("serve.request", |a| {
+            a.num("req", req).str("peer", &peer);
+        });
+        match process_request(&line, state, &peer, req) {
             Outcome::Reply(response) => {
                 if write_line(&mut writer, &response).is_err() {
                     // The client vanished mid-run. Its study already ran
                     // (and warmed the cache for everyone else); only the
                     // reply is lost.
-                    eprintln!("serve[{peer}]: client disconnected before the response");
+                    trace::stderr_log("serve", "client_gone", |a| {
+                        a.num("req", req).str("peer", &peer);
+                    });
                     return;
                 }
             }
             Outcome::Error(message) => {
                 state.errors.fetch_add(1, Ordering::SeqCst);
-                eprintln!("serve[{peer}]: rejected: {message}");
+                trace::stderr_log("serve", "rejected", |a| {
+                    a.num("req", req).str("peer", &peer).str("error", &message);
+                });
                 if respond_error(&mut writer, &message).is_err() {
                     return;
                 }
             }
             Outcome::Shutdown => {
-                eprintln!("serve[{peer}]: shutdown requested");
+                trace::stderr_log("serve", "shutdown", |a| {
+                    a.num("req", req).str("peer", &peer);
+                });
                 let _ = write_line(&mut writer, "{\"ok\":true,\"shutdown\":true}");
                 state.shutdown.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the flag. A wildcard
@@ -400,7 +428,7 @@ fn finish_line(line: Vec<u8>) -> LineRead {
 }
 
 /// Parses, validates and runs one request line.
-fn process_request(line: &str, state: &ServerState, peer: &str) -> Outcome {
+fn process_request(line: &str, state: &ServerState, peer: &str, req: u64) -> Outcome {
     let value = match serde_json::from_str(line) {
         Ok(value) => value,
         Err(e) => return Outcome::Error(format!("bad request: {e}")),
@@ -411,6 +439,31 @@ fn process_request(line: &str, state: &ServerState, peer: &str) -> Outcome {
     match value.get("shutdown") {
         Some(Value::Bool(true)) => return Outcome::Shutdown,
         Some(_) => return Outcome::Error("bad request: `shutdown` must be `true`".to_string()),
+        None => {}
+    }
+    // `{"stats":true}` is pure introspection: answer the lifetime
+    // counters without running anything — and without disturbing them,
+    // so interleaved stats probes never change what study clients see.
+    match value.get("stats") {
+        Some(Value::Bool(true)) => {
+            if fields.len() > 1 {
+                return Outcome::Error("bad request: `stats` must be the only field".to_string());
+            }
+            state.class_stats.fetch_add(1, Ordering::SeqCst);
+            trace::stderr_log("serve", "stats", |a| {
+                a.num("req", req).str("peer", peer);
+            });
+            let service =
+                serde_json::to_string(&state.service_stats()).expect("service stats serialize");
+            return Outcome::Reply(format!(
+                "{{\"ok\":true,\"stats\":true,\"service\":{service},\
+                 \"classes\":{{\"study\":{},\"shard\":{},\"stats\":{}}}}}",
+                state.class_study.load(Ordering::SeqCst),
+                state.class_shard.load(Ordering::SeqCst),
+                state.class_stats.load(Ordering::SeqCst),
+            ));
+        }
+        Some(_) => return Outcome::Error("bad request: `stats` must be `true`".to_string()),
         None => {}
     }
     // Strict field check: a typo'd axis must not silently collapse to the
@@ -458,7 +511,16 @@ fn process_request(line: &str, state: &ServerState, peer: &str) -> Outcome {
         }
         let stats = run_shard(shard::shard_slice(&study, index, count), state);
         state.requests.fetch_add(1, Ordering::SeqCst);
-        eprintln!("serve[{peer}]: shard {index}/{count}: {stats}");
+        state.class_shard.fetch_add(1, Ordering::SeqCst);
+        trace::stderr_log("serve", "shard", |a| {
+            a.num("req", req)
+                .str("peer", peer)
+                .num("shard_index", index as u64)
+                .num("shard_count", count as u64)
+                .num("jobs", stats.jobs)
+                .num("cache_hits", stats.cache_hits)
+                .num("cache_misses", stats.cache_misses);
+        });
         let service =
             serde_json::to_string(&state.service_stats()).expect("service stats serialize");
         let stats = serde_json::to_string(&stats).expect("engine stats serialize");
@@ -469,7 +531,17 @@ fn process_request(line: &str, state: &ServerState, peer: &str) -> Outcome {
     }
     let report = run_study(&study, state);
     state.requests.fetch_add(1, Ordering::SeqCst);
-    eprintln!("serve[{peer}]: {}", report.summary());
+    state.class_study.fetch_add(1, Ordering::SeqCst);
+    trace::stderr_log("serve", "report", |a| {
+        a.num("req", req)
+            .str("peer", peer)
+            .num("cells", report.cells.len() as u64)
+            .num("ok", report.successes().count() as u64)
+            .num("failed", report.failures().count() as u64)
+            .num("cache_hits", report.stats.cache_hits)
+            .num("cache_misses", report.stats.cache_misses)
+            .str("summary", &report.summary());
+    });
     let service = serde_json::to_string(&state.service_stats()).expect("service stats serialize");
     // `report` goes last so clients can slice the exact single-process
     // StudyReport bytes out of the line; see the module docs.

@@ -73,6 +73,7 @@ use crate::proto;
 use crate::report::StudyReport;
 use crate::stats::{EndpointStats, EngineStats};
 use crate::study::{self, Study};
+use crate::trace;
 use crate::{Engine, EngineOptions, Job};
 use bittrans_core::CompareOptions;
 use bittrans_ir::Spec;
@@ -721,6 +722,9 @@ pub fn run_sharded(
     let shards = if keyed.is_empty() { 0 } else { options.shards.clamp(1, keyed.len()) };
     let ranges = partition(keyed.len(), shards);
     drop(keyed);
+    let _run = trace::span_attrs("shard.run", |a| {
+        a.num("shards", shards as u64).num("distinct", sorted_keys.len() as u64);
+    });
 
     std::fs::create_dir_all(cache_dir)?;
     let before = DirIndex::open(cache_dir)?;
@@ -777,6 +781,11 @@ pub fn run_sharded(
     // the store load lazily as hits; gaps and infeasible coordinates (whose
     // errors are never persisted) compute here, exactly as a single-process
     // run would have computed them.
+    if !retried.is_empty() {
+        trace::event("shard.recompute", |a| {
+            a.num("keys", retried.len() as u64).num("failed_shards", failed.len() as u64);
+        });
+    }
     let engine = Engine::default().with_cache_dir(cache_dir)?;
     let batch = engine.run(grid.distinct.clone());
 
@@ -866,6 +875,9 @@ fn dispatch_local(
         };
         let path = scratch.join(format!("shard-{index}.json"));
         std::fs::write(&path, manifest.to_json())?;
+        trace::event("shard.dispatch", |a| {
+            a.num("shard", index as u64).num("attempt", 0).str("endpoint", "local");
+        });
         let child = Command::new(&transport.worker_binary)
             .arg("shard-worker")
             .arg(&path)
@@ -882,11 +894,32 @@ fn dispatch_local(
         match output {
             Ok(out) if out.status.success() => {
                 match proto::stats_line(&String::from_utf8_lossy(&out.stdout)) {
-                    Some(stats) => dispatch.shard_stats[index] = Some(stats),
-                    None => dispatch.failed.push(index),
+                    Some(stats) => {
+                        trace::event("shard.served", |a| {
+                            a.num("shard", index as u64)
+                                .str("endpoint", "local")
+                                .num("jobs", stats.jobs);
+                        });
+                        dispatch.shard_stats[index] = Some(stats);
+                    }
+                    None => {
+                        trace::event("shard.fallback", |a| {
+                            a.num("shard", index as u64)
+                                .str("endpoint", "local")
+                                .str("error", "no stats line");
+                        });
+                        dispatch.failed.push(index);
+                    }
                 }
             }
-            _ => dispatch.failed.push(index),
+            _ => {
+                trace::event("shard.fallback", |a| {
+                    a.num("shard", index as u64)
+                        .str("endpoint", "local")
+                        .str("error", "worker exited abnormally");
+                });
+                dispatch.failed.push(index);
+            }
         }
     }
     let _ = std::fs::remove_dir_all(&scratch);
@@ -931,15 +964,38 @@ fn dispatch_remote(sharded: &ShardedStudy, shards: usize, transport: &RemoteTran
                 for attempt in 0..endpoints.len() {
                     let which = (home + attempt) % endpoints.len();
                     let endpoint = &endpoints[which];
+                    trace::event("shard.dispatch", |a| {
+                        a.num("shard", index as u64)
+                            .num("attempt", attempt as u64)
+                            .str("endpoint", endpoint);
+                    });
                     match request_shard(endpoint, &study, index, shards, timeout) {
-                        Ok(stats) => return Some((which, stats)),
+                        Ok(stats) => {
+                            trace::event("shard.served", |a| {
+                                a.num("shard", index as u64)
+                                    .str("endpoint", endpoint)
+                                    .num("jobs", stats.jobs);
+                            });
+                            return Some((which, stats));
+                        }
                         Err(why) => {
-                            let next = if attempt + 1 < endpoints.len() {
-                                "; retrying on the next endpoint"
-                            } else {
+                            let last = attempt + 1 == endpoints.len();
+                            trace::event(
+                                if last { "shard.fallback" } else { "shard.retry" },
+                                |a| {
+                                    a.num("shard", index as u64)
+                                        .str("endpoint", endpoint)
+                                        .str("error", &why);
+                                },
+                            );
+                            let next = if last {
                                 "; no endpoints left, the coordinator recomputes the range"
+                            } else {
+                                "; retrying on the next endpoint"
                             };
-                            eprintln!("shard {index}/{shards}: {endpoint}: {why}{next}");
+                            trace::diag(&format!(
+                                "shard {index}/{shards}: {endpoint}: {why}{next}"
+                            ));
                         }
                     }
                 }

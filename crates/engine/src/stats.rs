@@ -254,6 +254,39 @@ mod tests {
     }
 
     #[test]
+    fn zero_job_stats_serialize_a_finite_hit_rate() {
+        // The zero-jobs guard in `hit_rate()` must reach the wire: an
+        // empty grid (or a stats-only introspection request) serializes
+        // `0.0`, never `NaN`/`null`, so downstream JSON consumers always
+        // see a number.
+        let json = serde_json::to_string(&EngineStats::zero()).unwrap();
+        assert!(json.contains("\"jobs\":0"), "{json}");
+        assert!(json.contains("\"hit_rate_pct\":0.0"), "{json}");
+        assert!(!json.contains("null"), "{json}");
+        assert!(!json.to_lowercase().contains("nan"), "{json}");
+        let text = EngineStats::zero().to_string();
+        assert!(text.contains("0% hit rate"), "{text}");
+    }
+
+    #[test]
+    fn idle_service_stats_serialize_a_finite_hit_rate() {
+        // A `{"stats":true}` request against a freshly started server
+        // reports a zero-job engine; the embedded stats must stay clean
+        // JSON numbers all the way down.
+        let stats = ServiceStats {
+            requests: 0,
+            errors: 0,
+            uptime: Duration::ZERO,
+            engine: EngineStats::zero(),
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"requests\":0"), "{json}");
+        assert!(json.contains("\"hit_rate_pct\":0.0"), "{json}");
+        assert!(!json.contains("null"), "{json}");
+        assert!(serde_json::from_str(&json).is_ok(), "{json}");
+    }
+
+    #[test]
     fn merge_sums_disjoint_work_and_maxes_shared_state() {
         let a = EngineStats {
             jobs: 4,

@@ -66,13 +66,10 @@ fn cold_reference(sharded: &ShardedStudy) -> StudyReport {
 
 /// Blanks the two run-shape values two equivalent runs legitimately
 /// disagree on — wall clock and pool width — leaving every other byte of
-/// the compact report intact.
+/// the compact report intact. Delegates to the library's own
+/// normalization so tests and tooling share one definition.
 fn normalized(report: &StudyReport) -> String {
-    let json = bittrans_engine::report::strip_elapsed_ms(&report.to_json());
-    let needle = "\"workers\":";
-    let start = json.find(needle).expect("report stats carry workers") + needle.len();
-    let end = start + json[start..].chars().take_while(char::is_ascii_digit).count();
-    format!("{}{}", &json[..start], &json[end..])
+    bittrans_engine::report::normalize_run_shape(&report.to_json())
 }
 
 fn temp_dir(tag: &str) -> PathBuf {

@@ -236,6 +236,48 @@ fn oversized_requests_close_only_their_own_connection() {
 }
 
 #[test]
+fn stats_introspection_answers_without_disturbing_counters() {
+    let (addr, handle) = start_server(1 << 20);
+
+    // A stats probe on a fresh server: valid ServiceStats, zero classes
+    // served, and — crucially — it does not count as a request itself.
+    let reply = roundtrip(addr, "{\"stats\": true}");
+    assert!(reply.starts_with("{\"ok\":true,\"stats\":true,"), "{reply}");
+    let value = serde_json::from_str(&reply).expect("stats reply parses");
+    let service = value.get("service").expect("stats reply carries service");
+    assert_eq!(service.get("requests").and_then(serde_json::Value::as_u64), Some(0), "{reply}");
+    assert_eq!(service.get("errors").and_then(serde_json::Value::as_u64), Some(0), "{reply}");
+    assert!(service.get("engine").is_some(), "{reply}");
+    let classes = value.get("classes").expect("stats reply carries classes");
+    assert_eq!(classes.get("study").and_then(serde_json::Value::as_u64), Some(0), "{reply}");
+    assert_eq!(classes.get("shard").and_then(serde_json::Value::as_u64), Some(0), "{reply}");
+    assert_eq!(classes.get("stats").and_then(serde_json::Value::as_u64), Some(1), "{reply}");
+
+    // Run one study, then probe again: the study is visible in both the
+    // lifetime counters and the per-class breakdown, and the probes still
+    // have not moved `requests`.
+    let study = roundtrip(addr, &study_request());
+    assert!(study.starts_with("{\"ok\":true,"), "{study}");
+    let reply = roundtrip(addr, "{\"stats\": true}");
+    let value = serde_json::from_str(&reply).expect("stats reply parses");
+    let service = value.get("service").expect("service");
+    assert_eq!(service.get("requests").and_then(serde_json::Value::as_u64), Some(1), "{reply}");
+    let classes = value.get("classes").expect("classes");
+    assert_eq!(classes.get("study").and_then(serde_json::Value::as_u64), Some(1), "{reply}");
+    assert_eq!(classes.get("stats").and_then(serde_json::Value::as_u64), Some(2), "{reply}");
+
+    // Malformed probes are ordinary recoverable rejections.
+    let reply = roundtrip(addr, "{\"stats\": false}");
+    assert!(reply.contains("`stats` must be `true`"), "{reply}");
+    let reply = roundtrip(addr, "{\"stats\": true, \"sources\": []}");
+    assert!(reply.contains("`stats` must be the only field"), "{reply}");
+
+    let stats = shutdown(addr, handle);
+    assert_eq!(stats.requests, 1, "stats probes must not count as requests");
+    assert_eq!(stats.errors, 2);
+}
+
+#[test]
 fn client_disconnecting_mid_run_leaves_the_engine_serving() {
     let (addr, handle) = start_server(1 << 20);
 

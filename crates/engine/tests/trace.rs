@@ -1,0 +1,234 @@
+//! Trace collector correctness through the public engine API:
+//!
+//! * under a full worker pool every span closes exactly once, `exec.task`
+//!   spans parent to the batch's `engine.run` span across the spawn
+//!   boundary, and stage child spans parent to their task;
+//! * a file sink holds valid one-object-per-line JSON with strictly
+//!   increasing `seq` and monotone `ts_ns`;
+//! * per-job provenance events (`memory` / `disk` / `duplicate` /
+//!   `computed`) reconcile exactly with [`EngineStats`] hit/miss counters
+//!   across a cold run, a warm in-memory run and a fresh-process disk run.
+//!
+//! The collector is process-global, so every test serializes on one lock
+//! (mirroring the unit tests inside `trace.rs` — cargo runs separate test
+//! binaries in separate processes, so only this file needs it).
+//!
+//! [`EngineStats`]: bittrans_engine::EngineStats
+
+use bittrans_core::CompareOptions;
+use bittrans_engine::{trace, Engine, EngineOptions, Job};
+use bittrans_ir::Spec;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A three-add chain at `width` bits — same shape as the paper's running
+/// example, distinct content key per width.
+fn chain(width: u32) -> Spec {
+    Spec::parse(&format!(
+        "spec t{width} {{ input A: u{width}; input B: u{width}; input D: u{width}; \
+         input F: u{width}; C: u{width} = A + B; E: u{width} = C + D; \
+         G: u{width} = E + F; output G; }}"
+    ))
+    .expect("chain spec parses")
+}
+
+fn job(width: u32, latency: u32) -> Job {
+    Job::with_options(
+        chain(width),
+        latency,
+        CompareOptions { verify_vectors: 16, ..Default::default() },
+    )
+}
+
+fn parse_lines(lines: &[String]) -> Vec<serde_json::Value> {
+    lines.iter().map(|l| serde_json::from_str(l).expect("trace line is valid JSON")).collect()
+}
+
+fn str_of<'v>(v: &'v serde_json::Value, key: &str) -> Option<&'v str> {
+    v.get(key).and_then(serde_json::Value::as_str)
+}
+
+fn num_of(v: &serde_json::Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(serde_json::Value::as_u64)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bittrans_trace_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn spans_nest_and_close_exactly_once_under_a_full_worker_pool() {
+    let _guard = locked();
+    trace::uninstall();
+    trace::install_memory();
+
+    let engine = Engine::new(EngineOptions { workers: Some(4), cache: true });
+    // Six distinct jobs saturate the four workers; two duplicates ride
+    // along to exercise the non-computing classification path.
+    let mut jobs: Vec<Job> = (0..6).map(|i| job(8 + i, 3)).collect();
+    jobs.push(job(8, 3));
+    jobs.push(job(9, 3));
+    let report = engine.run(jobs);
+    assert_eq!(report.stats.cache_misses, 6);
+    assert_eq!(report.stats.cache_hits, 2);
+
+    let lines = trace::drain();
+    trace::uninstall();
+    let parsed = parse_lines(&lines);
+
+    let spans: Vec<&serde_json::Value> =
+        parsed.iter().filter(|v| str_of(v, "kind") == Some("span")).collect();
+    let mut ids = HashSet::new();
+    for span in &spans {
+        let id = num_of(span, "id").expect("span has an id");
+        assert!(ids.insert(id), "span id {id} emitted more than once: {span:?}");
+        assert!(num_of(span, "dur_ns").is_some(), "span missing dur_ns: {span:?}");
+    }
+
+    let run_spans: Vec<&&serde_json::Value> =
+        spans.iter().filter(|v| str_of(v, "name") == Some("engine.run")).collect();
+    assert_eq!(run_spans.len(), 1, "one batch, one engine.run span");
+    let run_id = num_of(run_spans[0], "id").unwrap();
+    assert_eq!(num_of(run_spans[0], "jobs"), Some(8));
+
+    let task_spans: Vec<&&serde_json::Value> =
+        spans.iter().filter(|v| str_of(v, "name") == Some("exec.task")).collect();
+    assert_eq!(task_spans.len(), 6, "one exec.task per computed job");
+    let task_ids: HashSet<u64> = task_spans
+        .iter()
+        .map(|v| {
+            assert_eq!(
+                num_of(v, "parent"),
+                Some(run_id),
+                "exec.task must parent to engine.run across the spawn boundary"
+            );
+            assert!(num_of(v, "queue_ns").is_some(), "exec.task missing queue_ns: {v:?}");
+            num_of(v, "id").unwrap()
+        })
+        .collect();
+
+    // The core pipeline's stage observer emits child spans under the task
+    // that ran the stage — never orphaned, never under the batch root.
+    let stage_spans: Vec<&&serde_json::Value> = spans
+        .iter()
+        .filter(|v| str_of(v, "name").is_some_and(|n| n.starts_with("stage.")))
+        .collect();
+    assert!(!stage_spans.is_empty(), "pipeline stages must appear as child spans");
+    for stage in &stage_spans {
+        let parent = num_of(stage, "parent").unwrap();
+        assert!(task_ids.contains(&parent), "stage span not under any exec.task: {stage:?}");
+    }
+
+    // Every parent reference resolves to an emitted span (or the root).
+    for v in &parsed {
+        let parent = num_of(v, "parent").expect("every line carries a parent");
+        assert!(parent == 0 || ids.contains(&parent), "dangling parent id: {v:?}");
+    }
+}
+
+#[test]
+fn file_sink_holds_valid_jsonl_with_monotone_stamps() {
+    let _guard = locked();
+    trace::uninstall();
+    let dir = scratch("jsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    trace::install_file(&path);
+
+    let engine = Engine::new(EngineOptions { workers: Some(2), cache: true });
+    engine.run((0..4).map(|i| job(8 + i, 2)).collect());
+    trace::flush().expect("flush writes the sink file");
+    trace::uninstall();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut last_seq = 0u64;
+    let mut last_ts = 0u64;
+    let mut count = 0usize;
+    for line in text.lines() {
+        let v = serde_json::from_str(line).expect("every trace line parses as JSON");
+        let seq = num_of(&v, "seq").expect("line has seq");
+        let ts = num_of(&v, "ts_ns").expect("line has ts_ns");
+        let kind = str_of(&v, "kind").expect("line has kind");
+        assert!(kind == "span" || kind == "event", "unknown kind in {line}");
+        assert!(!str_of(&v, "name").unwrap_or("").is_empty(), "empty name in {line}");
+        assert!(seq > last_seq, "seq must strictly increase: {line}");
+        assert!(ts >= last_ts, "ts_ns must be monotone along seq: {line}");
+        last_seq = seq;
+        last_ts = ts;
+        count += 1;
+    }
+    assert!(count > 4, "a traced batch writes more than a handful of lines, got {count}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tallies `job` events by provenance from one drained trace.
+fn provenance_counts(lines: &[String]) -> HashMap<String, u64> {
+    let mut counts = HashMap::new();
+    for v in parse_lines(lines) {
+        if str_of(&v, "kind") == Some("event") && str_of(&v, "name") == Some("job") {
+            let provenance = str_of(&v, "provenance").expect("job event has provenance");
+            *counts.entry(provenance.to_string()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn job_provenance_reconciles_with_engine_stats_across_all_tiers() {
+    let _guard = locked();
+    trace::uninstall();
+    trace::install_memory();
+    let dir = scratch("prov");
+
+    let jobs = || -> Vec<Job> {
+        let mut jobs: Vec<Job> = (0..5).map(|i| job(10 + i, 3)).collect();
+        jobs.push(job(10, 3)); // duplicate inside the batch
+        jobs
+    };
+
+    // Cold: everything computes except the in-batch duplicate.
+    let first =
+        Engine::new(EngineOptions::default()).with_cache_dir(&dir).expect("cache dir opens");
+    let cold = first.run(jobs());
+    let counts = provenance_counts(&trace::drain());
+    assert_eq!(counts.get("computed").copied().unwrap_or(0), cold.stats.cache_misses);
+    assert_eq!(counts.get("duplicate").copied().unwrap_or(0), cold.stats.cache_hits);
+    assert_eq!(counts.get("memory"), None);
+    assert_eq!(counts.get("disk"), None);
+
+    // Warm, same engine: every job is a memory hit.
+    let warm = first.run(jobs());
+    let counts = provenance_counts(&trace::drain());
+    assert_eq!(warm.stats.cache_misses, 0);
+    assert_eq!(counts.get("memory").copied().unwrap_or(0), warm.stats.cache_hits);
+    assert_eq!(counts.get("computed"), None);
+
+    // Fresh engine over the same directory: hits promote from disk.
+    drop(first);
+    let second =
+        Engine::new(EngineOptions::default()).with_cache_dir(&dir).expect("cache dir reopens");
+    let disk = second.run(jobs());
+    let counts = provenance_counts(&trace::drain());
+    trace::uninstall();
+    assert_eq!(disk.stats.cache_misses, 0);
+    assert_eq!(disk.stats.jobs, disk.stats.cache_hits);
+    // First occurrence of each key reads the disk entry; repeats within
+    // the batch hit the promoted in-memory copy.
+    let tiered = counts.get("disk").copied().unwrap_or(0)
+        + counts.get("memory").copied().unwrap_or(0)
+        + counts.get("duplicate").copied().unwrap_or(0);
+    assert_eq!(tiered, disk.stats.cache_hits);
+    assert!(counts.get("disk").copied().unwrap_or(0) >= 5, "distinct keys must read from disk");
+    assert_eq!(counts.get("computed"), None);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

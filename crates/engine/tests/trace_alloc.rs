@@ -1,0 +1,75 @@
+//! The disabled trace collector's hot path allocates nothing.
+//!
+//! Every instrumentation point in the engine costs one relaxed atomic
+//! load when no collector is installed — `span`/`span_attrs` hand back an
+//! inert guard, `event` returns before running its attribute closure, and
+//! nothing reads the clock. This binary pins that contract with a
+//! counting global allocator: it is the only test here, because the
+//! counter is process-wide and a parallel sibling would pollute it.
+
+use bittrans_engine::trace;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to the system allocator, counting allocations.
+struct Counting;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: Counting = Counting;
+
+#[test]
+fn disabled_collector_adds_zero_allocations() {
+    trace::uninstall();
+    assert!(!trace::enabled());
+
+    // Warm up lazily initialized state (thread-local stack, test harness
+    // buffers) outside the measured window.
+    for _ in 0..8 {
+        let _span = trace::span_attrs("warmup", |a| {
+            a.num("i", 1).str("k", "v");
+        });
+        trace::event("warmup", |a| {
+            a.flag("on", true);
+        });
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..1_000u64 {
+        let outer = trace::span("hot.outer");
+        let _inner = trace::span_under(outer.id(), "hot.inner", |a| {
+            // Never runs while disabled; allocating here must be free.
+            a.str("key", &format!("k{i}"));
+        });
+        trace::event("hot.event", |a| {
+            a.num("i", i).float("f", 0.5).str("s", "text");
+        });
+        let _ = trace::current_span_id();
+        trace::stage("hot", std::time::Duration::from_nanos(i));
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span/event/stage calls must not allocate ({} allocations leaked)",
+        after - before
+    );
+}

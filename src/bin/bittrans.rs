@@ -15,6 +15,9 @@
 //!                    [--adders rca,cla,csel] [--balance on|off|both] [--verify N]
 //!                    [--timeout SECS] [--json]
 //! bittrans client    --addr HOST:PORT --shutdown
+//! bittrans client    --addr HOST:PORT --stats
+//! bittrans bench     [--quick] [--json]
+//! bittrans report    normalize <report.json|->
 //! bittrans fragments <file.spec> --latency N
 //! bittrans check     <file.spec>
 //! ```
@@ -46,6 +49,19 @@
 //! worker abort after `AFTER` jobs (the fault-injection hook used by the
 //! test harness).
 //!
+//! Every subcommand can write a structured execution trace — one JSON
+//! line per span or event, see `bittrans_engine::trace` — to a file given
+//! by `--trace-out FILE` or the `BITTRANS_TRACE` environment variable.
+//! `bench` runs the performance-trajectory harness
+//! (`bittrans_engine::bench`): engine throughput, cache speedup, serve
+//! round-trip percentiles and shard scaling as one JSON document
+//! (`--json`, the committed `BENCH_<n>.json` format) or a short text
+//! summary; `--quick` shrinks the grid to CI scale. `report normalize`
+//! rewrites a study-report JSON document with the run-shape fields
+//! (`elapsed_ms`, `workers`) blanked, so reports from runs with different
+//! worker counts can be byte-compared. `client --stats` asks a running
+//! server for its `{"stats":true}` introspection line.
+//!
 //! `serve` runs the long-lived study service: one warm engine answering
 //! newline-delimited JSON study requests over TCP (see
 //! `bittrans_engine::serve`), printing `listening on HOST:PORT` once
@@ -59,6 +75,7 @@ use bittrans::core::report::{render_sweep, render_table1};
 use bittrans::engine::proto;
 use bittrans::engine::serve;
 use bittrans::engine::shard;
+use bittrans::engine::{bench, trace};
 use bittrans::prelude::*;
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
@@ -94,7 +111,10 @@ struct Args {
     max_age: Option<u64>,
     addr: Option<String>,
     shutdown: bool,
+    stats: bool,
     json: bool,
+    quick: bool,
+    trace_out: Option<String>,
     emit_vhdl: Option<String>,
     netlist: bool,
 }
@@ -111,12 +131,14 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: bittrans <optimize|compare|sweep|batch|explore|cache|serve|client|fragments|check> \
+    "usage: bittrans <optimize|compare|sweep|batch|explore|cache|serve|client|bench|report|\
+     fragments|check> \
      <file.spec|dir|-> ... [--latency N|A..B] [--from N] [--to M] [--jobs K] \
      [--adder rca|cla|csel] [--adders rca,cla,csel] [--balance on|off|both] \
      [--verify N] [--shards K] [--workers host:port,...] [--timeout SECS] \
      [--cache-dir DIR] [--max-bytes N] [--max-age SECS] \
-     [--addr HOST:PORT] [--shutdown] [--json] [--emit-vhdl DIR] [--netlist]"
+     [--addr HOST:PORT] [--shutdown] [--stats] [--quick] [--trace-out FILE] \
+     [--json] [--emit-vhdl DIR] [--netlist]"
         .to_string()
 }
 
@@ -178,7 +200,10 @@ fn parse_args() -> Result<Args, String> {
         max_age: None,
         addr: None,
         shutdown: false,
+        stats: false,
         json: false,
+        quick: false,
+        trace_out: None,
         emit_vhdl: None,
         netlist: false,
     };
@@ -250,6 +275,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--addr" => args.addr = Some(value("--addr")?),
             "--shutdown" => args.shutdown = true,
+            "--stats" => args.stats = true,
+            "--quick" => args.quick = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--json" => args.json = true,
             "--emit-vhdl" => args.emit_vhdl = Some(value("--emit-vhdl")?),
             "--netlist" => args.netlist = true,
@@ -259,9 +287,12 @@ fn parse_args() -> Result<Args, String> {
             positional => args.files.push(positional.to_string()),
         }
     }
-    // `serve` addresses a socket, not files; `client --shutdown` sends a
-    // bodyless control request. Everything else needs an operand.
-    let fileless = args.command == "serve" || (args.command == "client" && args.shutdown);
+    // `serve` addresses a socket, not files; `client --shutdown` and
+    // `client --stats` send bodyless control requests; `bench` builds its
+    // own workload. Everything else needs an operand.
+    let fileless = args.command == "serve"
+        || args.command == "bench"
+        || (args.command == "client" && (args.shutdown || args.stats));
     if args.files.is_empty() && !fileless {
         return Err(usage());
     }
@@ -550,6 +581,11 @@ fn run_client(args: &Args, options: &CompareOptions) -> Result<(), String> {
             return Err("client --shutdown takes no spec operands".to_string());
         }
         "{\"shutdown\": true}".to_string()
+    } else if args.stats {
+        if !args.files.is_empty() {
+            return Err("client --stats takes no spec operands".to_string());
+        }
+        "{\"stats\": true}".to_string()
     } else {
         let study = sharded_study(args, options)?;
         serde_json::to_string(&study).map_err(|e| e.to_string())?
@@ -572,6 +608,12 @@ fn run_client(args: &Args, options: &CompareOptions) -> Result<(), String> {
     }
     if args.shutdown {
         println!("server acknowledged shutdown");
+        return Ok(());
+    }
+    if args.stats {
+        // The introspection line is already machine-readable; print it
+        // verbatim so scripts can parse counters straight off stdout.
+        println!("{line}");
         return Ok(());
     }
     if args.json {
@@ -612,6 +654,39 @@ fn run_client(args: &Args, options: &CompareOptions) -> Result<(), String> {
     Ok(())
 }
 
+/// `bench`: the performance-trajectory harness — engine throughput, cache
+/// speedup, serve round-trip percentiles, shard scaling and the
+/// trace/stats cross-check, as one JSON document or a text summary.
+fn run_bench(args: &Args) -> Result<(), String> {
+    if !args.files.is_empty() {
+        return Err("bench takes no operands (it builds its own workload)".to_string());
+    }
+    let report = bench::run(&bench::BenchOptions { quick: args.quick })
+        .map_err(|e| format!("bench: {e}"))?;
+    if args.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.summary());
+    }
+    if !report.trace_check.consistent() {
+        return Err("bench: trace events disagree with engine statistics".to_string());
+    }
+    Ok(())
+}
+
+/// `report normalize`: rewrite a study-report JSON document with the
+/// run-shape fields (`elapsed_ms`, `workers`) blanked, so reports from
+/// runs with different worker counts or timings can be byte-compared.
+fn run_report(args: &Args) -> Result<(), String> {
+    match args.files.as_slice() {
+        [action, path] if action == "normalize" => {
+            print!("{}", bittrans::engine::report::normalize_run_shape(&read_source(path)?));
+            Ok(())
+        }
+        _ => Err("usage: bittrans report normalize <report.json|->".to_string()),
+    }
+}
+
 /// `cache prune`: one size/age eviction sweep over a cache directory.
 fn run_cache(args: &Args) -> Result<(), String> {
     match args.files[0].as_str() {
@@ -643,15 +718,34 @@ fn run_cache(args: &Args) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    // Install the trace collector before any work runs. `shard-worker`
+    // skips the environment path: every worker of one coordinator inherits
+    // the same BITTRANS_TRACE value, and concurrent whole-file rewrites of
+    // one trace file would leave whichever worker flushed last.
+    if let Some(path) = &args.trace_out {
+        trace::install_file(path);
+    } else if args.command != "shard-worker" {
+        trace::install_from_env();
+    }
+    let result = run_command(&args);
+    if let Err(e) = trace::flush() {
+        eprintln!("warning: writing trace: {e}");
+    }
+    result
+}
+
+fn run_command(args: &Args) -> Result<(), String> {
     let options =
         CompareOptions::builder().adder_arch(args.adder).build().map_err(|e| e.to_string())?;
     match args.command.as_str() {
-        "batch" => return run_batch(&args, &options),
-        "explore" => return run_explore(&args, &options),
-        "shard-worker" => return run_shard_worker(&args),
-        "cache" => return run_cache(&args),
-        "serve" => return run_serve(&args),
-        "client" => return run_client(&args, &options),
+        "batch" => return run_batch(args, &options),
+        "explore" => return run_explore(args, &options),
+        "shard-worker" => return run_shard_worker(args),
+        "cache" => return run_cache(args),
+        "serve" => return run_serve(args),
+        "client" => return run_client(args, &options),
+        "bench" => return run_bench(args),
+        "report" => return run_report(args),
         command if args.json && command != "sweep" => {
             return Err(format!("--json is not supported by `{command}`"));
         }
@@ -748,7 +842,7 @@ fn run() -> Result<(), String> {
             let report = Study::single(spec.clone())
                 .latencies(args.from..=args.to)
                 .base_options(options)
-                .run(&make_engine(&args)?);
+                .run(&make_engine(args)?);
             let points = report.sweep_points();
             if args.json {
                 let json = serde_json::to_string_pretty(&points).map_err(|e| e.to_string())?;

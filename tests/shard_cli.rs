@@ -27,14 +27,11 @@ fn strip_elapsed(json: &str) -> String {
     bittrans::engine::report::strip_elapsed_ms(json)
 }
 
-/// Additionally drops `workers`, which legitimately differs once a shard
-/// died (its pool is no longer part of the sum).
+/// Additionally blanks `workers`, which legitimately differs once a shard
+/// died (its pool is no longer part of the sum) — the same normalization
+/// `bittrans report normalize` applies.
 fn strip_run_shape(json: &str) -> String {
-    strip_elapsed(json)
-        .lines()
-        .filter(|line| !line.contains("\"workers\""))
-        .collect::<Vec<_>>()
-        .join("\n")
+    bittrans::engine::report::normalize_run_shape(json)
 }
 
 fn stat(json: &str, field: &str) -> u64 {
