@@ -15,7 +15,10 @@
 //!   ([`crate::proto`]);
 //! * **sharding** — wall-clock of the same study dispatched over 1 and 2
 //!   single-threaded serve endpoints by [`shard::run_sharded`]'s remote
-//!   transport, with scaling efficiency.
+//!   transport, with scaling efficiency;
+//! * **multi_tenant** — small-tenant round-trip p50/p99 while a large
+//!   grid saturates a width-1 server, the fairness cost the scheduler's
+//!   round-robin interleaving ([`crate::sched`]) is supposed to bound.
 //!
 //! A fifth group, **trace_check**, cross-checks the observability layer
 //! against the statistics layer: it runs a cold+warm batch under the
@@ -106,6 +109,22 @@ pub struct ServePoint {
     pub p99: Duration,
 }
 
+/// Small-tenant latency behind a large tenant on a deliberately narrow
+/// (width-1) server — the fairness measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiTenantPoint {
+    /// Cells in the large tenant's saturating grid.
+    pub large_cells: u64,
+    /// Small (2-cell, always-cold) requests measured behind it.
+    pub small_requests: usize,
+    /// Median small-tenant round trip while the large grid runs.
+    pub small_p50: Duration,
+    /// 99th-percentile small-tenant round trip.
+    pub small_p99: Duration,
+    /// The large tenant's own round trip.
+    pub large_elapsed: Duration,
+}
+
 /// One shard-count scaling measurement.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardPoint {
@@ -151,12 +170,15 @@ pub struct BenchReport {
     /// Sharded scaling, ascending shard counts (first entry is the
     /// single-shard baseline).
     pub sharding: Vec<ShardPoint>,
+    /// Small-tenant latency behind a saturating large tenant.
+    pub multi_tenant: MultiTenantPoint,
     /// Trace/stats cross-check.
     pub trace_check: TraceCheck,
 }
 
 /// Identifies the document layout; bumped if fields change shape.
-pub const SCHEMA: &str = "bittrans-bench-v1";
+/// v2 added the `multi_tenant` group.
+pub const SCHEMA: &str = "bittrans-bench-v2";
 
 impl BenchReport {
     /// The report as one pretty-printed JSON document (the committed
@@ -196,6 +218,15 @@ impl BenchReport {
             self.serve.requests,
             self.serve.p50.as_secs_f64() * 1e3,
             self.serve.p99.as_secs_f64() * 1e3,
+        ));
+        out.push_str(&format!(
+            "  \"multi_tenant\": {{\"large_cells\": {}, \"small_requests\": {}, \
+             \"small_p50_ms\": {:.3}, \"small_p99_ms\": {:.3}, \"large_elapsed_ms\": {:.3}}},\n",
+            self.multi_tenant.large_cells,
+            self.multi_tenant.small_requests,
+            self.multi_tenant.small_p50.as_secs_f64() * 1e3,
+            self.multi_tenant.small_p99.as_secs_f64() * 1e3,
+            self.multi_tenant.large_elapsed.as_secs_f64() * 1e3,
         ));
         out.push_str("  \"sharding\": [\n");
         let baseline = self.sharding.first().map_or(Duration::ZERO, |p| p.elapsed);
@@ -253,6 +284,14 @@ impl BenchReport {
             self.serve.p99.as_secs_f64() * 1e3,
             self.serve.requests,
             self.serve.clients,
+        ));
+        out.push_str(&format!(
+            "  multi-tenant: small p50 {:.2} ms / p99 {:.2} ms behind a {}-cell grid \
+             ({:.1} ms)\n",
+            self.multi_tenant.small_p50.as_secs_f64() * 1e3,
+            self.multi_tenant.small_p99.as_secs_f64() * 1e3,
+            self.multi_tenant.large_cells,
+            self.multi_tenant.large_elapsed.as_secs_f64() * 1e3,
         ));
         for point in &self.sharding {
             out.push_str(&format!(
@@ -340,6 +379,7 @@ pub fn run(options: &BenchOptions) -> io::Result<BenchReport> {
     let cache = measure_cache(&jobs);
     let serve = measure_serve(&workload, options.quick)?;
     let sharding = measure_sharding(&workload)?;
+    let multi_tenant = measure_multi_tenant(&workload, options.quick)?;
     let trace_check = measure_trace_check(&jobs);
 
     Ok(BenchReport {
@@ -349,6 +389,7 @@ pub fn run(options: &BenchOptions) -> io::Result<BenchReport> {
         cache,
         serve,
         sharding,
+        multi_tenant,
         trace_check,
     })
 }
@@ -380,7 +421,8 @@ fn measure_cache(jobs: &[Job]) -> CachePoint {
 
 /// Concurrent clients round-tripping a small study against an in-process
 /// server; the engine is warm after each client's first request, so the
-/// distribution mostly measures the protocol and the run-lock queue.
+/// distribution mostly measures the protocol and the scheduler's
+/// admission path.
 fn measure_serve(workload: &Workload, quick: bool) -> io::Result<ServePoint> {
     let server = Server::bind(&ServeOptions::default())?;
     let addr = server.local_addr().to_string();
@@ -420,6 +462,66 @@ fn measure_serve(workload: &Workload, quick: bool) -> io::Result<ServePoint> {
         }
     };
     Ok(ServePoint { clients, requests: samples.len(), p50: percentile(50), p99: percentile(99) })
+}
+
+/// Small 2-cell tenants round-tripping against a deliberately width-1
+/// server that a large grid is saturating. Every small request uses a
+/// fresh spec (always cold), so the p50/p99 measure how quickly the fair
+/// scheduler interleaves a newcomer's two tasks into a long backlog —
+/// under the old per-request run lock these latencies would approach the
+/// large tenant's whole wall clock.
+fn measure_multi_tenant(workload: &Workload, quick: bool) -> io::Result<MultiTenantPoint> {
+    let server = Server::bind(&ServeOptions { workers: Some(1), ..ServeOptions::default() })?;
+    let addr = server.local_addr().to_string();
+    let server = std::thread::spawn(move || server.run());
+    let timeout = Duration::from_secs(300);
+
+    let large_body = serde_json::to_string(&workload.sharded_study()).expect("study serializes");
+    let large_cells = (workload.sources.len() * workload.latencies.len()) as u64;
+    let addr_large = addr.clone();
+    let large = std::thread::spawn(move || -> io::Result<Duration> {
+        let mut client = proto::LineClient::connect(&addr_large, timeout)?;
+        let started = Instant::now();
+        client.request(&large_body)?;
+        Ok(started.elapsed())
+    });
+
+    // Give the large grid a head start onto the scheduler so the small
+    // tenants demonstrably arrive behind its backlog.
+    std::thread::sleep(Duration::from_millis(if quick { 20 } else { 100 }));
+    let small_requests = if quick { 2 } else { 8 };
+    let mut samples = Vec::new();
+    let mut client = proto::LineClient::connect(&addr, timeout)?;
+    for i in 0..small_requests {
+        let body = format!(
+            "{{\"sources\": [\"spec tenant{i} {{ input a: u8; input b: u8; \
+             s: u8 = a + b; output s; }}\"], \"latencies\": [2, 3]}}"
+        );
+        let started = Instant::now();
+        client.request(&body)?;
+        samples.push(started.elapsed());
+    }
+    let large_elapsed = large.join().expect("large tenant thread")?;
+    samples.sort_unstable();
+
+    let mut shutdown = proto::LineClient::connect(&addr, timeout)?;
+    let _ = shutdown.request("{\"shutdown\":true}");
+    let _ = server.join();
+
+    let percentile = |p: usize| -> Duration {
+        if samples.is_empty() {
+            Duration::ZERO
+        } else {
+            samples[(samples.len() - 1) * p / 100]
+        }
+    };
+    Ok(MultiTenantPoint {
+        large_cells,
+        small_requests: samples.len(),
+        small_p50: percentile(50),
+        small_p99: percentile(99),
+        large_elapsed,
+    })
 }
 
 /// The same study dispatched over 1 and 2 single-threaded in-process
@@ -522,6 +624,8 @@ mod tests {
         assert!(report.cache.warm_hits == report.jobs as u64);
         assert!(report.serve.requests > 0);
         assert_eq!(report.sharding.len(), 2);
+        assert_eq!(report.multi_tenant.small_requests, 2);
+        assert!(report.multi_tenant.large_cells > 0);
         assert!(
             report.trace_check.consistent(),
             "trace {:?} disagrees with stats",
@@ -532,7 +636,7 @@ mod tests {
         let json = report.to_json();
         let value: Value = serde_json::from_str(&json).expect("bench JSON parses");
         assert_eq!(value.get("schema").and_then(Value::as_str), Some(SCHEMA));
-        for group in ["throughput", "cache", "serve", "sharding", "trace_check"] {
+        for group in ["throughput", "cache", "serve", "multi_tenant", "sharding", "trace_check"] {
             assert!(value.get(group).is_some(), "missing `{group}` in {json}");
         }
         assert_eq!(

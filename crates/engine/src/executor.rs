@@ -7,8 +7,10 @@
 //! schedules them.
 
 use crate::trace;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Applies `f` to every task on `workers` threads, returning results in
@@ -20,7 +22,11 @@ use std::time::Instant;
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the pool is torn down first).
+/// Propagates the **first** panic from `f` with its original payload.
+/// Sibling workers stop pulling tasks, finish their in-flight task, and
+/// exit cleanly — the pool is torn down before the payload is rethrown,
+/// so the caller sees exactly what the task panicked with, never a
+/// poisoned-lock or scoped-thread surrogate.
 pub fn map_ordered<T, R, F>(tasks: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -48,25 +54,55 @@ where
         Mutex::new(tasks.into_iter().enumerate().collect::<Vec<_>>().into_iter());
     let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
 
+    // Panic containment: workers catch a panicking task, park the first
+    // payload here and raise the abort flag; `resume_unwind` after the
+    // scope rethrows it verbatim. Letting the panic unwind the worker
+    // thread instead would reach the caller as `std::thread::scope`'s
+    // generic "a scoped thread panicked" — the original payload lost —
+    // and any sibling that touched a mutex the panicking thread had
+    // poisoned would die on the poison instead of exiting cleanly.
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(task_count).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers.min(task_count) {
             let result_tx = result_tx.clone();
             let queue = &queue;
             let f = &f;
+            let first_panic = &first_panic;
+            let abort = &abort;
             scope.spawn(move || loop {
+                if abort.load(Ordering::SeqCst) {
+                    return;
+                }
                 // Take one task; don't hold the queue lock while working.
-                let next = queue.lock().expect("task queue lock").next();
+                // The iterator stays valid across a poisoning (it is only
+                // advanced, never left mid-update), so recover the guard.
+                let next = queue.lock().unwrap_or_else(PoisonError::into_inner).next();
                 match next {
                     Some((index, task)) => {
-                        let result = {
+                        let outcome = {
                             let _span = task_span(parent, index, enqueued);
-                            f(task)
+                            catch_unwind(AssertUnwindSafe(|| f(task)))
                         };
-                        // A send error means the receiver is gone because a
-                        // sibling worker panicked; just stop.
-                        if result_tx.send((index, result)).is_err() {
-                            return;
+                        match outcome {
+                            // A send error means the receiver is gone
+                            // because a sibling already panicked; stop.
+                            Ok(result) => {
+                                if result_tx.send((index, result)).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(payload) => {
+                                abort.store(true, Ordering::SeqCst);
+                                let mut slot =
+                                    first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                return;
+                            }
                         }
                     }
                     None => return,
@@ -79,6 +115,9 @@ where
         }
     });
 
+    if let Some(payload) = first_panic.lock().unwrap_or_else(PoisonError::into_inner).take() {
+        resume_unwind(payload);
+    }
     slots.into_iter().map(|slot| slot.expect("worker pool completed every task")).collect()
 }
 
@@ -132,6 +171,34 @@ mod tests {
             seen.lock().unwrap().insert(std::thread::current().id());
         });
         assert_eq!(seen.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn a_panicking_task_propagates_its_original_payload() {
+        // Regression: the panic used to unwind the worker thread, so the
+        // caller saw `std::thread::scope`'s generic "a scoped thread
+        // panicked" message and sibling workers could die on the poisoned
+        // task-queue mutex. The original payload must surface.
+        for workers in [2, 4, 8] {
+            let caught = std::panic::catch_unwind(|| {
+                map_ordered((0..32).collect::<Vec<u32>>(), workers, |x| {
+                    if x == 3 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            });
+            let payload = caught.expect_err("the panic must propagate");
+            let text = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+                .unwrap_or_default();
+            assert!(
+                text.contains("boom at 3"),
+                "workers = {workers}: payload {text:?} is not the original panic"
+            );
+        }
     }
 
     #[test]

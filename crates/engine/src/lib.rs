@@ -73,6 +73,7 @@ pub mod key;
 mod persist;
 pub mod proto;
 pub mod report;
+pub mod sched;
 pub mod serve;
 pub mod shard;
 pub mod stats;
@@ -85,8 +86,8 @@ pub use job::{Job, JobOutcome, JobResult};
 pub use key::JobKey;
 pub use persist::{PrunePolicy, PruneReport};
 pub use report::{StudyCell, StudyReport};
-pub use serve::{ServeOptions, Server};
-pub use stats::{BatchReport, EndpointStats, EngineStats, ServiceStats};
+pub use serve::{ServeOptions, Server, DEFAULT_MAX_INFLIGHT};
+pub use stats::{BatchReport, EndpointStats, EngineStats, SchedStats, ServiceStats};
 pub use study::Study;
 
 use bittrans_core::{compare, SweepPoint};
@@ -205,6 +206,39 @@ impl Engine {
                 let disk = disk.lock().expect("cache index lock");
                 in_memory + disk.keys().filter(|key| self.cache.peek(key).is_none()).count()
             }
+        }
+    }
+
+    /// Admits one computed result: inserts it into the in-memory cache and
+    /// spills it to the attached directory (best-effort, same policy as
+    /// [`Engine::run`]'s batch spill). The scheduled `serve` path computes
+    /// jobs outside `Engine::run` and admits them one by one as they
+    /// finish, so concurrent requests see each other's results as early as
+    /// possible. A no-op with caching disabled.
+    pub(crate) fn admit(&self, key: JobKey, result: &Arc<JobResult>) {
+        if !self.options.cache {
+            return;
+        }
+        self.cache.insert(key, Arc::clone(result));
+        if let (Some(disk), Ok(comparison)) = (&self.disk, result.as_ref()) {
+            let _ = disk.lock().expect("cache index lock").save(key, comparison);
+        }
+    }
+
+    /// Flushes the cache directory's index manifest if admissions dirtied
+    /// it — the end-of-batch counterpart of [`Engine::admit`].
+    pub(crate) fn flush_disk(&self) {
+        if let Some(disk) = &self.disk {
+            disk.lock().expect("cache index lock").write_if_dirty();
+        }
+    }
+
+    /// Folds one request's hit/miss classification into the engine's
+    /// lifetime counters (inert with caching disabled), mirroring what
+    /// [`Engine::run`] records for a batch.
+    pub(crate) fn record_lifetime(&self, hits: u64, misses: u64) {
+        if self.options.cache {
+            self.cache.record(hits, misses);
         }
     }
 

@@ -199,6 +199,32 @@ impl LineClient {
         self.send(line)?;
         self.receive()
     }
+
+    /// Reads a **streaming** response: every `{"cell":…}` frame line
+    /// (sent when the request carried `"stream": true`) is handed to
+    /// `on_frame` as it arrives, and the first non-frame line — the
+    /// normal final response — is returned. Each line gets the full
+    /// per-read deadline ([`LineClient::receive`]), so a server steadily
+    /// streaming a large grid never times the client out between cells.
+    ///
+    /// Also correct against a non-streaming response (e.g. an `ok:false`
+    /// rejection of the `stream` field by an older server): the first
+    /// line is no frame, so it comes straight back with `on_frame` never
+    /// called.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`LineClient::receive`] reports.
+    pub fn receive_streaming(&mut self, mut on_frame: impl FnMut(&str)) -> io::Result<String> {
+        loop {
+            let line = self.receive()?;
+            if is_frame(&line) {
+                on_frame(&line);
+            } else {
+                return Ok(line);
+            }
+        }
+    }
 }
 
 fn stalled(buffered: usize) -> io::Error {
@@ -209,6 +235,24 @@ fn stalled(buffered: usize) -> io::Error {
         io::ErrorKind::TimedOut,
         "endpoint stalled: the response line timed out before completing",
     )
+}
+
+/// Whether a response line is a streaming cell frame (`{"cell":…}`).
+/// The server puts `cell` first in frames and `ok` first in final
+/// responses precisely so one prefix check classifies every line.
+pub fn is_frame(line: &str) -> bool {
+    line.starts_with("{\"cell\":")
+}
+
+/// Splits a streaming frame into its grid index and the exact
+/// [`crate::StudyCell`] JSON slice — no re-serialization, mirroring
+/// [`report_slice`]. `None` for anything that is not a well-formed
+/// `{"cell":…,"index":N}` frame line.
+pub fn frame_cell(line: &str) -> Option<(u64, &str)> {
+    let rest = line.strip_prefix("{\"cell\":")?;
+    let rest = rest.strip_suffix('}')?;
+    let (cell, index) = rest.rsplit_once(",\"index\":")?;
+    Some((index.parse().ok()?, cell))
 }
 
 /// The exact `StudyReport` bytes embedded in a successful response line —
@@ -301,6 +345,23 @@ mod tests {
         assert_eq!(report_slice(line), Some("{\"cells\":[]}"));
         assert!(report_slice("{\"ok\":true}").is_none(), "no report field");
         assert!(report_slice("{\"report\":{\"cells\":[").is_none(), "truncated line");
+    }
+
+    #[test]
+    fn frames_are_classified_and_sliced_by_prefix() {
+        let frame = "{\"cell\":{\"spec\":\"ex\",\"latency\":3},\"index\":7}";
+        assert!(is_frame(frame));
+        assert_eq!(frame_cell(frame), Some((7, "{\"spec\":\"ex\",\"latency\":3}")));
+        // A cell whose body itself contains an "index" key still splits
+        // at the frame-level field (rightmost occurrence).
+        let tricky = "{\"cell\":{\"a\":1,\"index\":9},\"index\":2}";
+        assert_eq!(frame_cell(tricky), Some((2, "{\"a\":1,\"index\":9}")));
+        for not_frame in ["{\"ok\":true}", "{\"ok\":false,\"error\":\"x\"}", "", "{\"cells\":[]}"] {
+            assert!(!is_frame(not_frame), "{not_frame}");
+            assert!(frame_cell(not_frame).is_none(), "{not_frame}");
+        }
+        assert!(frame_cell("{\"cell\":{},\"index\":notanum}").is_none());
+        assert!(frame_cell("{\"cell\":{}").is_none(), "truncated frame");
     }
 
     #[test]

@@ -5,10 +5,9 @@
 //!
 //! # Protocol
 //!
-//! One request per line, one response line per request, connections may
-//! carry any number of requests. A request is a **study body** — the same
-//! shape the shard [`Manifest`] embeds, read back by
-//! [`ShardedStudy::from_value`]:
+//! One request per line, connections may carry any number of requests. A
+//! request is a **study body** — the same shape the shard [`Manifest`]
+//! embeds, read back by [`ShardedStudy::from_value`]:
 //!
 //! ```text
 //! {"sources": ["spec ex { ... }"], "latencies": [3, 4],
@@ -42,16 +41,52 @@
 //! oversized body, whose line framing is unrecoverable — the connection
 //! stays usable.
 //!
+//! ## Streaming
+//!
+//! A study body carrying `"stream": true` asks for **progressive
+//! results**: as each grid cell's job resolves, the server writes one
+//! frame line
+//!
+//! ```text
+//! {"cell": {…StudyCell…}, "index": G}
+//! ```
+//!
+//! where `index` is the cell's grid position, before the normal final
+//! response line. Frames lead with `"cell"` and the final line with
+//! `"ok"`, so a reader classifies each line by prefix
+//! ([`crate::proto::is_frame`]); the final line's bytes are identical to
+//! the batch response for the same request over the same cache state, so
+//! streaming costs nothing in comparability. Cache hits stream first (in
+//! grid order); computed cells follow in completion order. `stream` is
+//! rejected on shard requests (their reply carries no cells).
+//!
 //! # Execution model
 //!
-//! Connections are handled by one thread each, but **studies execute one
-//! at a time** over the shared engine (a run lock): the worker pool
-//! already saturates the machine, so interleaving two grids would only
-//! thrash it — and serial execution makes each response a deterministic
-//! function of the request and the engine's resident key set, which is
-//! what lets the integration suite demand byte-identical reports. Cache
-//! hits earned by one client's request are visible to every later request
-//! from any client: that is the point of the service.
+//! Requests from all connections share one [`Scheduler`]: a persistent
+//! worker pool — as wide as the engine's worker count — fed by a fair
+//! per-request round-robin queue ([`crate::sched`]). Each study expands
+//! its grid, registers its distinct uncached jobs and enqueues them as
+//! one scheduling unit; workers grant every active request one task per
+//! pass, so a 2-cell study admitted behind a 10,000-cell one finishes
+//! after a handful of grants instead of waiting for the whole backlog
+//! (the old global run lock serialized entire studies). Determinism
+//! survives the interleaving because results slot back by index and
+//! reports assemble from keyed cells: each response is a function of the
+//! request and the cache state it observed, never of scheduling order.
+//!
+//! Concurrent requests wanting the **same** job never compute it twice:
+//! the first to classify a key registers it in a shared in-flight table,
+//! and later requests subscribe to that computation (counted as a cache
+//! hit — they do no pipeline work, exactly like a resident entry).
+//!
+//! Connections are **pipelined**: a client may send further requests
+//! before reading responses, up to [`ServeOptions::max_inflight`]
+//! concurrently executing studies per connection (beyond that, requests
+//! are rejected with a protocol error, never stalled). Responses are
+//! written in completion order, so a pipelining client must correlate
+//! them itself (or use one connection per outstanding request); a client
+//! that awaits each response before the next request observes exactly
+//! the old strictly-ordered protocol.
 //!
 //! # Shutdown
 //!
@@ -62,17 +97,22 @@
 //! temp-file + rename, so a killed server never leaves a half-written
 //! entry, and the next server warms straight back up from the directory.
 
-use crate::report::StudyReport;
+use crate::key::JobKey;
+use crate::report::{StudyCell, StudyReport};
+use crate::sched::Scheduler;
 use crate::shard::{self, ShardedStudy};
 use crate::stats::{EngineStats, ServiceStats};
 use crate::study::Study;
-use crate::{trace, Engine, EngineOptions, Job};
+use crate::{trace, Engine, EngineOptions, HitTier, Job, JobResult};
+use bittrans_core::compare;
 use serde_json::Value;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Default cap on one request line. A study body is source text plus axis
@@ -80,6 +120,12 @@ use std::time::{Duration, Instant};
 /// client, and reading it unbounded would let one connection exhaust the
 /// server's memory.
 pub const DEFAULT_MAX_REQUEST_BYTES: usize = 4 * 1024 * 1024;
+
+/// Default cap on concurrently executing studies per connection. One
+/// warm client legitimately pipelines a few requests; dozens in flight
+/// on a single connection is a runaway loop or abuse, and admitting them
+/// unbounded would let one socket monopolize the fair queue.
+pub const DEFAULT_MAX_INFLIGHT: usize = 8;
 
 /// Upper bound on a shard request's `shard_count`. Real fleets are a
 /// handful of machines; anything bigger is a typo or abuse, and a hard
@@ -110,6 +156,9 @@ pub struct ServeOptions {
     pub cache_dir: Option<PathBuf>,
     /// Reject request lines longer than this many bytes.
     pub max_request_bytes: usize,
+    /// Reject a connection's study/shard requests beyond this many
+    /// concurrently executing ones (a protocol error, never a stall).
+    pub max_inflight: usize,
 }
 
 impl Default for ServeOptions {
@@ -119,6 +168,7 @@ impl Default for ServeOptions {
             workers: None,
             cache_dir: None,
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
         }
     }
 }
@@ -130,11 +180,24 @@ pub struct Server {
     state: Arc<ServerState>,
 }
 
+/// One request's subscription to a job another request is computing: the
+/// subscriber's slot index and the sender of its collection channel.
+struct Waiter {
+    slot: usize,
+    tx: mpsc::Sender<(usize, Arc<JobResult>)>,
+}
+
 /// Everything handler threads share.
 struct ServerState {
     engine: Engine,
-    /// Serializes study execution; see the module docs.
-    run_lock: Mutex<()>,
+    /// The shared fair worker pool; see the module docs.
+    sched: Scheduler,
+    /// Jobs currently computing, by key: the first request to want a key
+    /// registers it here; later requests subscribe instead of recomputing.
+    /// The computing task admits its result to the cache **before**
+    /// removing the entry, so a request that misses the cache while
+    /// holding this lock always finds a live registration to join.
+    in_flight: Mutex<HashMap<JobKey, Vec<Waiter>>>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -148,6 +211,7 @@ struct ServerState {
     class_stats: AtomicU64,
     started: Instant,
     max_request_bytes: usize,
+    max_inflight: usize,
     local_addr: SocketAddr,
 }
 
@@ -159,6 +223,12 @@ impl ServerState {
             uptime: self.started.elapsed(),
             engine: self.engine.stats(),
         }
+    }
+
+    fn lock_in_flight(&self) -> std::sync::MutexGuard<'_, HashMap<JobKey, Vec<Waiter>>> {
+        // The table is a plain registry, valid at every step; recover a
+        // poisoned guard rather than letting one panic wedge the service.
+        self.in_flight.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -177,9 +247,11 @@ impl Server {
         };
         let listener = TcpListener::bind(options.addr.as_str())?;
         let local_addr = listener.local_addr()?;
+        let sched = Scheduler::new(engine.worker_count());
         let state = Arc::new(ServerState {
             engine,
-            run_lock: Mutex::new(()),
+            sched,
+            in_flight: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -189,6 +261,7 @@ impl Server {
             class_stats: AtomicU64::new(0),
             started: Instant::now(),
             max_request_bytes: options.max_request_bytes,
+            max_inflight: options.max_inflight.max(1),
             local_addr,
         });
         Ok(Server { listener, state })
@@ -219,7 +292,7 @@ impl Server {
                     // A long-lived process must not hoard finished handles.
                     handlers.retain(|h| !h.is_finished());
                     let state = Arc::clone(&self.state);
-                    handlers.push(std::thread::spawn(move || handle_connection(stream, &state)));
+                    handlers.push(std::thread::spawn(move || handle_connection(stream, state)));
                 }
                 Err(e) => {
                     // Transient accept failures (EMFILE under load) must
@@ -239,35 +312,44 @@ impl Server {
     }
 }
 
-/// What one request line resolved to.
-enum Outcome {
-    /// A response line to send; the connection keeps serving.
-    Reply(String),
+/// What one request line parsed to.
+enum Classified {
     /// A rejection to send; the connection keeps serving.
     Error(String),
     /// Acknowledge, then stop the whole service.
     Shutdown,
+    /// Pure introspection: answer the lifetime counters inline.
+    Stats,
+    /// A validated study (`coords` set for a shard request), to execute
+    /// on the shared scheduler.
+    Run { study: Study, coords: Option<(usize, usize)>, stream: bool },
 }
 
-/// Serves one connection: bounded line reads, one response per request.
-/// Returns (closing the connection) on EOF, I/O trouble, oversized
-/// requests, or service shutdown.
-fn handle_connection(stream: TcpStream, state: &ServerState) {
+/// Serves one connection: bounded line reads, one response per request,
+/// study/shard execution on per-request runner threads so requests from
+/// one connection pipeline (up to the in-flight cap). Returns — after
+/// joining the runners, so every admitted request is answered — on EOF,
+/// I/O trouble, oversized requests, or service shutdown.
+fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
     let peer = stream.peer_addr().map_or_else(|_| "?".to_string(), |a| a.to_string());
     // Idle reads wake periodically so shutdown can drain this thread, and
     // writes are bounded so a client that never reads its response cannot
     // pin the handler (both options are socket-wide, shared by the clone).
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let mut writer = match stream.try_clone() {
-        Ok(clone) => clone,
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    // Studies this connection has admitted and not yet answered. The
+    // reader loop is the only incrementer, so load-then-add is race-free.
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let mut runners: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
-        let line = match read_request_line(&mut reader, state) {
+        let line = match read_request_line(&mut reader, &state) {
             LineRead::Line(line) => line,
-            LineRead::Closed => return,
+            LineRead::Closed => break,
             LineRead::Oversized => {
                 state.errors.fetch_add(1, Ordering::SeqCst);
                 let message = format!(
@@ -277,50 +359,52 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                 trace::stderr_log("serve", "rejected", |a| {
                     a.str("peer", &peer).str("error", &message);
                 });
-                let _ = respond_error(&mut writer, &message);
+                let _ = respond_error(&writer, &message);
                 // Drain the rest of the oversized line before closing:
                 // dropping the socket with unread input queued makes the
                 // close an RST, which can destroy the error reply in
                 // transit before the client reads it.
                 drain_line(&mut reader);
-                return;
+                break;
             }
         };
         if line.is_empty() {
             continue; // blank keep-alive line
         }
+        runners.retain(|h| !h.is_finished());
         // Every received request line gets a process-unique id; it ties
         // the structured log lines below to the request's trace span.
         let req = state.next_request.fetch_add(1, Ordering::SeqCst) + 1;
-        let _span = trace::span_attrs("serve.request", |a| {
-            a.num("req", req).str("peer", &peer);
-        });
-        match process_request(&line, state, &peer, req) {
-            Outcome::Reply(response) => {
-                if write_line(&mut writer, &response).is_err() {
-                    // The client vanished mid-run. Its study already ran
-                    // (and warmed the cache for everyone else); only the
-                    // reply is lost.
-                    trace::stderr_log("serve", "client_gone", |a| {
-                        a.num("req", req).str("peer", &peer);
-                    });
-                    return;
-                }
-            }
-            Outcome::Error(message) => {
+        match classify_request(&line, &state) {
+            Classified::Error(message) => {
+                let _span = trace::span_attrs("serve.request", |a| {
+                    a.num("req", req).str("peer", &peer);
+                });
                 state.errors.fetch_add(1, Ordering::SeqCst);
                 trace::stderr_log("serve", "rejected", |a| {
                     a.num("req", req).str("peer", &peer).str("error", &message);
                 });
-                if respond_error(&mut writer, &message).is_err() {
-                    return;
+                if respond_error(&writer, &message).is_err() {
+                    break;
                 }
             }
-            Outcome::Shutdown => {
+            Classified::Stats => {
+                let _span = trace::span_attrs("serve.request", |a| {
+                    a.num("req", req).str("peer", &peer);
+                });
+                state.class_stats.fetch_add(1, Ordering::SeqCst);
+                trace::stderr_log("serve", "stats", |a| {
+                    a.num("req", req).str("peer", &peer);
+                });
+                if write_line(&writer, &stats_reply(&state)).is_err() {
+                    break;
+                }
+            }
+            Classified::Shutdown => {
                 trace::stderr_log("serve", "shutdown", |a| {
                     a.num("req", req).str("peer", &peer);
                 });
-                let _ = write_line(&mut writer, "{\"ok\":true,\"shutdown\":true}");
+                let _ = write_line(&writer, "{\"ok\":true,\"shutdown\":true}");
                 state.shutdown.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the flag. A wildcard
                 // bind (0.0.0.0 / ::) is not connectable on every
@@ -334,9 +418,61 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                     });
                 }
                 let _ = TcpStream::connect(wake);
-                return;
+                break;
+            }
+            Classified::Run { study, coords, stream } => {
+                if inflight.load(Ordering::SeqCst) >= state.max_inflight {
+                    let message = format!(
+                        "too many in-flight studies on this connection (limit {}); \
+                         read a response before sending the next request",
+                        state.max_inflight
+                    );
+                    state.errors.fetch_add(1, Ordering::SeqCst);
+                    trace::stderr_log("serve", "rejected", |a| {
+                        a.num("req", req).str("peer", &peer).str("error", &message);
+                    });
+                    if respond_error(&writer, &message).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                inflight.fetch_add(1, Ordering::SeqCst);
+                let state = Arc::clone(&state);
+                let writer = Arc::clone(&writer);
+                let inflight = Arc::clone(&inflight);
+                let peer = peer.clone();
+                runners.push(std::thread::spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let _span = trace::span_attrs("serve.request", |a| {
+                            a.num("req", req).str("peer", &peer);
+                        });
+                        match coords {
+                            Some((index, count)) => {
+                                run_shard_request(
+                                    &state, &study, index, count, req, &peer, &writer,
+                                );
+                            }
+                            None => run_study_request(&state, &study, stream, req, &peer, &writer),
+                        }
+                    }));
+                    if outcome.is_err() {
+                        // "Never happens" on validated studies, but a
+                        // service must outlive it: answer with an error
+                        // instead of silently dropping the request.
+                        state.errors.fetch_add(1, Ordering::SeqCst);
+                        trace::stderr_log("serve", "request_panicked", |a| {
+                            a.num("req", req).str("peer", &peer);
+                        });
+                        let _ =
+                            respond_error(&writer, "internal error: request execution panicked");
+                    }
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                }));
             }
         }
+    }
+    for runner in runners {
+        let _ = runner.join();
     }
 }
 
@@ -427,18 +563,18 @@ fn finish_line(line: Vec<u8>) -> LineRead {
     }
 }
 
-/// Parses, validates and runs one request line.
-fn process_request(line: &str, state: &ServerState, peer: &str, req: u64) -> Outcome {
-    let value = match serde_json::from_str(line) {
+/// Parses and validates one request line, without running anything.
+fn classify_request(line: &str, state: &ServerState) -> Classified {
+    let value: Value = match serde_json::from_str(line) {
         Ok(value) => value,
-        Err(e) => return Outcome::Error(format!("bad request: {e}")),
+        Err(e) => return Classified::Error(format!("bad request: {e}")),
     };
     let Value::Object(fields) = &value else {
-        return Outcome::Error("bad request: body must be a JSON object".to_string());
+        return Classified::Error("bad request: body must be a JSON object".to_string());
     };
     match value.get("shutdown") {
-        Some(Value::Bool(true)) => return Outcome::Shutdown,
-        Some(_) => return Outcome::Error("bad request: `shutdown` must be `true`".to_string()),
+        Some(Value::Bool(true)) => return Classified::Shutdown,
+        Some(_) => return Classified::Error("bad request: `shutdown` must be `true`".to_string()),
         None => {}
     }
     // `{"stats":true}` is pure introspection: answer the lifetime
@@ -447,105 +583,70 @@ fn process_request(line: &str, state: &ServerState, peer: &str, req: u64) -> Out
     match value.get("stats") {
         Some(Value::Bool(true)) => {
             if fields.len() > 1 {
-                return Outcome::Error("bad request: `stats` must be the only field".to_string());
+                return Classified::Error(
+                    "bad request: `stats` must be the only field".to_string(),
+                );
             }
-            state.class_stats.fetch_add(1, Ordering::SeqCst);
-            trace::stderr_log("serve", "stats", |a| {
-                a.num("req", req).str("peer", peer);
-            });
-            let service =
-                serde_json::to_string(&state.service_stats()).expect("service stats serialize");
-            return Outcome::Reply(format!(
-                "{{\"ok\":true,\"stats\":true,\"service\":{service},\
-                 \"classes\":{{\"study\":{},\"shard\":{},\"stats\":{}}}}}",
-                state.class_study.load(Ordering::SeqCst),
-                state.class_shard.load(Ordering::SeqCst),
-                state.class_stats.load(Ordering::SeqCst),
-            ));
+            return Classified::Stats;
         }
-        Some(_) => return Outcome::Error("bad request: `stats` must be `true`".to_string()),
+        Some(_) => return Classified::Error("bad request: `stats` must be `true`".to_string()),
         None => {}
     }
     // Strict field check: a typo'd axis must not silently collapse to the
     // default grid.
     for (key, _) in fields {
         let known = ShardedStudy::FIELDS.contains(&key.as_str())
-            || shard::SHARD_COORD_FIELDS.contains(&key.as_str());
+            || shard::SHARD_COORD_FIELDS.contains(&key.as_str())
+            || key == "stream";
         if !known {
-            return Outcome::Error(format!(
-                "unknown field `{key}` (expected {}, {}, or shutdown)",
+            return Classified::Error(format!(
+                "unknown field `{key}` (expected {}, {}, stream, or shutdown)",
                 ShardedStudy::FIELDS.join(", "),
                 shard::SHARD_COORD_FIELDS.join(", "),
             ));
         }
     }
+    let stream = match value.get("stream") {
+        None => false,
+        Some(Value::Bool(stream)) => *stream,
+        Some(_) => return Classified::Error("bad request: `stream` must be a boolean".to_string()),
+    };
     let coords = match shard_coords(&value) {
         Ok(coords) => coords,
-        Err(why) => return Outcome::Error(format!("bad request: {why}")),
+        Err(why) => return Classified::Error(format!("bad request: {why}")),
     };
+    if stream && coords.is_some() {
+        return Classified::Error(
+            "bad request: `stream` is not supported on shard requests \
+             (their reply carries no cells)"
+                .to_string(),
+        );
+    }
     let sharded = match ShardedStudy::from_value(&value) {
         Ok(sharded) => sharded,
-        Err(e) => return Outcome::Error(format!("bad request: {e}")),
+        Err(e) => return Classified::Error(format!("bad request: {e}")),
     };
     let study = match sharded.study() {
         Ok(study) => study,
-        Err(e) => return Outcome::Error(format!("bad request: {e}")),
+        Err(e) => return Classified::Error(format!("bad request: {e}")),
     };
     // Pre-validate axis ranges: Study::run panics on them (programmer
     // error in code-built grids), and a client's bad request must never
     // bring a worker thread down.
     if let Err(e) = study.check() {
-        return Outcome::Error(format!("bad request: {e}"));
+        return Classified::Error(format!("bad request: {e}"));
     }
-    if let Some((index, count)) = coords {
-        // A shard request: run the range, answer with the batch stats.
-        // The results travel through the shared store, so a server
-        // without one cannot usefully serve shards — reject loudly
+    if coords.is_some() && !state.engine.has_cache_dir() {
+        // A shard request's results travel through the shared store, so a
+        // server without one cannot usefully serve shards — reject loudly
         // instead of letting the coordinator recompute everything.
-        if !state.engine.has_cache_dir() {
-            return Outcome::Error(
-                "shard requests need a server started with --cache-dir \
-                 (the shared result store the coordinator reads)"
-                    .to_string(),
-            );
-        }
-        let stats = run_shard(shard::shard_slice(&study, index, count), state);
-        state.requests.fetch_add(1, Ordering::SeqCst);
-        state.class_shard.fetch_add(1, Ordering::SeqCst);
-        trace::stderr_log("serve", "shard", |a| {
-            a.num("req", req)
-                .str("peer", peer)
-                .num("shard_index", index as u64)
-                .num("shard_count", count as u64)
-                .num("jobs", stats.jobs)
-                .num("cache_hits", stats.cache_hits)
-                .num("cache_misses", stats.cache_misses);
-        });
-        let service =
-            serde_json::to_string(&state.service_stats()).expect("service stats serialize");
-        let stats = serde_json::to_string(&stats).expect("engine stats serialize");
-        return Outcome::Reply(format!(
-            "{{\"ok\":true,\"shard_index\":{index},\"shard_count\":{count},\
-             \"service\":{service},\"stats\":{stats}}}"
-        ));
+        return Classified::Error(
+            "shard requests need a server started with --cache-dir \
+             (the shared result store the coordinator reads)"
+                .to_string(),
+        );
     }
-    let report = run_study(&study, state);
-    state.requests.fetch_add(1, Ordering::SeqCst);
-    state.class_study.fetch_add(1, Ordering::SeqCst);
-    trace::stderr_log("serve", "report", |a| {
-        a.num("req", req)
-            .str("peer", peer)
-            .num("cells", report.cells.len() as u64)
-            .num("ok", report.successes().count() as u64)
-            .num("failed", report.failures().count() as u64)
-            .num("cache_hits", report.stats.cache_hits)
-            .num("cache_misses", report.stats.cache_misses)
-            .str("summary", &report.summary());
-    });
-    let service = serde_json::to_string(&state.service_stats()).expect("service stats serialize");
-    // `report` goes last so clients can slice the exact single-process
-    // StudyReport bytes out of the line; see the module docs.
-    Outcome::Reply(format!("{{\"ok\":true,\"service\":{service},\"report\":{}}}", report.to_json()))
+    Classified::Run { study, coords, stream }
 }
 
 /// Reads the optional shard coordinates off a request: both fields or
@@ -576,36 +677,331 @@ fn shard_coords(value: &Value) -> Result<Option<(usize, usize)>, String> {
     }
 }
 
-/// Runs one study under the run lock. A poisoned lock (a panic in a
-/// previous run — "never happens", but a service must outlive it) is
-/// recovered: the engine's state is a content-addressed cache, valid at
-/// every step, so continuing is safe.
-fn run_study(study: &Study, state: &ServerState) -> StudyReport {
-    let _guard = match state.run_lock.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    };
-    study.run(&state.engine)
+/// The `{"stats":true}` introspection reply: lifetime service counters,
+/// scheduler gauges, per-class answer counts.
+fn stats_reply(state: &ServerState) -> String {
+    let service = serde_json::to_string(&state.service_stats()).expect("service stats serialize");
+    let sched = serde_json::to_string(&state.sched.stats()).expect("sched stats serialize");
+    format!(
+        "{{\"ok\":true,\"stats\":true,\"service\":{service},\"sched\":{sched},\
+         \"classes\":{{\"study\":{},\"shard\":{},\"stats\":{}}}}}",
+        state.class_study.load(Ordering::SeqCst),
+        state.class_shard.load(Ordering::SeqCst),
+        state.class_stats.load(Ordering::SeqCst),
+    )
 }
 
-/// Runs one shard request's job range under the run lock (same poisoning
-/// recovery as [`run_study`]); every success spills into the shared
-/// store, and the batch statistics are the whole reply.
-fn run_shard(jobs: Vec<Job>, state: &ServerState) -> EngineStats {
-    let _guard = match state.run_lock.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    };
-    state.engine.run(jobs).stats
+/// What a scheduled execution resolved: every distinct key's shared
+/// result plus whether it was a hit (resident, or joined another
+/// request's in-flight computation), and the request-scoped statistics.
+struct ScheduledRun {
+    resolved: HashMap<JobKey, (Arc<JobResult>, bool)>,
+    stats: EngineStats,
 }
 
-fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+/// Executes one request's distinct jobs through the shared scheduler.
+///
+/// Classification happens under the in-flight registry lock: each key is
+/// either resident (hit), computing on behalf of another request
+/// (subscribe — a hit), or registered and enqueued here (miss). The
+/// per-request statistics mirror [`Engine::run`]'s exactly — same
+/// hit/miss semantics, `workers` clamped to the computed-job count,
+/// `cache_entries` the request's distinct-key count (what a fresh
+/// single-process engine would hold after the same grid) — which is what
+/// keeps served reports byte-identical to `Study::run` references.
+///
+/// `on_resolved` fires once per distinct key, hits first (in slot
+/// order), computed and subscribed keys in completion order — the
+/// streaming hook.
+///
+/// # Panics
+///
+/// If a scheduled job's worker caught a panic (the result can never
+/// arrive). This request's dangling registrations are cleaned up first
+/// so sibling requests fail fast instead of hanging; the per-connection
+/// runner catches the panic and answers with a protocol error.
+fn run_scheduled(
+    state: &Arc<ServerState>,
+    jobs: &[Job],
+    mut on_resolved: impl FnMut(&JobKey, &Arc<JobResult>, bool),
+) -> ScheduledRun {
+    let started = Instant::now();
+    let total = jobs.len();
+    let keys: Vec<JobKey> = jobs.iter().map(Job::key).collect();
+    let (tx, rx) = mpsc::channel::<(usize, Arc<JobResult>)>();
+    let mut resolved: HashMap<JobKey, (Arc<JobResult>, bool)> = HashMap::with_capacity(total);
+    let mut hits: u64 = 0;
+    let mut to_compute: Vec<(usize, JobKey)> = Vec::new();
+    let mut immediate: Vec<(JobKey, Arc<JobResult>)> = Vec::new();
+    let mut slot_is_hit = vec![false; total];
+    let mut pending: usize = 0;
+    {
+        // Classify every key under one registry lock hold, so a request
+        // observes each key atomically: resident, in-flight, or absent —
+        // never the gap between a sibling's admission and its
+        // deregistration (admission happens first; see `in_flight`).
+        let mut in_flight = state.lock_in_flight();
+        let mut seen: HashSet<JobKey> = HashSet::with_capacity(total);
+        for (slot, key) in keys.iter().enumerate() {
+            if !seen.insert(*key) {
+                // An in-request duplicate (callers pass deduplicated
+                // lists, but the invariant is cheap to keep local): it
+                // shares the first slot's result and counts as a hit,
+                // exactly like Engine::run's in-batch duplicates.
+                hits += 1;
+                slot_is_hit[slot] = true;
+                continue;
+            }
+            if let Some(tier) = state.engine.lookup(key) {
+                hits += 1;
+                slot_is_hit[slot] = true;
+                trace::event("job", |a| {
+                    a.str("key", &key.to_string()).str(
+                        "provenance",
+                        match tier {
+                            HitTier::Memory => "memory",
+                            HitTier::Disk => "disk",
+                        },
+                    );
+                });
+                let result = state.engine.cache.peek(key).expect("looked-up key is resident");
+                immediate.push((*key, result));
+            } else if let Some(waiters) = in_flight.get_mut(key) {
+                // Another request is computing this key right now:
+                // subscribe to that computation instead of repeating it.
+                hits += 1;
+                slot_is_hit[slot] = true;
+                trace::event("job", |a| {
+                    a.str("key", &key.to_string()).str("provenance", "in-flight");
+                });
+                waiters.push(Waiter { slot, tx: tx.clone() });
+                pending += 1;
+            } else {
+                in_flight.insert(*key, Vec::new());
+                to_compute.push((slot, *key));
+            }
+        }
+    }
+    let misses = to_compute.len() as u64;
+    let workers = state.engine.worker_count().min(to_compute.len().max(1));
+    pending += to_compute.len();
+    let owned = to_compute.clone();
+
+    // Deliver the immediate hits (outside the registry lock — the
+    // callback may write to a socket).
+    for (key, result) in immediate {
+        resolved.insert(key, (Arc::clone(&result), true));
+        on_resolved(&key, &result, true);
+    }
+
+    // Enqueue the misses as one fairness unit on the shared pool.
+    let parent = trace::current_span_id();
+    let tasks: Vec<crate::sched::Task> = to_compute
+        .into_iter()
+        .map(|(slot, key)| {
+            let job = jobs[slot].clone();
+            let state = Arc::clone(state);
+            let tx = tx.clone();
+            Box::new(move || {
+                let _span = trace::span_under(parent, "serve.job", |a| {
+                    a.num("slot", slot as u64);
+                });
+                let result = Arc::new(compare(&job.spec, job.latency, &job.options));
+                trace::event("job", |a| {
+                    a.str("key", &key.to_string())
+                        .str("provenance", "computed")
+                        .flag("ok", result.is_ok());
+                });
+                // Admit before deregistering, so no classifier can fall
+                // into the gap between the two (see `in_flight`).
+                state.engine.admit(key, &result);
+                let waiters = state.lock_in_flight().remove(&key).unwrap_or_default();
+                let _ = tx.send((slot, Arc::clone(&result)));
+                for waiter in waiters {
+                    let _ = waiter.tx.send((waiter.slot, Arc::clone(&result)));
+                }
+            }) as crate::sched::Task
+        })
+        .collect();
+    drop(tx);
+    state.sched.submit(tasks);
+
+    // Collect exactly the owed results; completion order is scheduling
+    // order, but slots key everything back deterministically.
+    while pending > 0 {
+        match rx.recv() {
+            Ok((slot, result)) => {
+                pending -= 1;
+                let key = keys[slot];
+                let hit = slot_is_hit[slot];
+                resolved.insert(key, (Arc::clone(&result), hit));
+                on_resolved(&key, &result, hit);
+            }
+            Err(_) => {
+                // Every sender is gone with results still owed: a
+                // scheduled job panicked (its worker caught it, so the
+                // send never happened). Drop this request's dangling
+                // registrations — which drops its subscribers' senders,
+                // so they fail fast the same way instead of hanging —
+                // then surface the failure.
+                {
+                    let mut in_flight = state.lock_in_flight();
+                    for (_, key) in &owned {
+                        if !resolved.contains_key(key) {
+                            in_flight.remove(key);
+                        }
+                    }
+                }
+                panic!("a scheduled job died before reporting its result");
+            }
+        }
+    }
+
+    state.engine.flush_disk();
+    state.engine.record_lifetime(hits, misses);
+    let stats = EngineStats {
+        jobs: total as u64,
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_entries: total,
+        workers,
+        elapsed: started.elapsed(),
+    };
+    ScheduledRun { resolved, stats }
+}
+
+/// Builds the [`StudyCell`] for one grid cell from its resolved result.
+fn make_cell(job: &Job, key: JobKey, result: &Arc<JobResult>, from_cache: bool) -> StudyCell {
+    StudyCell {
+        spec: job.spec.name().to_string(),
+        latency: job.latency,
+        adder_arch: job.options.adder_arch,
+        balance: job.options.balance,
+        verify_vectors: job.options.verify_vectors,
+        key,
+        from_cache,
+        result: Arc::clone(result),
+    }
+}
+
+/// Runs one study request on the scheduler and writes its response (and,
+/// when streaming, a cell frame per grid cell as results resolve).
+fn run_study_request(
+    state: &Arc<ServerState>,
+    study: &Study,
+    stream: bool,
+    req: u64,
+    peer: &str,
+    writer: &Mutex<TcpStream>,
+) {
+    let grid = study.dedup();
+    // Grid cells per key, in grid order: the streaming path fans each
+    // resolved key back out to every cell it covers, first occurrence
+    // carrying the hit flag and the rest marked as in-grid duplicates —
+    // the same marking `assemble` gives the final report.
+    let mut cells_of_key: HashMap<JobKey, Vec<usize>> = HashMap::new();
+    if stream {
+        for (index, key) in grid.keys.iter().enumerate() {
+            cells_of_key.entry(*key).or_default().push(index);
+        }
+    }
+    let mut frames_ok = true;
+    let run = run_scheduled(state, &grid.distinct, |key, result, hit| {
+        if !stream || !frames_ok {
+            return;
+        }
+        for (occurrence, &index) in cells_of_key.get(key).into_iter().flatten().enumerate() {
+            let cell = make_cell(&grid.cells[index], *key, result, hit || occurrence > 0);
+            let cell = serde_json::to_string(&cell).expect("study cell serializes");
+            let frame = format!("{{\"cell\":{cell},\"index\":{index}}}");
+            if write_line(writer, &frame).is_err() {
+                // The client stopped reading; stop framing but finish the
+                // computation — it warms the cache for everyone else.
+                frames_ok = false;
+                break;
+            }
+        }
+    });
+    let resolved = run.resolved;
+    let cells = crate::study::assemble(grid.cells, grid.keys, |key| {
+        let (result, hit) = &resolved[&key];
+        (Arc::clone(result), *hit)
+    });
+    let report = StudyReport { cells, stats: run.stats };
+    state.requests.fetch_add(1, Ordering::SeqCst);
+    state.class_study.fetch_add(1, Ordering::SeqCst);
+    trace::stderr_log("serve", "report", |a| {
+        a.num("req", req)
+            .str("peer", peer)
+            .num("cells", report.cells.len() as u64)
+            .num("ok", report.successes().count() as u64)
+            .num("failed", report.failures().count() as u64)
+            .num("cache_hits", report.stats.cache_hits)
+            .num("cache_misses", report.stats.cache_misses)
+            .str("summary", &report.summary());
+    });
+    let service = serde_json::to_string(&state.service_stats()).expect("service stats serialize");
+    // `report` goes last so clients can slice the exact single-process
+    // StudyReport bytes out of the line; see the module docs.
+    let line = format!("{{\"ok\":true,\"service\":{service},\"report\":{}}}", report.to_json());
+    if write_line(writer, &line).is_err() {
+        // The client vanished mid-run. Its study already ran (and warmed
+        // the cache for everyone else); only the reply is lost.
+        trace::stderr_log("serve", "client_gone", |a| {
+            a.num("req", req).str("peer", peer);
+        });
+    }
+}
+
+/// Runs one shard request's job range on the scheduler and writes the
+/// batch-statistics reply; every success spills into the shared store.
+fn run_shard_request(
+    state: &Arc<ServerState>,
+    study: &Study,
+    index: usize,
+    count: usize,
+    req: u64,
+    peer: &str,
+    writer: &Mutex<TcpStream>,
+) {
+    let jobs = shard::shard_slice(study, index, count);
+    let run = run_scheduled(state, &jobs, |_, _, _| {});
+    let stats = run.stats;
+    state.requests.fetch_add(1, Ordering::SeqCst);
+    state.class_shard.fetch_add(1, Ordering::SeqCst);
+    trace::stderr_log("serve", "shard", |a| {
+        a.num("req", req)
+            .str("peer", peer)
+            .num("shard_index", index as u64)
+            .num("shard_count", count as u64)
+            .num("jobs", stats.jobs)
+            .num("cache_hits", stats.cache_hits)
+            .num("cache_misses", stats.cache_misses);
+    });
+    let service = serde_json::to_string(&state.service_stats()).expect("service stats serialize");
+    let stats = serde_json::to_string(&stats).expect("engine stats serialize");
+    let line = format!(
+        "{{\"ok\":true,\"shard_index\":{index},\"shard_count\":{count},\
+         \"service\":{service},\"stats\":{stats}}}"
+    );
+    if write_line(writer, &line).is_err() {
+        trace::stderr_log("serve", "client_gone", |a| {
+            a.num("req", req).str("peer", peer);
+        });
+    }
+}
+
+/// Writes one response line. The mutex makes concurrent runner and
+/// reader writes line-atomic — frames and responses interleave only at
+/// line boundaries.
+fn write_line(writer: &Mutex<TcpStream>, line: &str) -> io::Result<()> {
+    let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);
     writer.write_all(line.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
 }
 
-fn respond_error(writer: &mut TcpStream, message: &str) -> io::Result<()> {
+fn respond_error(writer: &Mutex<TcpStream>, message: &str) -> io::Result<()> {
     let escaped = serde_json::to_string(message)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     write_line(writer, &format!("{{\"ok\":false,\"error\":{escaped}}}"))

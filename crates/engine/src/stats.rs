@@ -169,6 +169,77 @@ impl fmt::Display for EndpointStats {
     }
 }
 
+/// A snapshot of the fair scheduler's gauges ([`crate::sched::Scheduler::stats`]):
+/// how deep the shared queue is, how many requests are interleaving right
+/// now, and the lifetime dispatch counters. Served by the `serve` front
+/// end's `{"stats": true}` introspection so an operator can see queueing
+/// pressure without attaching a tracer.
+#[derive(Clone, Debug)]
+pub struct SchedStats {
+    /// Worker threads in the shared pool.
+    pub workers: usize,
+    /// Tasks enqueued and not yet handed to a worker.
+    pub queue_depth: u64,
+    /// Requests with at least one unfinished task.
+    pub active_requests: u64,
+    /// Requests ever admitted to the queue.
+    pub admitted_requests: u64,
+    /// Requests whose every task has finished.
+    pub completed_requests: u64,
+    /// Tasks handed to a worker so far.
+    pub dispatched_tasks: u64,
+    /// Tasks that finished (including panicked ones).
+    pub completed_tasks: u64,
+    /// Tasks whose closure panicked (caught; the pool survived).
+    pub panicked_tasks: u64,
+    /// Cumulative enqueue→dispatch wait summed over dispatched tasks.
+    pub total_wait: Duration,
+}
+
+impl SchedStats {
+    /// Mean enqueue→dispatch wait per dispatched task (zero when idle).
+    pub fn mean_wait(&self) -> Duration {
+        if self.dispatched_tasks == 0 {
+            Duration::ZERO
+        } else {
+            self.total_wait / u32::try_from(self.dispatched_tasks).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+impl Serialize for SchedStats {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("SchedStats", 10)?;
+        st.serialize_field("workers", &self.workers)?;
+        st.serialize_field("queue_depth", &self.queue_depth)?;
+        st.serialize_field("active_requests", &self.active_requests)?;
+        st.serialize_field("admitted_requests", &self.admitted_requests)?;
+        st.serialize_field("completed_requests", &self.completed_requests)?;
+        st.serialize_field("dispatched_tasks", &self.dispatched_tasks)?;
+        st.serialize_field("completed_tasks", &self.completed_tasks)?;
+        st.serialize_field("panicked_tasks", &self.panicked_tasks)?;
+        st.serialize_field("total_wait_ms", &(self.total_wait.as_secs_f64() * 1e3))?;
+        st.serialize_field("mean_wait_ms", &(self.mean_wait().as_secs_f64() * 1e3))?;
+        st.end()
+    }
+}
+
+impl fmt::Display for SchedStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} workers, {} queued, {} active / {} completed requests, \
+             {} tasks dispatched ({:.1} ms mean wait)",
+            self.workers,
+            self.queue_depth,
+            self.active_requests,
+            self.completed_requests,
+            self.dispatched_tasks,
+            self.mean_wait().as_secs_f64() * 1e3,
+        )
+    }
+}
+
 /// Process-lifetime counters of a long-running service front end
 /// ([`crate::serve`]), distinct from the **per-request** [`EngineStats`]
 /// that travel inside each response's report: a service answers many
@@ -345,6 +416,43 @@ mod tests {
         assert!(json.contains("\"stats\":{"), "{json}");
         let text = stats.to_string();
         assert!(text.contains("endpoint 127.0.0.1:4850: 2 shard(s) [0, 2]"), "{text}");
+    }
+
+    #[test]
+    fn sched_stats_serialize_and_display() {
+        let stats = SchedStats {
+            workers: 4,
+            queue_depth: 7,
+            active_requests: 2,
+            admitted_requests: 10,
+            completed_requests: 8,
+            dispatched_tasks: 100,
+            completed_tasks: 93,
+            panicked_tasks: 0,
+            total_wait: Duration::from_millis(200),
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"workers\":4"), "{json}");
+        assert!(json.contains("\"queue_depth\":7"), "{json}");
+        assert!(json.contains("\"active_requests\":2"), "{json}");
+        assert!(json.contains("\"total_wait_ms\":200"), "{json}");
+        assert!(json.contains("\"mean_wait_ms\":2"), "{json}");
+        assert!(serde_json::from_str(&json).is_ok(), "{json}");
+        let text = stats.to_string();
+        assert!(text.contains("4 workers, 7 queued"), "{text}");
+        // Idle scheduler divides by zero nowhere.
+        let idle = SchedStats {
+            workers: 1,
+            queue_depth: 0,
+            active_requests: 0,
+            admitted_requests: 0,
+            completed_requests: 0,
+            dispatched_tasks: 0,
+            completed_tasks: 0,
+            panicked_tasks: 0,
+            total_wait: Duration::ZERO,
+        };
+        assert_eq!(idle.mean_wait(), Duration::ZERO);
     }
 
     #[test]

@@ -11,11 +11,17 @@
 //! protocol abuse and vanishing clients must each cost one response (or
 //! one connection), never the service.
 
-use bittrans_engine::{Engine, EngineOptions, ServeOptions, Server, ServiceStats, Study};
+use bittrans_engine::{
+    proto, Engine, EngineOptions, ServeOptions, Server, ServiceStats, Study, DEFAULT_MAX_INFLIGHT,
+};
 use bittrans_ir::Spec;
+use bittrans_rtl::AdderArch;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 const SOURCE: &str = "spec srv { input A: u16; input B: u16; input D: u16; input F: u16;
   C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }";
@@ -27,11 +33,23 @@ const LATENCIES: [u32; 3] = [2, 3, 4];
 const WORKERS: usize = 2;
 
 fn start_server(max_request_bytes: usize) -> (SocketAddr, JoinHandle<ServiceStats>) {
+    start_server_with(max_request_bytes, WORKERS, DEFAULT_MAX_INFLIGHT)
+}
+
+/// Fully parameterized variant for the scheduler tests: the pool width
+/// sets the scheduler's worker count, `max_inflight` the per-connection
+/// pipelining cap.
+fn start_server_with(
+    max_request_bytes: usize,
+    workers: usize,
+    max_inflight: usize,
+) -> (SocketAddr, JoinHandle<ServiceStats>) {
     let server = Server::bind(&ServeOptions {
         addr: "127.0.0.1:0".to_string(),
-        workers: Some(WORKERS),
+        workers: Some(workers),
         cache_dir: None,
         max_request_bytes,
+        max_inflight,
     })
     .expect("bind loopback");
     let addr = server.local_addr();
@@ -101,10 +119,11 @@ fn concurrent_clients_get_single_process_reports_and_share_the_cache() {
     let (addr, handle) = start_server(1 << 20);
     let (cold_ref, warm_ref) = reference_reports();
 
-    // Three clients race the same study at the cold server. The run lock
-    // serializes execution, so exactly one pays the misses and the other
-    // two are served from the warm cache — every response byte-identical
-    // (modulo wall clock) to the corresponding single-process run.
+    // Three clients race the same study at the cold server. The
+    // in-flight registry lets exactly one request register (and compute)
+    // each key; the other two subscribe to those computations and are
+    // served as cache hits — every response byte-identical (modulo wall
+    // clock) to the corresponding single-process run.
     let clients: Vec<JoinHandle<String>> =
         (0..3).map(|_| std::thread::spawn(move || roundtrip(addr, &study_request()))).collect();
     let responses: Vec<String> = clients.into_iter().map(|c| c.join().expect("client")).collect();
@@ -252,6 +271,16 @@ fn stats_introspection_answers_without_disturbing_counters() {
     assert_eq!(classes.get("study").and_then(serde_json::Value::as_u64), Some(0), "{reply}");
     assert_eq!(classes.get("shard").and_then(serde_json::Value::as_u64), Some(0), "{reply}");
     assert_eq!(classes.get("stats").and_then(serde_json::Value::as_u64), Some(1), "{reply}");
+    // The scheduler gauges: a fresh pool at the configured width, with
+    // nothing queued, admitted or dispatched yet.
+    let sched = value.get("sched").expect("stats reply carries sched gauges");
+    let gauge = |name: &str| sched.get(name).and_then(serde_json::Value::as_u64);
+    assert_eq!(gauge("workers"), Some(WORKERS as u64), "{reply}");
+    assert_eq!(gauge("queue_depth"), Some(0), "{reply}");
+    assert_eq!(gauge("active_requests"), Some(0), "{reply}");
+    assert_eq!(gauge("admitted_requests"), Some(0), "{reply}");
+    assert_eq!(gauge("dispatched_tasks"), Some(0), "{reply}");
+    assert_eq!(gauge("panicked_tasks"), Some(0), "{reply}");
 
     // Run one study, then probe again: the study is visible in both the
     // lifetime counters and the per-class breakdown, and the probes still
@@ -265,6 +294,27 @@ fn stats_introspection_answers_without_disturbing_counters() {
     let classes = value.get("classes").expect("classes");
     assert_eq!(classes.get("study").and_then(serde_json::Value::as_u64), Some(1), "{reply}");
     assert_eq!(classes.get("stats").and_then(serde_json::Value::as_u64), Some(2), "{reply}");
+    // The study's trip through the scheduler is visible in the gauges:
+    // one request admitted and completed, one task per (cold) grid cell.
+    // The completion bookkeeping lands just after the response is written,
+    // so poll the (monotonic) completed-request gauge until it settles.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let sched = loop {
+        let reply = roundtrip(addr, "{\"stats\": true}");
+        let value: serde_json::Value = serde_json::from_str(&reply).expect("stats reply parses");
+        let sched = value.get("sched").expect("sched gauges").clone();
+        if sched.get("completed_requests").and_then(serde_json::Value::as_u64) == Some(1) {
+            break sched;
+        }
+        assert!(Instant::now() < deadline, "sched gauges never settled: {reply}");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    let gauge = |name: &str| sched.get(name).and_then(serde_json::Value::as_u64);
+    assert_eq!(gauge("admitted_requests"), Some(1), "{sched:?}");
+    assert_eq!(gauge("dispatched_tasks"), Some(LATENCIES.len() as u64), "{sched:?}");
+    assert_eq!(gauge("completed_tasks"), Some(LATENCIES.len() as u64), "{sched:?}");
+    assert_eq!(gauge("queue_depth"), Some(0), "{sched:?}");
+    assert_eq!(gauge("active_requests"), Some(0), "{sched:?}");
 
     // Malformed probes are ordinary recoverable rejections.
     let reply = roundtrip(addr, "{\"stats\": false}");
@@ -275,6 +325,220 @@ fn stats_introspection_answers_without_disturbing_counters() {
     let stats = shutdown(addr, handle);
     assert_eq!(stats.requests, 1, "stats probes must not count as requests");
     assert_eq!(stats.errors, 2);
+}
+
+/// A second tenant whose spec — and therefore every job key — is
+/// disjoint from `SOURCE`'s, so the fairness test's requests share no
+/// cache state.
+const SMALL_SOURCE: &str = "spec tiny { input a: u8; input b: u8; input c: u8;
+  s: u8 = a + b; t: u8 = s + c; output t; }";
+
+/// A 100-cell grid (25 latencies x 2 adders x 2 balance settings): big
+/// enough that a width-1 server is visibly busy while a small tenant
+/// arrives.
+fn large_request() -> String {
+    let source = serde_json::to_string(SOURCE).unwrap();
+    let latencies: Vec<String> = (2u32..=26).map(|l| l.to_string()).collect();
+    format!(
+        "{{\"sources\": [{source}], \"latencies\": [{}], \
+         \"adder_archs\": [\"rca\", \"cla\"], \"balance\": [true, false]}}",
+        latencies.join(", ")
+    )
+}
+
+fn small_request() -> String {
+    let source = serde_json::to_string(SMALL_SOURCE).unwrap();
+    format!("{{\"sources\": [{source}], \"latencies\": [2, 3]}}")
+}
+
+/// Sends `request` on its own connection and reports at which position
+/// (a shared arrival counter) its response line landed.
+fn timed_client(
+    addr: SocketAddr,
+    request: String,
+    order: &Arc<AtomicUsize>,
+) -> JoinHandle<(usize, String)> {
+    let order = Arc::clone(order);
+    std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        send_line(&mut stream, &request);
+        let line = read_response(&mut BufReader::new(stream));
+        (order.fetch_add(1, Ordering::SeqCst), line)
+    })
+}
+
+#[test]
+fn a_small_tenant_overtakes_a_large_one_and_both_match_single_process_runs() {
+    // Width 1 makes the interleaving observable: a run-to-completion
+    // server (the old per-request run lock) would hold the 2-cell tenant
+    // until the whole 100-cell grid drained, so the ordering assertion
+    // below fails without fair scheduling.
+    let (addr, handle) = start_server_with(1 << 20, 1, DEFAULT_MAX_INFLIGHT);
+
+    // References: each tenant's grid on its own fresh width-1 engine.
+    let large_ref = {
+        let engine = Engine::new(EngineOptions { workers: Some(1), cache: true });
+        Study::single(Spec::parse(SOURCE).unwrap())
+            .latencies(2..=26)
+            .adder_archs([AdderArch::RippleCarry, AdderArch::CarryLookahead])
+            .balance([true, false])
+            .run(&engine)
+            .to_json()
+    };
+    let small_ref = {
+        let engine = Engine::new(EngineOptions { workers: Some(1), cache: true });
+        Study::single(Spec::parse(SMALL_SOURCE).unwrap()).latencies([2, 3]).run(&engine).to_json()
+    };
+
+    let order = Arc::new(AtomicUsize::new(0));
+    let large_client = timed_client(addr, large_request(), &order);
+
+    // Only submit the small tenant once the large grid is demonstrably on
+    // the scheduler (`admitted_requests` is monotonic, so this poll
+    // cannot miss it).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let reply = roundtrip(addr, "{\"stats\": true}");
+        let value: serde_json::Value = serde_json::from_str(&reply).expect("stats reply parses");
+        let admitted = value
+            .get("sched")
+            .and_then(|s| s.get("admitted_requests"))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0);
+        if admitted >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "large study never reached the scheduler");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let small_client = timed_client(addr, small_request(), &order);
+
+    let (small_pos, small_line) = small_client.join().expect("small client");
+    let (large_pos, large_line) = large_client.join().expect("large client");
+    assert!(
+        small_pos < large_pos,
+        "the 2-cell study must finish before the 100-cell one \
+         (small landed {small_pos}, large {large_pos})"
+    );
+    // Fair interleaving must not cost correctness: both responses are
+    // byte-identical to their single-process references.
+    assert_eq!(strip_elapsed(report_slice(&small_line)), strip_elapsed(&small_ref));
+    assert_eq!(strip_elapsed(report_slice(&large_line)), strip_elapsed(&large_ref));
+
+    let stats = shutdown(addr, handle);
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.errors, 0);
+}
+
+/// The same grid as [`study_request`], with the streaming opt-in set.
+fn stream_request() -> String {
+    format!("{{\"stream\": true, {}", &study_request()[1..])
+}
+
+/// Sends one streaming request and splits the reply into its cell frames
+/// and the final report line.
+fn stream_roundtrip(addr: SocketAddr, request: &str) -> (Vec<String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    send_line(&mut stream, request);
+    let mut reader = BufReader::new(stream);
+    let mut frames = Vec::new();
+    loop {
+        let line = read_response(&mut reader);
+        if proto::is_frame(&line) {
+            frames.push(line);
+        } else {
+            return (frames, line);
+        }
+    }
+}
+
+#[test]
+fn streaming_and_batch_reports_are_byte_identical() {
+    let (addr, handle) = start_server(1 << 20);
+    let (cold_ref, warm_ref) = reference_reports();
+
+    // Misuses first: a non-boolean flag and a shard-scoped stream are
+    // both recoverable protocol errors.
+    let source = serde_json::to_string(SOURCE).unwrap();
+    let reply = roundtrip(addr, &format!("{{\"sources\": [{source}], \"stream\": 1}}"));
+    assert!(reply.contains("`stream` must be a boolean"), "{reply}");
+    let reply = roundtrip(
+        addr,
+        &format!(
+            "{{\"sources\": [{source}], \"stream\": true, \
+             \"shard_index\": 0, \"shard_count\": 2}}"
+        ),
+    );
+    assert!(reply.contains("not supported on shard requests"), "{reply}");
+
+    // Cold streaming request: one frame per grid cell, then a final
+    // report line byte-identical to a cold single-process run.
+    let (frames, final_line) = stream_roundtrip(addr, &stream_request());
+    assert_eq!(frames.len(), LATENCIES.len(), "{frames:?}");
+    assert!(final_line.starts_with("{\"ok\":true,"), "{final_line}");
+    assert_eq!(strip_elapsed(report_slice(&final_line)), strip_elapsed(&cold_ref));
+    let mut seen = vec![false; LATENCIES.len()];
+    for frame in &frames {
+        let (index, cell) = proto::frame_cell(frame).expect("frame parses");
+        assert!(!seen[index as usize], "duplicate frame index {index}");
+        seen[index as usize] = true;
+        assert!(cell.contains("\"from_cache\":false"), "{cell}");
+        // The final report embeds the exact same cell bytes.
+        assert!(final_line.contains(cell), "frame cell not in report:\n{cell}\n{final_line}");
+    }
+    assert!(seen.iter().all(|s| *s), "some cells never framed: {seen:?}");
+
+    // Warm rerun, streamed: every cell frames as a cache hit, and the
+    // final report equals both the warm reference and a warm batch
+    // (non-streaming) request byte for byte.
+    let (warm_frames, warm_line) = stream_roundtrip(addr, &stream_request());
+    assert_eq!(warm_frames.len(), LATENCIES.len());
+    for frame in &warm_frames {
+        let (_, cell) = proto::frame_cell(frame).expect("frame parses");
+        assert!(cell.contains("\"from_cache\":true"), "{cell}");
+    }
+    let batch_line = roundtrip(addr, &study_request());
+    assert_eq!(
+        strip_elapsed(report_slice(&warm_line)),
+        strip_elapsed(report_slice(&batch_line)),
+        "streaming and batch reports must be byte-identical modulo wall clock"
+    );
+    assert_eq!(strip_elapsed(report_slice(&warm_line)), strip_elapsed(&warm_ref));
+
+    let stats = shutdown(addr, handle);
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.errors, 2);
+}
+
+#[test]
+fn pipelining_past_the_inflight_cap_is_rejected_not_hung() {
+    let (addr, handle) = start_server_with(1 << 20, 1, 1);
+
+    // Two studies pipelined back to back on one connection without
+    // reading: the first (slow) one is admitted, the second trips the
+    // cap — immediately, as an error response, not a hang and not a
+    // dropped connection.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    send_line(&mut stream, &large_request());
+    send_line(&mut stream, &study_request());
+
+    let first = read_response(&mut reader);
+    assert!(first.starts_with("{\"ok\":false,"), "{first}");
+    assert!(first.contains("too many in-flight studies"), "{first}");
+
+    // The admitted study still completes on the same connection...
+    let second = read_response(&mut reader);
+    assert!(second.starts_with("{\"ok\":true,"), "{second}");
+
+    // ...after which the connection is under the cap again.
+    send_line(&mut stream, &study_request());
+    let third = read_response(&mut reader);
+    assert!(third.starts_with("{\"ok\":true,"), "{third}");
+
+    let stats = shutdown(addr, handle);
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.errors, 1);
 }
 
 #[test]

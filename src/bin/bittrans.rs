@@ -13,7 +13,7 @@
 //! bittrans serve     --addr HOST:PORT [--cache-dir DIR] [--jobs K]
 //! bittrans client    <dir-or-files...> --addr HOST:PORT [--latency N|A..B]
 //!                    [--adders rca,cla,csel] [--balance on|off|both] [--verify N]
-//!                    [--timeout SECS] [--json]
+//!                    [--timeout SECS] [--stream] [--json]
 //! bittrans client    --addr HOST:PORT --shutdown
 //! bittrans client    --addr HOST:PORT --stats
 //! bittrans bench     [--quick] [--json]
@@ -69,7 +69,9 @@
 //! counterpart: it assembles the same grid `explore` would from the same
 //! flags, sends it as one request, and prints the response — with
 //! `--json`, the exact `StudyReport` bytes the server computed. `client
-//! --shutdown` asks the server to drain and exit.
+//! --stream` asks the server to push each finished cell as a progress
+//! frame (printed to stderr as it lands) ahead of the identical final
+//! report. `client --shutdown` asks the server to drain and exit.
 
 use bittrans::core::report::{render_sweep, render_table1};
 use bittrans::engine::proto;
@@ -112,6 +114,7 @@ struct Args {
     addr: Option<String>,
     shutdown: bool,
     stats: bool,
+    stream: bool,
     json: bool,
     quick: bool,
     trace_out: Option<String>,
@@ -137,7 +140,7 @@ fn usage() -> String {
      [--adder rca|cla|csel] [--adders rca,cla,csel] [--balance on|off|both] \
      [--verify N] [--shards K] [--workers host:port,...] [--timeout SECS] \
      [--cache-dir DIR] [--max-bytes N] [--max-age SECS] \
-     [--addr HOST:PORT] [--shutdown] [--stats] [--quick] [--trace-out FILE] \
+     [--addr HOST:PORT] [--shutdown] [--stats] [--stream] [--quick] [--trace-out FILE] \
      [--json] [--emit-vhdl DIR] [--netlist]"
         .to_string()
 }
@@ -201,6 +204,7 @@ fn parse_args() -> Result<Args, String> {
         addr: None,
         shutdown: false,
         stats: false,
+        stream: false,
         json: false,
         quick: false,
         trace_out: None,
@@ -276,6 +280,7 @@ fn parse_args() -> Result<Args, String> {
             "--addr" => args.addr = Some(value("--addr")?),
             "--shutdown" => args.shutdown = true,
             "--stats" => args.stats = true,
+            "--stream" => args.stream = true,
             "--quick" => args.quick = true,
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--json" => args.json = true,
@@ -559,6 +564,7 @@ fn run_serve(args: &Args) -> Result<(), String> {
         workers: args.jobs,
         cache_dir: args.cache_dir.as_ref().map(PathBuf::from),
         max_request_bytes: serve::DEFAULT_MAX_REQUEST_BYTES,
+        max_inflight: serve::DEFAULT_MAX_INFLIGHT,
     };
     let server = serve::Server::bind(&options).map_err(|e| format!("serve {addr}: {e}"))?;
     // Announce the resolved address (scripts bind port 0 and need the
@@ -580,15 +586,28 @@ fn run_client(args: &Args, options: &CompareOptions) -> Result<(), String> {
         if !args.files.is_empty() {
             return Err("client --shutdown takes no spec operands".to_string());
         }
+        if args.stream {
+            return Err("--stream makes no sense with --shutdown".to_string());
+        }
         "{\"shutdown\": true}".to_string()
     } else if args.stats {
         if !args.files.is_empty() {
             return Err("client --stats takes no spec operands".to_string());
         }
+        if args.stream {
+            return Err("--stream makes no sense with --stats".to_string());
+        }
         "{\"stats\": true}".to_string()
     } else {
         let study = sharded_study(args, options)?;
-        serde_json::to_string(&study).map_err(|e| e.to_string())?
+        let body = serde_json::to_string(&study).map_err(|e| e.to_string())?;
+        if args.stream {
+            // Splice the opt-in flag into the study object; the server's
+            // field whitelist accepts `stream` alongside the grid fields.
+            format!("{{\"stream\":true,{}", &body[1..])
+        } else {
+            body
+        }
     };
     // The shared line codec bounds the whole exchange: connect, send and
     // — crucially — the response read, so a stalled server costs one
@@ -597,7 +616,22 @@ fn run_client(args: &Args, options: &CompareOptions) -> Result<(), String> {
     let mut client =
         proto::LineClient::connect(addr, timeout).map_err(|e| format!("connecting {addr}: {e}"))?;
     client.send(&request).map_err(|e| format!("sending request: {e}"))?;
-    let line = client.receive().map_err(|e| format!("reading response: {e}"))?;
+    let line = if args.stream {
+        // Progress frames land on stderr as cells finish; stdout stays
+        // exactly what the non-streaming invocation would print.
+        let mut done: u64 = 0;
+        client
+            .receive_streaming(|frame| {
+                done += 1;
+                match proto::frame_cell(frame) {
+                    Some((index, _)) => eprintln!("cell {index} done ({done} so far)"),
+                    None => eprintln!("cell done ({done} so far)"),
+                }
+            })
+            .map_err(|e| format!("reading response: {e}"))?
+    } else {
+        client.receive().map_err(|e| format!("reading response: {e}"))?
+    };
     let value = serde_json::from_str(&line).map_err(|e| format!("bad response: {e}"))?;
     if value.get("ok").and_then(serde_json::Value::as_bool) != Some(true) {
         let why = value
