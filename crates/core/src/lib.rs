@@ -44,18 +44,23 @@
 pub mod report;
 pub mod stage;
 
-use bittrans_alloc::{allocate, AllocOptions, Datapath};
-use bittrans_frag::{fragment, FragError, FragmentOptions, Fragmented};
+use bittrans_alloc::{allocate, AllocOptions};
+use bittrans_frag::{fragment, FragError, FragmentOptions};
 use bittrans_ir::prelude::*;
 use bittrans_kernel::extract;
 use bittrans_rtl::{AdderArch, AreaReport};
-use bittrans_sched::conventional::{schedule_conventional, Chaining, ConventionalOptions};
+use bittrans_sched::conventional::{schedule_conventional, ConventionalOptions};
 use bittrans_sched::fragment::{schedule_fragments, FragmentScheduleOptions};
-use bittrans_sched::{SchedError, Schedule};
+use bittrans_sched::SchedError;
 use bittrans_sim::equivalence::{check_equivalence, Inequivalence};
 use bittrans_timing::{Delta, TimingModel};
 use serde::Serialize;
 use std::fmt;
+
+pub use bittrans_alloc::Datapath;
+pub use bittrans_frag::Fragmented;
+pub use bittrans_sched::conventional::Chaining;
+pub use bittrans_sched::Schedule;
 
 /// Options shared by [`optimize`], [`baseline`] and [`compare`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -200,6 +205,27 @@ pub enum PipelineError {
     Verification(Inequivalence),
 }
 
+impl PipelineError {
+    /// Whether this error means "this latency has no feasible design" —
+    /// the expected, skippable outcome of probing a latency range — as
+    /// opposed to a fatal defect of the specification or the pipeline
+    /// itself (parse/rewrite failures, a non-additive spec, a failed
+    /// equivalence check), which no other latency will cure.
+    ///
+    /// [`latency_sweep`] skips infeasible points and propagates everything
+    /// else.
+    pub fn is_infeasible(&self) -> bool {
+        match self {
+            // Every scheduler error is a latency/cycle feasibility verdict.
+            PipelineError::Sched(_) => true,
+            PipelineError::Frag(e) => {
+                matches!(e, FragError::Infeasible { .. } | FragError::ZeroLatency)
+            }
+            PipelineError::Ir(_) | PipelineError::Verification(_) => false,
+        }
+    }
+}
+
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -287,6 +313,111 @@ fn implementation(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Stage functions
+//
+// The pipeline decomposed into its individually cacheable stages. Each
+// stage is a pure function of the arguments listed in its signature —
+// nothing else — which is what lets `engine::stagecache` key a stage's
+// output by its inputs alone. [`optimize`], [`baseline`], [`blc`] and
+// [`compare`] below are thin compositions of these functions, and the
+// engine's memoized path composes the very same functions in the very
+// same order, so both paths produce bit-identical results. Every stage
+// keeps its `stage::observe` wrapper (and its established span name), so
+// trace output is unchanged no matter who drives the stages.
+// ---------------------------------------------------------------------------
+
+/// Stage `extract`: rewrites `spec` into additive form (§3.1 kernel
+/// extraction). Latency-invariant: a latency sweep shares one extraction.
+///
+/// # Errors
+///
+/// [`PipelineError::Ir`] when a rewrite step fails.
+pub fn stage_extract(spec: &Spec) -> Result<Spec, PipelineError> {
+    Ok(stage::observe("extract", || extract(spec))?)
+}
+
+/// Stage `fragment`: splits the additive-form `kernel` for latency λ
+/// (§3.2 cycle estimation + §3.3 fragmentation).
+///
+/// # Errors
+///
+/// [`PipelineError::Frag`] when λ is infeasible or the kernel is not in
+/// additive form.
+pub fn stage_fragment(kernel: &Spec, latency: u32) -> Result<Fragmented, PipelineError> {
+    Ok(stage::observe("fragment", || fragment(kernel, &FragmentOptions::with_latency(latency)))?)
+}
+
+/// Stage `verify`: co-simulates the transformed spec against the original
+/// over `vectors` random vectors (fixed seed, so the check is a pure
+/// function of its arguments). A no-op when `vectors` is zero.
+///
+/// # Errors
+///
+/// [`PipelineError::Verification`] on any disagreement.
+pub fn stage_verify(
+    original: &Spec,
+    transformed: &Spec,
+    vectors: usize,
+) -> Result<(), PipelineError> {
+    if vectors == 0 {
+        return Ok(());
+    }
+    Ok(stage::observe("verify", || check_equivalence(original, transformed, 0x2005, vectors))?)
+}
+
+/// Stage `schedule` (conventional): schedules the untransformed spec with
+/// atomic operations and the given chaining model at latency λ.
+///
+/// # Errors
+///
+/// [`PipelineError::Sched`] when no feasible cycle exists.
+pub fn stage_schedule_conventional(
+    spec: &Spec,
+    latency: u32,
+    chaining: Chaining,
+    balance: bool,
+) -> Result<Schedule, PipelineError> {
+    Ok(stage::observe("schedule", || {
+        schedule_conventional(
+            spec,
+            &ConventionalOptions { latency, cycle_override: None, chaining, balance },
+        )
+    })?)
+}
+
+/// Stage `schedule` (fragment): schedules the fragmented spec.
+///
+/// # Errors
+///
+/// [`PipelineError::Sched`] when the fragment schedule is infeasible.
+pub fn stage_schedule_fragments(
+    fragmented: &Fragmented,
+    balance: bool,
+) -> Result<Schedule, PipelineError> {
+    Ok(stage::observe("schedule", || {
+        schedule_fragments(fragmented, &FragmentScheduleOptions { balance })
+    })?)
+}
+
+/// Stage `allocate`: binds the scheduled spec to a priced datapath.
+/// Infallible.
+pub fn stage_allocate(spec: &Spec, schedule: &Schedule, adder_arch: AdderArch) -> Datapath {
+    stage::observe("allocate", || allocate(spec, schedule, &AllocOptions { adder_arch }))
+}
+
+/// Stage `time`: derives the measured characteristics of one synthesised
+/// design point. Pure arithmetic; infallible.
+pub fn stage_time(
+    name: &str,
+    spec: &Spec,
+    schedule: &Schedule,
+    datapath: &Datapath,
+    timing: &TimingModel,
+) -> Implementation {
+    stage::observe("time", || implementation(name, spec, schedule, datapath, timing))
+}
+
 /// The optimized flow's full result.
 #[derive(Clone, Debug)]
 pub struct OptimizedDesign {
@@ -328,23 +459,13 @@ pub fn optimize(
     latency: u32,
     options: &CompareOptions,
 ) -> Result<OptimizedDesign, PipelineError> {
-    let kernel = stage::observe("extract", || extract(spec))?;
-    let fragmented =
-        stage::observe("fragment", || fragment(&kernel, &FragmentOptions::with_latency(latency)))?;
-    if options.verify_vectors > 0 {
-        stage::observe("verify", || {
-            check_equivalence(spec, &fragmented.spec, 0x2005, options.verify_vectors)
-        })?;
-    }
-    let schedule = stage::observe("schedule", || {
-        schedule_fragments(&fragmented, &FragmentScheduleOptions { balance: options.balance })
-    })?;
-    let datapath = stage::observe("allocate", || {
-        allocate(&fragmented.spec, &schedule, &AllocOptions { adder_arch: options.adder_arch })
-    });
-    let implementation = stage::observe("time", || {
-        implementation(spec.name(), &fragmented.spec, &schedule, &datapath, &options.timing)
-    });
+    let kernel = stage_extract(spec)?;
+    let fragmented = stage_fragment(&kernel, latency)?;
+    stage_verify(spec, &fragmented.spec, options.verify_vectors)?;
+    let schedule = stage_schedule_fragments(&fragmented, options.balance)?;
+    let datapath = stage_allocate(&fragmented.spec, &schedule, options.adder_arch);
+    let implementation =
+        stage_time(spec.name(), &fragmented.spec, &schedule, &datapath, &options.timing);
     Ok(OptimizedDesign { kernel, fragmented, schedule, datapath, implementation })
 }
 
@@ -359,23 +480,10 @@ pub fn baseline(
     latency: u32,
     options: &CompareOptions,
 ) -> Result<BaselineDesign, PipelineError> {
-    let schedule = stage::observe("schedule", || {
-        schedule_conventional(
-            spec,
-            &ConventionalOptions {
-                latency,
-                cycle_override: None,
-                chaining: Chaining::ComponentSum,
-                balance: options.balance,
-            },
-        )
-    })?;
-    let datapath = stage::observe("allocate", || {
-        allocate(spec, &schedule, &AllocOptions { adder_arch: options.adder_arch })
-    });
-    let implementation = stage::observe("time", || {
-        implementation(spec.name(), spec, &schedule, &datapath, &options.timing)
-    });
+    let schedule =
+        stage_schedule_conventional(spec, latency, Chaining::ComponentSum, options.balance)?;
+    let datapath = stage_allocate(spec, &schedule, options.adder_arch);
+    let implementation = stage_time(spec.name(), spec, &schedule, &datapath, &options.timing);
     Ok(BaselineDesign { schedule, datapath, implementation })
 }
 
@@ -391,23 +499,9 @@ pub fn blc(
     latency: u32,
     options: &CompareOptions,
 ) -> Result<BaselineDesign, PipelineError> {
-    let schedule = stage::observe("schedule", || {
-        schedule_conventional(
-            spec,
-            &ConventionalOptions {
-                latency,
-                cycle_override: None,
-                chaining: Chaining::BitLevel,
-                balance: options.balance,
-            },
-        )
-    })?;
-    let datapath = stage::observe("allocate", || {
-        allocate(spec, &schedule, &AllocOptions { adder_arch: options.adder_arch })
-    });
-    let implementation = stage::observe("time", || {
-        implementation(spec.name(), spec, &schedule, &datapath, &options.timing)
-    });
+    let schedule = stage_schedule_conventional(spec, latency, Chaining::BitLevel, options.balance)?;
+    let datapath = stage_allocate(spec, &schedule, options.adder_arch);
+    let implementation = stage_time(spec.name(), spec, &schedule, &datapath, &options.timing);
     Ok(BaselineDesign { schedule, datapath, implementation })
 }
 
@@ -467,23 +561,44 @@ pub struct SweepPoint {
 }
 
 /// Regenerates the Fig. 4 experiment: cycle length of both flows across a
-/// latency range. Latencies where a flow is infeasible are skipped.
+/// latency range. Latencies where a flow is infeasible
+/// ([`PipelineError::is_infeasible`]) are skipped — that is the expected
+/// outcome of probing a range — while fatal errors (bad spec, failed
+/// equivalence check) abort the sweep.
+///
+/// # Errors
+///
+/// The first non-infeasible [`PipelineError`] encountered.
 pub fn latency_sweep(
     spec: &Spec,
     latencies: impl IntoIterator<Item = u32>,
     options: &CompareOptions,
-) -> Vec<SweepPoint> {
-    latencies
-        .into_iter()
-        .filter_map(|latency| {
-            let cmp = compare(spec, latency, options).ok()?;
-            Some(SweepPoint {
+) -> Result<Vec<SweepPoint>, PipelineError> {
+    sweep_by(spec, latencies, options, compare)
+}
+
+/// [`latency_sweep`] parameterised by the comparison function, so tests
+/// can inject failures that the real pipeline cannot produce (a genuine
+/// mid-sweep `Inequivalence` requires a pipeline bug).
+fn sweep_by(
+    spec: &Spec,
+    latencies: impl IntoIterator<Item = u32>,
+    options: &CompareOptions,
+    mut compare_fn: impl FnMut(&Spec, u32, &CompareOptions) -> Result<Comparison, PipelineError>,
+) -> Result<Vec<SweepPoint>, PipelineError> {
+    let mut points = Vec::new();
+    for latency in latencies {
+        match compare_fn(spec, latency, options) {
+            Ok(cmp) => points.push(SweepPoint {
                 latency,
                 original_ns: cmp.original.cycle_ns,
                 optimized_ns: cmp.optimized.cycle_ns,
-            })
-        })
-        .collect()
+            }),
+            Err(e) if e.is_infeasible() => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(points)
 }
 
 #[cfg(test)]
@@ -536,7 +651,7 @@ mod tests {
         let spec = three_adds();
         // From λ = 3 the baseline cycle flattens at the 16δ adder bound
         // while the optimized cycle keeps shrinking — the Fig. 4 shape.
-        let points = latency_sweep(&spec, 3..=9, &CompareOptions::default());
+        let points = latency_sweep(&spec, 3..=9, &CompareOptions::default()).unwrap();
         assert!(points.len() >= 4);
         let gap_small = points.first().unwrap();
         let gap_large = points.last().unwrap();
@@ -547,6 +662,79 @@ mod tests {
         for w in points.windows(2) {
             assert!(w[1].optimized_ns <= w[0].optimized_ns + 1e-9);
         }
+    }
+
+    #[test]
+    fn sweep_skips_infeasible_latencies_only() {
+        let spec = three_adds();
+        // λ = 0 is infeasible (not a pipeline bug) and must be skipped,
+        // not aborted on and not silently conflated with real failures.
+        let points = latency_sweep(&spec, 0..=5, &CompareOptions::default()).unwrap();
+        assert!(points.iter().all(|p| p.latency >= 1), "λ=0 skipped");
+        assert!(points.len() >= 4);
+    }
+
+    #[test]
+    fn sweep_propagates_fatal_errors() {
+        let spec = three_adds();
+        // A mid-sweep verification failure is unreachable without a
+        // pipeline bug, so inject one through the `sweep_by` seam: the
+        // first two points succeed, then the "pipeline" disagrees.
+        let result = sweep_by(&spec, 3..=9, &CompareOptions::default(), |s, latency, o| {
+            if latency >= 5 {
+                return Err(PipelineError::Verification(Inequivalence::PortMismatch {
+                    detail: "injected mid-sweep failure".into(),
+                }));
+            }
+            compare(s, latency, o)
+        });
+        match result {
+            Err(PipelineError::Verification(Inequivalence::PortMismatch { detail })) => {
+                assert!(detail.contains("injected"));
+            }
+            other => panic!("fatal error must abort the sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_classification_separates_infeasible_from_fatal() {
+        assert!(PipelineError::Frag(FragError::ZeroLatency).is_infeasible());
+        assert!(PipelineError::Sched(SchedError::ZeroLatency).is_infeasible());
+        assert!(PipelineError::Sched(SchedError::LatencyExceeded { needed: 4, latency: 2 })
+            .is_infeasible());
+        assert!(!PipelineError::Verification(Inequivalence::PortMismatch {
+            detail: "width".into()
+        })
+        .is_infeasible());
+        // A non-additive kernel is a spec defect: no latency cures it.
+        let spec = Spec::parse("spec s { input a: u4; input b: u4; output o = a + b; }").unwrap();
+        let err = stage_fragment(&spec, 0).unwrap_err();
+        assert!(err.is_infeasible());
+    }
+
+    #[test]
+    fn staged_composition_matches_monolithic_paths() {
+        let spec = three_adds();
+        let options = CompareOptions::default();
+        let mono = compare(&spec, 3, &options).unwrap();
+
+        // Drive the stage functions directly, the way the engine's
+        // memoized path does, and demand bit-identical numbers.
+        let base_sched =
+            stage_schedule_conventional(&spec, 3, Chaining::ComponentSum, options.balance).unwrap();
+        let base_dp = stage_allocate(&spec, &base_sched, options.adder_arch);
+        let base = stage_time(spec.name(), &spec, &base_sched, &base_dp, &options.timing);
+        let kernel = stage_extract(&spec).unwrap();
+        let fragmented = stage_fragment(&kernel, 3).unwrap();
+        stage_verify(&spec, &fragmented.spec, options.verify_vectors).unwrap();
+        let opt_sched = stage_schedule_fragments(&fragmented, options.balance).unwrap();
+        let opt_dp = stage_allocate(&fragmented.spec, &opt_sched, options.adder_arch);
+        let opt = stage_time(spec.name(), &fragmented.spec, &opt_sched, &opt_dp, &options.timing);
+
+        assert_eq!(
+            serde_json::to_string(&mono).unwrap(),
+            serde_json::to_string(&Comparison { original: base, optimized: opt }).unwrap()
+        );
     }
 
     #[test]

@@ -118,7 +118,7 @@ mod tests {
 
     #[test]
     fn sweep_renders_points() {
-        let points = crate::latency_sweep(&spec(), 2..=4, &CompareOptions::default());
+        let points = crate::latency_sweep(&spec(), 2..=4, &CompareOptions::default()).unwrap();
         let text = render_sweep("Fig 4", &points);
         assert!(text.lines().count() >= points.len() + 2);
     }

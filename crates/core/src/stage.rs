@@ -32,9 +32,19 @@ pub fn set_observer(observer: impl Fn(&'static str, Duration) + Send + Sync + 's
 }
 
 /// Unregisters the stage observer; [`observe`] reverts to a direct call.
+///
+/// Once this returns, the old observer will never run again: [`observe`]
+/// only invokes the observer while holding the `OBSERVER` lock, so any
+/// in-flight invocation must finish before this function can acquire the
+/// lock and clear the slot. The flag is flipped *inside* the critical
+/// section (it used to be flipped before taking the lock — benign even
+/// then, for the same lock-ordering reason, but flipping it under the
+/// lock makes the flag and the slot change atomically with respect to
+/// observers and leaves nothing to reason about).
 pub fn clear_observer() {
+    let mut guard = OBSERVER.lock().expect("stage observer lock");
     ACTIVE.store(false, Ordering::SeqCst);
-    *OBSERVER.lock().expect("stage observer lock") = None;
+    *guard = None;
 }
 
 /// Runs `stage`, reporting its wall-clock duration to the registered
@@ -60,8 +70,14 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
+    /// The observer is process-global, so tests that install/clear it
+    /// must not interleave. (A poisoned lock just means another observer
+    /// test failed; don't cascade the panic.)
+    static OBSERVER_TEST_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn observer_sees_stage_names_and_durations() {
+        let _serial = OBSERVER_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let seen: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
         let calls = Arc::new(AtomicUsize::new(0));
         {
@@ -83,5 +99,53 @@ mod tests {
         observe("unit", || ());
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert_eq!(*seen.lock().unwrap(), vec!["unit"]);
+    }
+
+    #[test]
+    fn cleared_observer_never_fires_after_clear_returns() {
+        let _serial = OBSERVER_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Hammer `observe` from several threads while the main thread
+        // installs and clears the observer; the observer records a
+        // violation if it ever runs after `clear_observer` returned.
+        let cleared = Arc::new(AtomicBool::new(false));
+        let violations = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        observe("hammer", || std::hint::black_box(1 + 1));
+                    }
+                })
+            })
+            .collect();
+
+        for _ in 0..200 {
+            cleared.store(false, Ordering::SeqCst);
+            {
+                let cleared = Arc::clone(&cleared);
+                let violations = Arc::clone(&violations);
+                set_observer(move |name, _dur| {
+                    if name == "hammer" && cleared.load(Ordering::SeqCst) {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            std::thread::yield_now();
+            clear_observer();
+            // From here on the old observer must be dead. The flag flip
+            // below is what arms the violation counter: any late
+            // invocation on a worker thread would now see `cleared`.
+            cleared.store(true, Ordering::SeqCst);
+            std::thread::yield_now();
+        }
+
+        stop.store(true, Ordering::SeqCst);
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(violations.load(Ordering::SeqCst), 0, "observer fired after clear returned");
     }
 }

@@ -10,6 +10,10 @@
 //! * **cache** — the same batch cold then warm on one engine, so the
 //!   speedup is the price of the pipeline relative to a content-addressed
 //!   hit ([`crate::cache`]);
+//! * **incremental** — a verify-heavy grid walked point by point on one
+//!   engine, so every point after the first resolves its extract,
+//!   fragment, verify and schedule stages from the stage memo
+//!   ([`crate::stagecache`]) and only recomputes the allocation suffix;
 //! * **serve** — round-trip p50/p99 of concurrent clients against an
 //!   in-process [`Server`], measured through the real TCP codec
 //!   ([`crate::proto`]);
@@ -20,7 +24,7 @@
 //!   grid saturates a width-1 server, the fairness cost the scheduler's
 //!   round-robin interleaving ([`crate::sched`]) is supposed to bound.
 //!
-//! A fifth group, **trace_check**, cross-checks the observability layer
+//! A final group, **trace_check**, cross-checks the observability layer
 //! against the statistics layer: it runs a cold+warm batch under the
 //! in-memory trace collector and reconciles the per-job provenance
 //! events ([`crate::trace`]) with the [`EngineStats`](crate::stats::EngineStats) counters — the two
@@ -134,6 +138,46 @@ pub struct ShardPoint {
     pub elapsed: Duration,
 }
 
+/// Incremental-compute measurement over the engine's stage memo: one
+/// verify-heavy spec walked point by point across allocation-layer
+/// options on a single engine.
+#[derive(Clone, Copy, Debug)]
+pub struct IncrementalPoint {
+    /// Grid points walked (first one cold, the rest warm).
+    pub points: u64,
+    /// Wall clock of the first point: every stage computes.
+    pub cold_point: Duration,
+    /// Mean wall clock of the remaining points, whose extract, fragment,
+    /// verify and schedule stages resolve from the stage memo.
+    pub warm_point: Duration,
+    /// Stage resolutions served from the memo across the whole walk.
+    pub stage_hits: u64,
+    /// Stage resolutions computed across the whole walk.
+    pub stage_misses: u64,
+}
+
+impl IncrementalPoint {
+    /// How many times faster a warm point was than the cold one.
+    pub fn speedup(&self) -> f64 {
+        let warm = self.warm_point.as_secs_f64();
+        if warm > 0.0 {
+            self.cold_point.as_secs_f64() / warm
+        } else {
+            0.0
+        }
+    }
+
+    /// Share of stage resolutions served from the memo, in percent.
+    pub fn stage_hit_rate_pct(&self) -> f64 {
+        let total = self.stage_hits + self.stage_misses;
+        if total > 0 {
+            self.stage_hits as f64 / total as f64 * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Trace-versus-stats reconciliation of one cold+warm batch pair.
 #[derive(Clone, Copy, Debug)]
 pub struct TraceCheck {
@@ -165,6 +209,8 @@ pub struct BenchReport {
     pub throughput: Vec<ThroughputPoint>,
     /// Cold-versus-warm cache speedup.
     pub cache: CachePoint,
+    /// Stage-memo incremental-compute speedup.
+    pub incremental: IncrementalPoint,
     /// Serve round-trip distribution.
     pub serve: ServePoint,
     /// Sharded scaling, ascending shard counts (first entry is the
@@ -177,8 +223,8 @@ pub struct BenchReport {
 }
 
 /// Identifies the document layout; bumped if fields change shape.
-/// v2 added the `multi_tenant` group.
-pub const SCHEMA: &str = "bittrans-bench-v2";
+/// v2 added the `multi_tenant` group; v3 added `incremental`.
+pub const SCHEMA: &str = "bittrans-bench-v3";
 
 impl BenchReport {
     /// The report as one pretty-printed JSON document (the committed
@@ -210,6 +256,18 @@ impl BenchReport {
             self.cache.warm.as_secs_f64() * 1e3,
             self.cache.speedup(),
             self.cache.warm_hits,
+        ));
+        out.push_str(&format!(
+            "  \"incremental\": {{\"points\": {}, \"cold_point_ms\": {:.3}, \
+             \"warm_point_ms\": {:.3}, \"speedup\": {:.1}, \"stage_hits\": {}, \
+             \"stage_misses\": {}, \"stage_hit_rate_pct\": {:.1}}},\n",
+            self.incremental.points,
+            self.incremental.cold_point.as_secs_f64() * 1e3,
+            self.incremental.warm_point.as_secs_f64() * 1e3,
+            self.incremental.speedup(),
+            self.incremental.stage_hits,
+            self.incremental.stage_misses,
+            self.incremental.stage_hit_rate_pct(),
         ));
         out.push_str(&format!(
             "  \"serve\": {{\"clients\": {}, \"requests\": {}, \"p50_ms\": {:.3}, \
@@ -277,6 +335,14 @@ impl BenchReport {
             self.cache.cold.as_secs_f64() * 1e3,
             self.cache.warm.as_secs_f64() * 1e3,
             self.cache.speedup(),
+        ));
+        out.push_str(&format!(
+            "  incremental: cold point {:.1} ms, warm point {:.1} ms ({:.1}x, \
+             {:.0}% stage hits)\n",
+            self.incremental.cold_point.as_secs_f64() * 1e3,
+            self.incremental.warm_point.as_secs_f64() * 1e3,
+            self.incremental.speedup(),
+            self.incremental.stage_hit_rate_pct(),
         ));
         out.push_str(&format!(
             "  serve: p50 {:.2} ms, p99 {:.2} ms over {} requests from {} clients\n",
@@ -377,6 +443,7 @@ pub fn run(options: &BenchOptions) -> io::Result<BenchReport> {
 
     let throughput = measure_throughput(&jobs, options.quick);
     let cache = measure_cache(&jobs);
+    let incremental = measure_incremental(options.quick);
     let serve = measure_serve(&workload, options.quick)?;
     let sharding = measure_sharding(&workload)?;
     let multi_tenant = measure_multi_tenant(&workload, options.quick)?;
@@ -387,6 +454,7 @@ pub fn run(options: &BenchOptions) -> io::Result<BenchReport> {
         jobs: jobs.len(),
         throughput,
         cache,
+        incremental,
         serve,
         sharding,
         multi_tenant,
@@ -416,6 +484,65 @@ fn measure_cache(jobs: &[Job]) -> CachePoint {
         cold: cold.stats.elapsed,
         warm: warm.stats.elapsed,
         warm_hits: warm.stats.cache_hits,
+    }
+}
+
+/// One verify-heavy spec walked point by point across the allocation
+/// axes (adder architecture, and cycle balancing in full mode) on a
+/// single engine, one batch per point so each point's wall clock and
+/// stage counters are observable in isolation. Every point is a distinct
+/// job key — the job-level cache never hits — but the stage memo serves
+/// the allocation-invariant prefix (extract, fragment, the expensive
+/// verify, both schedules) to every point after the first, so the
+/// cold-to-warm point ratio is the speedup incremental stage caching
+/// buys when only downstream options change.
+fn measure_incremental(quick: bool) -> IncrementalPoint {
+    use bittrans_rtl::AdderArch;
+
+    let spec = Spec::parse(
+        "spec inc { input A: u16; input B: u16; input D: u16; input F: u16; \
+         C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+    )
+    .expect("bench spec parses");
+    // Verification dominates the cold point so the shared-prefix saving
+    // is well above timer noise even on the quick grid.
+    let vectors = if quick { 4000 } else { 40_000 };
+    let archs = [AdderArch::RippleCarry, AdderArch::CarryLookahead, AdderArch::CarrySelect];
+    let balances: &[bool] = if quick { &[true] } else { &[true, false] };
+
+    let engine = Engine::default();
+    let mut cold_point = Duration::ZERO;
+    let mut warm_total = Duration::ZERO;
+    let mut warm_points = 0u32;
+    let mut stage_hits = 0u64;
+    let mut stage_misses = 0u64;
+    let mut points = 0u64;
+    for &balance in balances {
+        for arch in archs {
+            let options = CompareOptions {
+                adder_arch: arch,
+                balance,
+                verify_vectors: vectors,
+                ..CompareOptions::default()
+            };
+            let batch = engine.run(vec![Job::with_options(spec.clone(), 3, options)]);
+            stage_hits += batch.stats.stage_hits;
+            stage_misses += batch.stats.stage_misses;
+            if points == 0 {
+                cold_point = batch.stats.elapsed;
+            } else {
+                warm_total += batch.stats.elapsed;
+                warm_points += 1;
+            }
+            points += 1;
+        }
+    }
+    IncrementalPoint {
+        points,
+        cold_point,
+        warm_point: warm_total / warm_points.max(1),
+        stage_hits,
+        stage_misses,
     }
 }
 
@@ -622,6 +749,18 @@ mod tests {
         assert_eq!(report.throughput.len(), 2);
         assert!(report.throughput.iter().all(|p| p.jobs == report.jobs as u64));
         assert!(report.cache.warm_hits == report.jobs as u64);
+        // The incremental walk: 3 points (one per adder arch), the first
+        // cold (9 stages computed), the rest sharing the 5-stage
+        // allocation-invariant prefix each.
+        assert_eq!(report.incremental.points, 3);
+        assert_eq!(report.incremental.stage_misses, 9 + 2 * 4);
+        assert_eq!(report.incremental.stage_hits, 2 * 5);
+        assert!(report.incremental.stage_hit_rate_pct() > 0.0);
+        assert!(
+            report.incremental.speedup() > 1.0,
+            "warm points must beat the verify-heavy cold point: {:?}",
+            report.incremental
+        );
         assert!(report.serve.requests > 0);
         assert_eq!(report.sharding.len(), 2);
         assert_eq!(report.multi_tenant.small_requests, 2);
@@ -636,7 +775,15 @@ mod tests {
         let json = report.to_json();
         let value: Value = serde_json::from_str(&json).expect("bench JSON parses");
         assert_eq!(value.get("schema").and_then(Value::as_str), Some(SCHEMA));
-        for group in ["throughput", "cache", "serve", "multi_tenant", "sharding", "trace_check"] {
+        for group in [
+            "throughput",
+            "cache",
+            "incremental",
+            "serve",
+            "multi_tenant",
+            "sharding",
+            "trace_check",
+        ] {
             assert!(value.get(group).is_some(), "missing `{group}` in {json}");
         }
         assert_eq!(

@@ -76,6 +76,7 @@ pub mod report;
 pub mod sched;
 pub mod serve;
 pub mod shard;
+pub mod stagecache;
 pub mod stats;
 pub mod study;
 pub mod sweep;
@@ -93,6 +94,7 @@ pub use study::Study;
 use bittrans_core::{compare, SweepPoint};
 use bittrans_ir::Spec;
 use persist::DirIndex;
+use stagecache::{StageCache, StageTally};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -129,12 +131,15 @@ pub struct Engine {
     options: EngineOptions,
     cache: ResultCache,
     disk: Option<Mutex<DirIndex>>,
+    /// Incremental sub-job memo: pipeline stages keyed by their inputs,
+    /// shared by every batch and serve request ([`stagecache`]).
+    stages: StageCache,
 }
 
 impl Engine {
     /// An engine with the given options and an empty cache.
     pub fn new(options: EngineOptions) -> Self {
-        Engine { options, cache: ResultCache::new(), disk: None }
+        Engine { options, cache: ResultCache::new(), disk: None, stages: StageCache::default() }
     }
 
     /// Attaches a persistent cache directory: one JSON file per [`JobKey`],
@@ -162,6 +167,9 @@ impl Engine {
         std::fs::create_dir_all(&dir)?;
         if self.options.cache {
             self.disk = Some(Mutex::new(DirIndex::open(&dir)?));
+            // Verify-stage tokens live in a subdirectory the job-entry
+            // scan ignores (it only considers top-level `*.json` files).
+            self.stages.attach_disk(dir.join("stages"));
         }
         Ok(self)
     }
@@ -265,6 +273,20 @@ impl Engine {
         persist::prune(&mut disk, &policy, &pinned, now)
     }
 
+    /// Computes one comparison: through the memoized stage path
+    /// ([`stagecache::StageCache::compare_staged`]) when caching is
+    /// enabled — recording stage hits/misses into `tally` — or the
+    /// monolithic pipeline when it is not. Both paths compose the same
+    /// `bittrans-core` stage functions in the same order, so their
+    /// results are bit-identical.
+    pub(crate) fn compute(&self, job: &Job, tally: &StageTally) -> JobResult {
+        if self.options.cache {
+            self.stages.compare_staged(&job.spec, job.latency, &job.options, tally)
+        } else {
+            compare(&job.spec, job.latency, &job.options)
+        }
+    }
+
     /// The number of worker threads a batch will use.
     pub fn worker_count(&self) -> usize {
         self.options
@@ -325,13 +347,19 @@ impl Engine {
         }
         let misses = to_compute.len() as u64;
 
-        // Fan the uncached jobs out across the worker pool.
+        // Fan the uncached jobs out across the worker pool. Workers
+        // share the engine's stage memo, so jobs that differ only in
+        // latency (or only in options) share their common stage prefix
+        // even within one cold batch — the `OnceLock` slots make the
+        // first worker to need a stage compute it while the rest block
+        // and reuse it.
         let workers = self.worker_count().min(to_compute.len().max(1));
+        let tally = StageTally::default();
         let computed: Vec<(JobKey, Arc<JobResult>)> = executor::map_ordered(
             to_compute.iter().map(|&(i, key)| (key, &jobs[i])).collect(),
             workers,
             |(key, job): (JobKey, &Job)| {
-                let result = Arc::new(compare(&job.spec, job.latency, &job.options));
+                let result = Arc::new(self.compute(job, &tally));
                 trace::event("job", |a| {
                     a.str("key", &key.to_string())
                         .str("provenance", "computed")
@@ -385,12 +413,16 @@ impl Engine {
             cache_entries: self.resident_entries(),
             workers,
             elapsed: started.elapsed(),
+            stage_hits: tally.hits(),
+            stage_misses: tally.misses(),
         };
         trace::event("engine.batch", |a| {
             a.num("jobs", stats.jobs)
                 .num("cache_hits", stats.cache_hits)
                 .num("cache_misses", stats.cache_misses)
-                .num("workers", stats.workers as u64);
+                .num("workers", stats.workers as u64)
+                .num("stage_hits", stats.stage_hits)
+                .num("stage_misses", stats.stage_misses);
         });
         BatchReport { outcomes, stats }
     }
@@ -421,6 +453,8 @@ impl Engine {
             cache_entries: self.resident_entries(),
             workers: self.worker_count(),
             elapsed: std::time::Duration::ZERO,
+            stage_hits: self.stages.hits(),
+            stage_misses: self.stages.misses(),
         }
     }
 }
@@ -496,7 +530,31 @@ mod tests {
         engine.run(jobs.clone());
         let second = engine.run(jobs);
         assert_eq!(second.stats.cache_hits, 0);
-        // A disabled cache never accrues lifetime counters either.
+        // A disabled cache bypasses the stage memo entirely (monolithic
+        // pipeline) and never accrues lifetime counters either.
+        assert_eq!(second.stats.stage_hits + second.stats.stage_misses, 0);
         assert_eq!(engine.stats().jobs, 0);
+        assert_eq!(engine.stats().stage_misses, 0);
+    }
+
+    #[test]
+    fn latency_sweep_batch_shares_the_extract_stage() {
+        let spec = three_adds();
+        let engine = Engine::default();
+        let jobs: Vec<Job> = (2..=5).map(|l| Job::new(spec.clone(), l)).collect();
+        let cold = engine.run(jobs.clone());
+        // `extract` is λ-invariant: the stage memo computes it once and
+        // the other three points hit it — even in one cold batch, where
+        // the OnceLock slot serializes concurrent workers.
+        assert!(cold.stats.stage_hits >= 3, "{:?}", cold.stats);
+        assert!(cold.stats.stage_misses > 0);
+        // A warm re-run is served at job granularity: zero stages run,
+        // so zero parse/extract/fragment recomputes — and zero hits,
+        // because nothing even consulted the stage memo.
+        let warm = engine.run(jobs);
+        assert_eq!(warm.stats.cache_hits, 4);
+        assert_eq!(warm.stats.stage_hits + warm.stats.stage_misses, 0, "{:?}", warm.stats);
+        // Lifetime stage counters survive on the engine.
+        assert!(engine.stats().stage_misses > 0);
     }
 }

@@ -279,6 +279,10 @@ pub fn stats_from_value(value: &Value) -> Option<EngineStats> {
         cache_entries: usize::try_from(value.get("cache_entries")?.as_u64()?).ok()?,
         workers: usize::try_from(value.get("workers")?.as_u64()?).ok()?,
         elapsed: Duration::from_secs_f64(value.get("elapsed_ms")?.as_f64()?.max(0.0) / 1e3),
+        // Lenient: replies from engines predating stage caching simply
+        // carry zero stage work, they are not damaged.
+        stage_hits: value.get("stage_hits").and_then(Value::as_u64).unwrap_or(0),
+        stage_misses: value.get("stage_misses").and_then(Value::as_u64).unwrap_or(0),
     })
 }
 
@@ -325,6 +329,8 @@ mod tests {
             cache_entries: 9,
             workers: 3,
             elapsed: Duration::from_millis(12),
+            stage_hits: 11,
+            stage_misses: 13,
         };
         let line = serde_json::to_string(&stats).unwrap();
         let back = stats_line(&format!("noise above is ignored\n{line}\n")).unwrap();
@@ -334,9 +340,20 @@ mod tests {
         assert_eq!(back.cache_entries, 9);
         assert_eq!(back.workers, 3);
         assert!((back.elapsed.as_secs_f64() - 0.012).abs() < 1e-9);
+        assert_eq!(back.stage_hits, 11);
+        assert_eq!(back.stage_misses, 13);
         assert!(stats_line("").is_none());
         assert!(stats_line("not json").is_none());
         assert!(stats_line("{\"jobs\": 1}").is_none(), "missing counters are a failed parse");
+        // Pre-stage-cache replies lack the stage counters; that is old
+        // age, not damage.
+        let legacy = stats_line(
+            "{\"jobs\":1,\"cache_hits\":0,\"cache_misses\":1,\"hit_rate_pct\":0.0,\
+             \"cache_entries\":1,\"workers\":1,\"elapsed_ms\":2.0}",
+        )
+        .unwrap();
+        assert_eq!(legacy.stage_hits, 0);
+        assert_eq!(legacy.stage_misses, 0);
     }
 
     #[test]

@@ -171,17 +171,21 @@ impl StudyReport {
         )
     }
 
-    /// The report with its run shape erased: `elapsed` zeroed and
-    /// `workers` zeroed, everything else untouched. Two runs of the same
-    /// grid over the same cache state — single-process vs. sharded,
-    /// direct vs. served — legitimately differ only in wall clock and
-    /// pool width, so serializing `normalized()` reports is the
-    /// byte-identity comparison the shard/serve suites make. For
-    /// already-serialized text use [`normalize_run_shape`].
+    /// The report with its run shape erased: `elapsed`, `workers` and the
+    /// stage counters zeroed, everything else untouched. Two runs of the
+    /// same grid over the same cache state — single-process vs. sharded,
+    /// direct vs. served — legitimately differ only in wall clock, pool
+    /// width and stage sharing (a sharded run shares fewer stages per
+    /// process, a warm run runs no stages at all), so serializing
+    /// `normalized()` reports is the byte-identity comparison the
+    /// shard/serve suites make. For already-serialized text use
+    /// [`normalize_run_shape`].
     pub fn normalized(&self) -> StudyReport {
         let mut report = self.clone();
         report.stats.elapsed = std::time::Duration::ZERO;
         report.stats.workers = 0;
+        report.stats.stage_hits = 0;
+        report.stats.stage_misses = 0;
         report
     }
 
@@ -208,14 +212,16 @@ pub fn strip_elapsed_ms(json: &str) -> String {
     blank_number_values(json, "elapsed_ms")
 }
 
-/// Blanks every volatile run-shape value — `"elapsed_ms"` and
-/// `"workers"` — in a serialized report or response line (compact or
-/// pretty), leaving every other byte intact. This is the textual
-/// counterpart of [`StudyReport::normalized`], for call sites that only
-/// have serialized output in hand (CLI stdout, CI smoke diffs, raw
-/// response lines).
+/// Blanks every volatile run-shape value — `"elapsed_ms"`, `"workers"`,
+/// `"stage_hits"` and `"stage_misses"` — in a serialized report or
+/// response line (compact or pretty), leaving every other byte intact.
+/// This is the textual counterpart of [`StudyReport::normalized`], for
+/// call sites that only have serialized output in hand (CLI stdout, CI
+/// smoke diffs, raw response lines).
 pub fn normalize_run_shape(json: &str) -> String {
-    blank_number_values(&blank_number_values(json, "elapsed_ms"), "workers")
+    ["elapsed_ms", "workers", "stage_hits", "stage_misses"]
+        .iter()
+        .fold(json.to_string(), |acc, field| blank_number_values(&acc, field))
 }
 
 /// Blanks the numeric value after every `"<field>":` occurrence.
@@ -309,6 +315,8 @@ mod tests {
         let mut wider = r.clone();
         wider.stats.workers += 3;
         wider.stats.elapsed += std::time::Duration::from_millis(7);
+        wider.stats.stage_hits += 2;
+        wider.stats.stage_misses += 5;
         assert_ne!(r.to_json(), wider.to_json());
         assert_eq!(r.normalized().to_json(), wider.normalized().to_json());
         // Different cell content survives normalization.

@@ -104,7 +104,6 @@ use crate::shard::{self, ShardedStudy};
 use crate::stats::{EngineStats, ServiceStats};
 use crate::study::Study;
 use crate::{trace, Engine, EngineOptions, HitTier, Job, JobResult};
-use bittrans_core::compare;
 use serde_json::Value;
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -786,6 +785,10 @@ fn run_scheduled(
     let workers = state.engine.worker_count().min(to_compute.len().max(1));
     pending += to_compute.len();
     let owned = to_compute.clone();
+    // Per-request stage counters, shared into the task closures; stage
+    // work a sibling request's tasks did on our behalf lands in *their*
+    // tally — each stage resolution is tallied exactly once.
+    let stage_tally = Arc::new(crate::stagecache::StageTally::default());
 
     // Deliver the immediate hits (outside the registry lock — the
     // callback may write to a socket).
@@ -802,11 +805,12 @@ fn run_scheduled(
             let job = jobs[slot].clone();
             let state = Arc::clone(state);
             let tx = tx.clone();
+            let stage_tally = Arc::clone(&stage_tally);
             Box::new(move || {
                 let _span = trace::span_under(parent, "serve.job", |a| {
                     a.num("slot", slot as u64);
                 });
-                let result = Arc::new(compare(&job.spec, job.latency, &job.options));
+                let result = Arc::new(state.engine.compute(&job, &stage_tally));
                 trace::event("job", |a| {
                     a.str("key", &key.to_string())
                         .str("provenance", "computed")
@@ -866,6 +870,8 @@ fn run_scheduled(
         cache_entries: total,
         workers,
         elapsed: started.elapsed(),
+        stage_hits: stage_tally.hits(),
+        stage_misses: stage_tally.misses(),
     };
     ScheduledRun { resolved, stats }
 }

@@ -798,6 +798,8 @@ pub fn run_sharded(
             cache_entries: batch.stats.cache_entries,
             workers: batch.stats.workers,
             elapsed: batch.stats.elapsed,
+            stage_hits: batch.stats.stage_hits,
+            stage_misses: batch.stats.stage_misses,
         };
         merged.absorb(&recompute);
         endpoints.push(EndpointStats {
@@ -821,6 +823,10 @@ pub fn run_sharded(
         cache_entries: preloaded_total - stale + (distinct_count - hits) as usize,
         workers: merged.workers,
         elapsed: started.elapsed(),
+        // Stage work happened inside the shard processes (and the
+        // gap-fill batch); the merged endpoint stats carry it.
+        stage_hits: merged.stage_hits,
+        stage_misses: merged.stage_misses,
     };
     Ok(ShardRun {
         report: StudyReport { cells, stats },

@@ -1,0 +1,628 @@
+//! Incremental stage-level caching: memoized pipeline stages keyed by
+//! their exact inputs.
+//!
+//! The job cache ([`crate::cache`]) works at whole-job granularity
+//! (`spec × latency × options`), so a latency sweep over one spec
+//! re-runs kernel extraction at every point and a one-operation spec
+//! edit is a 100 % cold start. This module decomposes a cache-miss job
+//! into the stage functions `bittrans-core` exposes
+//! ([`bittrans_core::stage_extract`] and friends) and memoizes each
+//! stage under a content key derived from *that stage's inputs alone*:
+//!
+//! ```text
+//! stage        key material (joined with \x1f, then FNV-128 hashed)
+//! ─────        ──────────────────────────────────────────────────────
+//! extract      "extract", canonical spec text
+//! fragment     "fragment", canonical kernel text, λ
+//! verify       "verify", spec text, fragmented spec text, vectors
+//! sched_base   "sched_base", spec text, λ, chaining, balance
+//! sched_frag   "sched_frag", kernel text, λ, balance
+//! alloc_*      producing-schedule material + adder architecture
+//! time_*       producing-allocation material + timing-model bits
+//! ```
+//!
+//! Parsing/canonicalization is the degenerate zeroth stage: its
+//! "artifact" is the canonical spec text itself, computed once per
+//! [`StageCache::compare_staged`] call and embedded in every downstream
+//! key (it is not separately cached — producing the key would cost as
+//! much as producing the artifact).
+//!
+//! Because keys chain through *artifact content* (the fragment key hashes
+//! the extracted kernel's text, not the original spec's), an edit that
+//! does not change a stage's inputs does not invalidate anything
+//! downstream of it, and two different specs with the same kernel share
+//! every post-extraction stage. Concretely:
+//!
+//! * a latency sweep over one spec shares the latency-invariant prefix
+//!   (one `extract`) across all points;
+//! * an options axis (adder architecture, timing model) shares
+//!   `extract`, `fragment` and `verify` — the expensive stages — and
+//!   recomputes only allocation and timing;
+//! * a spec edit recomputes only its downstream suffix.
+//!
+//! # Storage
+//!
+//! Stage outputs live in memory as [`Arc`]-shared artifacts behind
+//! [`OnceLock`] slots: concurrent workers that need the same stage block
+//! on one initializer instead of computing it twice, so hit/miss counts
+//! are deterministic for a given job set. Errors are cached too —
+//! stages are pure functions of their keys, so a failure is as
+//! reproducible as a success (this mirrors the job cache, which also
+//! serves errors from memory).
+//!
+//! The disk tier under `<cache-dir>/stages/` holds **verify stages
+//! only**, as `{"schema":1,"stage":"verify","ok":true}` success tokens
+//! named `<key>.json`. Verification is the one stage that is both
+//! expensive (thousands of co-simulated vectors) and trivially
+//! serializable (its artifact is the fact that it passed). The other
+//! artifacts are `Spec`-shaped, and the spec dump format is explicitly
+//! *not* re-parseable (see `Spec`'s `Display` docs), so persisting them
+//! would need a real codec — a noted follow-on, not a quick win. Tokens
+//! are written via the same hidden-temp-file + atomic-rename idiom as
+//! the job store; a corrupt token is deleted and recomputed, and the
+//! filesystem itself is the index (no manifest to rebuild). The
+//! `stages/` subdirectory is invisible to the job store's directory
+//! scan, which only considers `*.json` files.
+//!
+//! Every resolution emits one `stage` trace event whose `provenance`
+//! (`memory` / `disk` / `computed`) reconciles exactly with the
+//! [`StageTally`] counters surfaced as `stage_hits` / `stage_misses` in
+//! [`crate::EngineStats`].
+
+use crate::key::JobKey;
+use crate::trace;
+use bittrans_core::{
+    stage_allocate, stage_extract, stage_fragment, stage_schedule_conventional,
+    stage_schedule_fragments, stage_time, stage_verify, Chaining, CompareOptions, Comparison,
+    Datapath, Fragmented, Implementation, PipelineError, Schedule,
+};
+use bittrans_ir::Spec;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One memoized stage output (or the error that producing it raised).
+#[derive(Clone, Debug)]
+enum StageValue {
+    /// `extract`: the additive-form kernel.
+    Kernel(Arc<Spec>),
+    /// `fragment`: the fragmented kernel with metadata.
+    Fragmented(Arc<Fragmented>),
+    /// `verify`: the fact that equivalence checking passed.
+    Verified,
+    /// `sched_base` / `sched_frag`: a schedule.
+    Schedule(Arc<Schedule>),
+    /// `alloc_base` / `alloc_frag`: an allocated datapath.
+    Datapath(Arc<Datapath>),
+    /// `time_base` / `time_frag`: the measured implementation.
+    Timed(Arc<Implementation>),
+}
+
+impl StageValue {
+    // The `unreachable!`s below guard against two different stages
+    // sharing a key; keys are prefix-tagged with the stage name, so a
+    // mismatch means a 128-bit hash collision across tags.
+    fn into_kernel(self) -> Arc<Spec> {
+        match self {
+            StageValue::Kernel(v) => v,
+            _ => unreachable!("stage key resolved to a non-kernel artifact"),
+        }
+    }
+    fn into_fragmented(self) -> Arc<Fragmented> {
+        match self {
+            StageValue::Fragmented(v) => v,
+            _ => unreachable!("stage key resolved to a non-fragment artifact"),
+        }
+    }
+    fn into_schedule(self) -> Arc<Schedule> {
+        match self {
+            StageValue::Schedule(v) => v,
+            _ => unreachable!("stage key resolved to a non-schedule artifact"),
+        }
+    }
+    fn into_datapath(self) -> Arc<Datapath> {
+        match self {
+            StageValue::Datapath(v) => v,
+            _ => unreachable!("stage key resolved to a non-datapath artifact"),
+        }
+    }
+    fn into_timed(self) -> Arc<Implementation> {
+        match self {
+            StageValue::Timed(v) => v,
+            _ => unreachable!("stage key resolved to a non-implementation artifact"),
+        }
+    }
+}
+
+type Slot = Arc<OnceLock<Result<StageValue, PipelineError>>>;
+
+/// Where a stage resolution was answered from; mirrors the `provenance`
+/// attribute of the emitted `stage` trace event.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Provenance {
+    /// Another caller already materialized the slot (or is doing so now;
+    /// `OnceLock` blocks us until it lands).
+    Memory,
+    /// Loaded from a `<cache-dir>/stages/` token.
+    Disk,
+    /// Ran the stage function.
+    Computed,
+}
+
+/// Per-batch (or per-request) stage hit/miss counters, `Arc`-shared into
+/// worker closures and folded into that batch's [`crate::EngineStats`].
+#[derive(Debug, Default)]
+pub struct StageTally {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StageTally {
+    /// Stages served from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Stages computed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// The engine's stage memo: in-memory `OnceLock` slots for every stage
+/// artifact, an optional disk tier for verify tokens, and lifetime
+/// counters. One per [`crate::Engine`], shared by every batch and serve
+/// request run through it.
+#[derive(Debug, Default)]
+pub struct StageCache {
+    slots: Mutex<HashMap<JobKey, Slot>>,
+    /// `<cache-dir>/stages`, when a cache directory is attached.
+    disk_dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StageCache {
+    /// Attaches the stage token directory (`<cache-dir>/stages`). The
+    /// directory is created lazily, on first spill.
+    pub(crate) fn attach_disk(&mut self, dir: PathBuf) {
+        self.disk_dir = Some(dir);
+    }
+
+    /// Lifetime stage hits across every batch.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime stage misses across every batch.
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resolves one stage: serves the memoized artifact, or probes the
+    /// disk tier (verify tokens only), or runs `compute` — exactly once
+    /// per key, even under concurrency, because every caller funnels
+    /// through the slot's `OnceLock`.
+    fn resolve(
+        &self,
+        key: JobKey,
+        stage: &'static str,
+        tally: &StageTally,
+        disk_token: bool,
+        compute: impl FnOnce() -> Result<StageValue, PipelineError>,
+    ) -> Result<StageValue, PipelineError> {
+        let slot: Slot = {
+            let mut slots = self.slots.lock().expect("stage cache lock");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut provenance = Provenance::Memory;
+        let result = slot
+            .get_or_init(|| {
+                if disk_token && self.load_token(key) {
+                    provenance = Provenance::Disk;
+                    return Ok(StageValue::Verified);
+                }
+                provenance = Provenance::Computed;
+                let value = compute();
+                if disk_token && value.is_ok() {
+                    self.spill_token(key);
+                }
+                value
+            })
+            .clone();
+        match provenance {
+            Provenance::Computed => {
+                tally.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            Provenance::Memory | Provenance::Disk => {
+                tally.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        trace::event("stage", |a| {
+            a.str("stage", stage)
+                .str("key", &key.to_string())
+                .str(
+                    "provenance",
+                    match provenance {
+                        Provenance::Memory => "memory",
+                        Provenance::Disk => "disk",
+                        Provenance::Computed => "computed",
+                    },
+                )
+                .flag("ok", result.is_ok());
+        });
+        result
+    }
+
+    /// Loads a verify token for `key` from the disk tier. A token that
+    /// exists but does not parse to the expected shape is corrupt: it is
+    /// deleted so the recompute's respill repairs it.
+    fn load_token(&self, key: JobKey) -> bool {
+        let Some(dir) = &self.disk_dir else { return false };
+        let path = dir.join(format!("{key}.json"));
+        let Ok(body) = std::fs::read_to_string(&path) else { return false };
+        let parsed: Result<serde_json::Value, _> = serde_json::from_str(&body);
+        let valid = parsed.is_ok_and(|v| {
+            v.get("schema").and_then(serde_json::Value::as_u64) == Some(TOKEN_SCHEMA)
+                && v.get("stage").and_then(serde_json::Value::as_str) == Some("verify")
+                && v.get("ok").and_then(serde_json::Value::as_bool) == Some(true)
+        });
+        if !valid {
+            let _ = std::fs::remove_file(&path);
+        }
+        valid
+    }
+
+    /// Best-effort spill of a verify success token: hidden temp file in
+    /// the same directory, then atomic rename, so a reader never sees a
+    /// torn token. A failed write costs a re-verification in some later
+    /// process, never this result.
+    fn spill_token(&self, key: JobKey) {
+        let Some(dir) = &self.disk_dir else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let body = format!("{{\"schema\":{TOKEN_SCHEMA},\"stage\":\"verify\",\"ok\":true}}\n");
+        let tmp = dir.join(format!(".{key}.{}.tmp", std::process::id()));
+        if std::fs::write(&tmp, body).is_ok()
+            && std::fs::rename(&tmp, dir.join(format!("{key}.json"))).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Runs one comparison through the memoized stages. Composes the
+    /// very same `bittrans-core` stage functions in the very same order
+    /// as the monolithic [`bittrans_core::compare`] — baseline flow
+    /// fully first, then the optimized flow — so results (including
+    /// which error surfaces when both flows would fail) are
+    /// bit-identical to the uncached path.
+    pub(crate) fn compare_staged(
+        &self,
+        spec: &Spec,
+        latency: u32,
+        options: &CompareOptions,
+        tally: &StageTally,
+    ) -> Result<Comparison, PipelineError> {
+        // The parse/canonicalize "stage": one canonical rendering per
+        // call, embedded in every downstream key.
+        let spec_text = spec.to_string();
+        let balance = u8::from(options.balance);
+        let adder = options.adder_arch.code();
+        let timing_bits = format!(
+            "{:016x};{:016x}",
+            options.timing.delta_ns.to_bits(),
+            options.timing.overhead_ns.to_bits()
+        );
+        let lat = latency.to_string();
+
+        // Baseline flow (conventional schedule of the original spec).
+        let base_sched = self
+            .resolve(
+                stage_key(&["sched_base", &spec_text, &lat, "component_sum", &balance.to_string()]),
+                "sched_base",
+                tally,
+                false,
+                || {
+                    stage_schedule_conventional(
+                        spec,
+                        latency,
+                        Chaining::ComponentSum,
+                        options.balance,
+                    )
+                    .map(|s| StageValue::Schedule(Arc::new(s)))
+                },
+            )?
+            .into_schedule();
+        let base_alloc_material =
+            ["alloc_base", &spec_text, &lat, "component_sum", &balance.to_string(), adder]
+                .join("\x1f");
+        let base_dp = self
+            .resolve(
+                JobKey::of_bytes(base_alloc_material.as_bytes()),
+                "alloc_base",
+                tally,
+                false,
+                || {
+                    Ok(StageValue::Datapath(Arc::new(stage_allocate(
+                        spec,
+                        &base_sched,
+                        options.adder_arch,
+                    ))))
+                },
+            )?
+            .into_datapath();
+        let original = self
+            .resolve(
+                stage_key(&["time_base", &base_alloc_material, &timing_bits]),
+                "time_base",
+                tally,
+                false,
+                || {
+                    Ok(StageValue::Timed(Arc::new(stage_time(
+                        spec.name(),
+                        spec,
+                        &base_sched,
+                        &base_dp,
+                        &options.timing,
+                    ))))
+                },
+            )?
+            .into_timed();
+
+        // Optimized flow. `extract` is the latency-invariant prefix: one
+        // per spec, shared by every point of a sweep. Everything after
+        // it keys on the *kernel's* content, so specs that extract to
+        // the same kernel share the whole suffix.
+        let kernel = self
+            .resolve(stage_key(&["extract", &spec_text]), "extract", tally, false, || {
+                stage_extract(spec).map(|k| StageValue::Kernel(Arc::new(k)))
+            })?
+            .into_kernel();
+        let kernel_text = kernel.to_string();
+        let fragmented = self
+            .resolve(
+                stage_key(&["fragment", &kernel_text, &lat]),
+                "fragment",
+                tally,
+                false,
+                || stage_fragment(&kernel, latency).map(|f| StageValue::Fragmented(Arc::new(f))),
+            )?
+            .into_fragmented();
+        if options.verify_vectors > 0 {
+            // Keyed on the *fragmented* spec's content: two latencies
+            // that fragment identically share one verification — and
+            // verify is the only stage worth a disk token.
+            let frag_text = fragmented.spec.to_string();
+            self.resolve(
+                stage_key(&["verify", &spec_text, &frag_text, &options.verify_vectors.to_string()]),
+                "verify",
+                tally,
+                true,
+                || {
+                    stage_verify(spec, &fragmented.spec, options.verify_vectors)
+                        .map(|()| StageValue::Verified)
+                },
+            )?;
+        }
+        let frag_sched = self
+            .resolve(
+                stage_key(&["sched_frag", &kernel_text, &lat, &balance.to_string()]),
+                "sched_frag",
+                tally,
+                false,
+                || {
+                    stage_schedule_fragments(&fragmented, options.balance)
+                        .map(|s| StageValue::Schedule(Arc::new(s)))
+                },
+            )?
+            .into_schedule();
+        let frag_alloc_material =
+            ["alloc_frag", &kernel_text, &lat, &balance.to_string(), adder].join("\x1f");
+        let frag_dp = self
+            .resolve(
+                JobKey::of_bytes(frag_alloc_material.as_bytes()),
+                "alloc_frag",
+                tally,
+                false,
+                || {
+                    Ok(StageValue::Datapath(Arc::new(stage_allocate(
+                        &fragmented.spec,
+                        &frag_sched,
+                        options.adder_arch,
+                    ))))
+                },
+            )?
+            .into_datapath();
+        let optimized = self
+            .resolve(
+                // `Implementation.name` is the original spec's name, so
+                // the timing key must carry it: two specs sharing a
+                // kernel share everything up to here, but not the label.
+                stage_key(&["time_frag", spec.name(), &frag_alloc_material, &timing_bits]),
+                "time_frag",
+                tally,
+                false,
+                || {
+                    Ok(StageValue::Timed(Arc::new(stage_time(
+                        spec.name(),
+                        &fragmented.spec,
+                        &frag_sched,
+                        &frag_dp,
+                        &options.timing,
+                    ))))
+                },
+            )?
+            .into_timed();
+
+        Ok(Comparison { original: (*original).clone(), optimized: (*optimized).clone() })
+    }
+}
+
+/// Schema of the on-disk verify tokens.
+const TOKEN_SCHEMA: u64 = 1;
+
+/// A stage key: the stage-name-tagged parts joined with the same `\x1f`
+/// separator [`crate::key`] uses, FNV-128 hashed.
+fn stage_key(parts: &[&str]) -> JobKey {
+    JobKey::of_bytes(parts.join("\x1f").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bittrans_core::compare;
+
+    fn three_adds() -> Spec {
+        Spec::parse(
+            "spec ex { input A: u16; input B: u16; input D: u16; input F: u16;
+              C: u16 = A + B; E: u16 = C + D; G: u16 = E + F; output G; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn staged_result_is_bit_identical_to_monolithic() {
+        let spec = three_adds();
+        let options = CompareOptions::default();
+        let cache = StageCache::default();
+        let tally = StageTally::default();
+        for latency in 2..=5 {
+            let staged = cache.compare_staged(&spec, latency, &options, &tally).unwrap();
+            let mono = compare(&spec, latency, &options).unwrap();
+            assert_eq!(
+                serde_json::to_string(&staged).unwrap(),
+                serde_json::to_string(&mono).unwrap(),
+                "λ={latency}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_sweep_shares_the_extract_prefix() {
+        let spec = three_adds();
+        let options = CompareOptions::default();
+        let cache = StageCache::default();
+        let tally = StageTally::default();
+        cache.compare_staged(&spec, 3, &options, &tally).unwrap();
+        let cold_misses = tally.misses();
+        assert_eq!(tally.hits(), 0, "cold point computes every stage");
+
+        // Each further latency point reuses `extract` (λ-invariant) and
+        // computes its per-latency suffix.
+        for latency in 4..=6 {
+            let before = tally.hits();
+            cache.compare_staged(&spec, latency, &options, &tally).unwrap();
+            assert!(tally.hits() > before, "λ={latency} must hit the extract stage");
+        }
+        // Re-running a point recomputes nothing at all.
+        let misses_before = tally.misses();
+        cache.compare_staged(&spec, 3, &options, &tally).unwrap();
+        assert_eq!(tally.misses(), misses_before, "warm point is all hits");
+        assert!(tally.misses() >= cold_misses);
+    }
+
+    #[test]
+    fn adder_axis_shares_extract_fragment_and_verify() {
+        let spec = three_adds();
+        let cache = StageCache::default();
+        let tally = StageTally::default();
+        let rca = CompareOptions::default();
+        cache.compare_staged(&spec, 3, &rca, &tally).unwrap();
+
+        let csel = CompareOptions {
+            adder_arch: bittrans_rtl::AdderArch::CarrySelect,
+            ..CompareOptions::default()
+        };
+        let (h0, m0) = (tally.hits(), tally.misses());
+        cache.compare_staged(&spec, 3, &csel, &tally).unwrap();
+        // Shared: extract, fragment, verify, and both schedules (the
+        // adder only enters at allocation). Recomputed: both alloc and
+        // both time stages.
+        assert_eq!(tally.hits() - h0, 5, "extract+fragment+verify+2×sched shared");
+        assert_eq!(tally.misses() - m0, 4, "2×alloc + 2×time recomputed");
+    }
+
+    #[test]
+    fn stage_errors_are_cached_and_stable() {
+        let spec = three_adds();
+        let options = CompareOptions::default();
+        let cache = StageCache::default();
+        let tally = StageTally::default();
+        let first = cache.compare_staged(&spec, 0, &options, &tally).unwrap_err();
+        let misses = tally.misses();
+        let second = cache.compare_staged(&spec, 0, &options, &tally).unwrap_err();
+        assert_eq!(tally.misses(), misses, "failed stage is served from cache");
+        assert_eq!(first.to_string(), second.to_string());
+        assert!(first.is_infeasible());
+    }
+
+    #[test]
+    fn verify_tokens_round_trip_through_the_disk_tier() {
+        let dir = tempdir("stage-tokens");
+        let spec = three_adds();
+        let options = CompareOptions { verify_vectors: 64, ..CompareOptions::default() };
+
+        let mut warm = StageCache::default();
+        warm.attach_disk(dir.clone());
+        let tally = StageTally::default();
+        warm.compare_staged(&spec, 3, &options, &tally).unwrap();
+        let tokens: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(tokens.len(), 1, "one verify token spilled: {tokens:?}");
+        assert!(tokens[0].ends_with(".json"));
+
+        // A fresh cache (fresh process) over the same directory loads
+        // the token instead of re-verifying; its only hit is `verify`.
+        let mut fresh = StageCache::default();
+        fresh.attach_disk(dir.clone());
+        let fresh_tally = StageTally::default();
+        fresh.compare_staged(&spec, 3, &options, &fresh_tally).unwrap();
+        assert_eq!(fresh_tally.hits(), 1, "verify served from disk");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_verify_token_is_deleted_and_recomputed() {
+        let dir = tempdir("stage-corrupt");
+        let spec = three_adds();
+        let options = CompareOptions { verify_vectors: 64, ..CompareOptions::default() };
+
+        let mut seed = StageCache::default();
+        seed.attach_disk(dir.clone());
+        seed.compare_staged(&spec, 3, &options, &StageTally::default()).unwrap();
+        let token = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+
+        for corruption in ["", "{\"schema\":999}", "not json at all", "{\"stage\":\"verify\"}"] {
+            std::fs::write(&token, corruption).unwrap();
+            let mut fresh = StageCache::default();
+            fresh.attach_disk(dir.clone());
+            let tally = StageTally::default();
+            fresh.compare_staged(&spec, 3, &options, &tally).unwrap();
+            assert_eq!(tally.hits(), 0, "corrupt token {corruption:?} must not hit");
+            // The recompute respilled a valid token.
+            let body = std::fs::read_to_string(&token).unwrap();
+            assert!(body.contains("\"ok\":true"), "respill repaired the token: {body}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bittrans-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

@@ -42,6 +42,15 @@ pub struct EngineStats {
     pub workers: usize,
     /// Wall-clock time of the batch (zero for lifetime snapshots).
     pub elapsed: Duration,
+    /// Pipeline stages served from the stage cache (memory or disk)
+    /// instead of being recomputed. Only cache-miss jobs run stages at
+    /// all, so these counters describe sharing *within* the misses; like
+    /// `workers` and `elapsed` they depend on the run shape (a sharded
+    /// run shares fewer stages per process than a single-process run) and
+    /// are blanked by report normalization.
+    pub stage_hits: u64,
+    /// Pipeline stages computed (stage-cache misses).
+    pub stage_misses: u64,
 }
 
 impl EngineStats {
@@ -63,6 +72,8 @@ impl EngineStats {
             cache_entries: 0,
             workers: 0,
             elapsed: Duration::ZERO,
+            stage_hits: 0,
+            stage_misses: 0,
         }
     }
 
@@ -79,6 +90,8 @@ impl EngineStats {
         self.cache_entries = self.cache_entries.max(other.cache_entries);
         self.workers += other.workers;
         self.elapsed = self.elapsed.max(other.elapsed);
+        self.stage_hits += other.stage_hits;
+        self.stage_misses += other.stage_misses;
     }
 
     /// Merges any number of batch statistics ([`EngineStats::absorb`]
@@ -94,13 +107,15 @@ impl EngineStats {
 
 impl Serialize for EngineStats {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut st = serializer.serialize_struct("EngineStats", 7)?;
+        let mut st = serializer.serialize_struct("EngineStats", 9)?;
         st.serialize_field("jobs", &self.jobs)?;
         st.serialize_field("cache_hits", &self.cache_hits)?;
         st.serialize_field("cache_misses", &self.cache_misses)?;
         st.serialize_field("hit_rate_pct", &self.hit_rate())?;
         st.serialize_field("cache_entries", &self.cache_entries)?;
         st.serialize_field("workers", &self.workers)?;
+        st.serialize_field("stage_hits", &self.stage_hits)?;
+        st.serialize_field("stage_misses", &self.stage_misses)?;
         st.serialize_field("elapsed_ms", &(self.elapsed.as_secs_f64() * 1e3))?;
         st.end()
     }
@@ -119,6 +134,9 @@ impl fmt::Display for EngineStats {
             self.cache_entries,
             self.workers,
         )?;
+        if self.stage_hits + self.stage_misses > 0 {
+            write!(f, ", {} stage hits / {} stages computed", self.stage_hits, self.stage_misses)?;
+        }
         if !self.elapsed.is_zero() {
             write!(f, ", {:.1} ms", self.elapsed.as_secs_f64() * 1e3)?;
         }
@@ -198,12 +216,17 @@ pub struct SchedStats {
 
 impl SchedStats {
     /// Mean enqueue→dispatch wait per dispatched task (zero when idle).
+    ///
+    /// Computed in `u128` nanoseconds: `Duration`'s `Div` takes a `u32`
+    /// divisor, and the previous `u32::try_from(...).unwrap_or(u32::MAX)`
+    /// clamp silently inflated the mean once a long-lived service passed
+    /// `u32::MAX` dispatched tasks.
     pub fn mean_wait(&self) -> Duration {
         if self.dispatched_tasks == 0 {
-            Duration::ZERO
-        } else {
-            self.total_wait / u32::try_from(self.dispatched_tasks).unwrap_or(u32::MAX)
+            return Duration::ZERO;
         }
+        let mean_ns = self.total_wait.as_nanos() / u128::from(self.dispatched_tasks);
+        Duration::from_nanos(u64::try_from(mean_ns).unwrap_or(u64::MAX))
     }
 }
 
@@ -313,14 +336,7 @@ mod tests {
 
     #[test]
     fn hit_rate_handles_zero_jobs() {
-        let stats = EngineStats {
-            jobs: 0,
-            cache_hits: 0,
-            cache_misses: 0,
-            cache_entries: 0,
-            workers: 1,
-            elapsed: Duration::ZERO,
-        };
+        let stats = EngineStats { workers: 1, ..EngineStats::zero() };
         assert_eq!(stats.hit_rate(), 0.0);
     }
 
@@ -366,6 +382,8 @@ mod tests {
             cache_entries: 10,
             workers: 2,
             elapsed: Duration::from_millis(8),
+            stage_hits: 6,
+            stage_misses: 9,
         };
         let b = EngineStats {
             jobs: 5,
@@ -374,6 +392,8 @@ mod tests {
             cache_entries: 10,
             workers: 3,
             elapsed: Duration::from_millis(5),
+            stage_hits: 1,
+            stage_misses: 20,
         };
         let merged = EngineStats::merged([&a, &b]);
         assert_eq!(merged.jobs, 9);
@@ -383,6 +403,9 @@ mod tests {
         assert_eq!(merged.cache_entries, 10);
         assert_eq!(merged.workers, 5);
         assert_eq!(merged.elapsed, Duration::from_millis(8));
+        // Stage work sums like job work: the shards ran disjoint stages.
+        assert_eq!(merged.stage_hits, 7);
+        assert_eq!(merged.stage_misses, 29);
         assert_eq!(EngineStats::merged([]).jobs, 0);
     }
 
@@ -456,6 +479,35 @@ mod tests {
     }
 
     #[test]
+    fn mean_wait_is_exact_past_the_u32_divisor_boundary() {
+        // 2^33 dispatched tasks at 100 ns each. The old computation
+        // clamped the divisor to u32::MAX and reported ~200 ns — double
+        // the true mean — once a long-lived service crossed the boundary.
+        let tasks: u64 = 1 << 33;
+        let stats = SchedStats {
+            workers: 8,
+            queue_depth: 0,
+            active_requests: 0,
+            admitted_requests: tasks,
+            completed_requests: tasks,
+            dispatched_tasks: tasks,
+            completed_tasks: tasks,
+            panicked_tasks: 0,
+            total_wait: Duration::from_nanos(100u64 << 33),
+        };
+        assert_eq!(stats.total_wait.as_nanos(), u128::from(tasks) * 100);
+        assert_eq!(stats.mean_wait(), Duration::from_nanos(100));
+        // Exactly at the boundary the old clamp happened to be fine;
+        // stay exact there too.
+        let at_boundary = SchedStats {
+            dispatched_tasks: u64::from(u32::MAX),
+            total_wait: Duration::from_nanos(7) * u32::MAX,
+            ..stats
+        };
+        assert_eq!(at_boundary.mean_wait(), Duration::from_nanos(7));
+    }
+
+    #[test]
     fn display_mentions_hits_and_workers() {
         let stats = EngineStats {
             jobs: 4,
@@ -464,9 +516,14 @@ mod tests {
             cache_entries: 4,
             workers: 2,
             elapsed: Duration::from_millis(5),
+            stage_hits: 0,
+            stage_misses: 0,
         };
         let text = stats.to_string();
         assert!(text.contains("100% hit rate"), "{text}");
         assert!(text.contains("2 workers"), "{text}");
+        assert!(!text.contains("stage"), "no stage noise when none ran: {text}");
+        let staged = EngineStats { stage_hits: 3, stage_misses: 2, ..stats };
+        assert!(staged.to_string().contains("3 stage hits / 2 stages computed"));
     }
 }

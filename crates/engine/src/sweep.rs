@@ -42,7 +42,7 @@ mod tests {
     fn matches_serial_latency_sweep() {
         let spec = three_adds();
         let options = CompareOptions::default();
-        let serial = latency_sweep(&spec, 2..=8, &options);
+        let serial = latency_sweep(&spec, 2..=8, &options).expect("serial sweep");
         let engine = Engine::default();
         let parallel = engine.sweep(&spec, 2..=8, &options);
         assert_eq!(serial.len(), parallel.len());

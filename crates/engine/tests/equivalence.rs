@@ -49,7 +49,7 @@ fn engine_matches_direct_compare_on_every_benchmark() {
 fn engine_sweep_matches_serial_sweep_on_benchmarks() {
     let options = CompareOptions { verify_vectors: 0, ..Default::default() };
     for b in bm::table2_benchmarks() {
-        let serial = bittrans_core::latency_sweep(&b.spec, 3..=8, &options);
+        let serial = bittrans_core::latency_sweep(&b.spec, 3..=8, &options).expect("serial sweep");
         let engine = Engine::new(EngineOptions { workers: Some(4), ..Default::default() });
         let parallel = engine.sweep(&b.spec, 3..=8, &options);
         assert_eq!(serial.len(), parallel.len(), "{}", b.name);

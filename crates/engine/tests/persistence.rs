@@ -94,10 +94,16 @@ fn corrupt_entries_are_recomputed_and_repaired() {
     let jobs = vec![Job::new(spec, 3)];
     let engine = Engine::default().with_cache_dir(&dir).unwrap();
     engine.run(jobs.clone());
+    // A result entry: top-level .json, not the manifest, not the
+    // `stages/` token subdirectory.
     let entry = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().path())
-        .find(|p| p.file_name().is_some_and(|n| n != "index.json"))
+        .find(|p| {
+            p.is_file()
+                && p.extension().is_some_and(|x| x == "json")
+                && p.file_name().is_some_and(|n| n != "index.json")
+        })
         .unwrap();
     std::fs::write(&entry, "definitely not json").unwrap();
 

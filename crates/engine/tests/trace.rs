@@ -232,3 +232,52 @@ fn job_provenance_reconciles_with_engine_stats_across_all_tiers() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Tallies `stage` events by provenance from one drained trace.
+fn stage_counts(lines: &[String]) -> HashMap<String, u64> {
+    let mut counts = HashMap::new();
+    for v in parse_lines(lines) {
+        if str_of(&v, "kind") == Some("event") && str_of(&v, "name") == Some("stage") {
+            let provenance = str_of(&v, "provenance").expect("stage event has provenance");
+            *counts.entry(provenance.to_string()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Acceptance for the stage memo: per-stage provenance events reconcile
+/// *exactly* with the batch's `stage_hits` / `stage_misses` counters —
+/// every memory or disk resolution is one hit event, every computed
+/// resolution one miss event — and a warm batch, served at job
+/// granularity, emits no stage events at all.
+#[test]
+fn stage_provenance_reconciles_with_engine_stats() {
+    let _guard = locked();
+    trace::uninstall();
+    trace::install_memory();
+
+    let engine = Engine::new(EngineOptions { workers: Some(2), cache: true });
+    // A latency sweep over one spec: `extract` is λ-invariant, so the
+    // cold batch itself shares it across the four points.
+    let jobs: Vec<Job> = (2..=5).map(|latency| job(16, latency)).collect();
+    let cold = engine.run(jobs.clone());
+    let counts = stage_counts(&trace::drain());
+    assert_eq!(counts.get("computed").copied().unwrap_or(0), cold.stats.stage_misses);
+    assert_eq!(
+        counts.get("memory").copied().unwrap_or(0) + counts.get("disk").copied().unwrap_or(0),
+        cold.stats.stage_hits,
+    );
+    assert!(cold.stats.stage_hits >= 3, "λ-invariant extract must be shared: {:?}", cold.stats);
+    assert!(cold.stats.stage_misses > 0);
+    // No cache directory is attached, so nothing can resolve from disk.
+    assert_eq!(counts.get("disk"), None);
+
+    // Warm: every job is a memory hit at job granularity, so the stage
+    // memo is never consulted — zero stage counters, zero stage events.
+    let warm = engine.run(jobs);
+    let counts = stage_counts(&trace::drain());
+    trace::uninstall();
+    assert_eq!(warm.stats.cache_hits, 4);
+    assert_eq!(warm.stats.stage_hits + warm.stats.stage_misses, 0);
+    assert!(counts.is_empty(), "a warm batch resolves no stages: {counts:?}");
+}

@@ -112,7 +112,7 @@ fn table3_shape() {
 #[test]
 fn fig4_divergence() {
     let spec = bm::elliptic();
-    let points = latency_sweep(&spec, 3..=15, &options());
+    let points = latency_sweep(&spec, 3..=15, &options()).expect("fig4 sweep");
     assert!(points.len() >= 12);
     let first = &points[0];
     let last = points.last().unwrap();

@@ -78,10 +78,11 @@ fn sharded_json_is_byte_identical_to_single_process() {
     let (single, _) = run_grid(&dir_a, &[], &[]);
     let (sharded, stderr) = run_grid(&dir_b, &["--shards", "4"], &[]);
 
-    // Byte-identical modulo the wall-clock line — including from_cache
-    // flags, per-cell comparisons, and the workers count (4 one-thread
-    // shards ≡ one 4-thread pool).
-    assert_eq!(strip_elapsed(&single), strip_elapsed(&sharded));
+    // Byte-identical modulo the run shape — including from_cache flags
+    // and per-cell comparisons. The stage counters are part of the run
+    // shape: four single-job shard batches share fewer stage prefixes
+    // than one 12-job pool, without changing a result byte.
+    assert_eq!(strip_run_shape(&single), strip_run_shape(&sharded));
 
     // Merged totals: every deduplicated job exactly once.
     assert_eq!(stat(&sharded, "jobs"), 12);
