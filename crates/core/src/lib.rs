@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canonical;
 pub mod report;
 pub mod stage;
 
@@ -59,6 +60,7 @@ use std::fmt;
 
 pub use bittrans_alloc::Datapath;
 pub use bittrans_frag::Fragmented;
+pub use bittrans_ir::canonical::CodecError;
 pub use bittrans_sched::conventional::Chaining;
 pub use bittrans_sched::Schedule;
 

@@ -31,9 +31,14 @@
 //! systems count the same work through entirely different code paths, so
 //! agreement here is a real invariant, not a tautology.
 //!
-//! Numbers come from wall clocks and are machine-dependent; the committed
-//! document is a trajectory record, not a regression gate. The `quick`
-//! mode shrinks every axis so CI can validate the schema in seconds.
+//! Numbers come from wall clocks and are machine-dependent. Every timed
+//! group runs [`BENCH_RUNS`] times and reports the median repetition (by
+//! the group's primary scalar) plus the min-to-max spread in percent, so
+//! a committed document carries its own noise estimate — the
+//! prerequisite for CI trajectory gating on `BENCH_<n>.json` deltas. The
+//! committed document is still a trajectory record, not a regression
+//! gate. The `quick` mode shrinks every axis so CI can validate the
+//! schema in seconds.
 
 use crate::shard::{self, RemoteTransport, ShardOptions, ShardedStudy, Transport};
 use crate::{proto, trace, Engine, EngineOptions, Job, ServeOptions, Server};
@@ -178,6 +183,69 @@ impl IncrementalPoint {
     }
 }
 
+/// Repetitions of every timed metric group; the report carries the
+/// median run and the min-to-max spread across all of them.
+pub const BENCH_RUNS: u32 = 3;
+
+/// Min-to-max spread (in percent of the median) of each timed group's
+/// primary scalar across the [`BENCH_RUNS`] repetitions — the run-to-run
+/// noise floor a trajectory gate has to tolerate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpreadPct {
+    /// Throughput group (scalar: jobs/sec at the highest worker count).
+    pub throughput: f64,
+    /// Cache group (scalar: cold-to-warm speedup).
+    pub cache: f64,
+    /// Incremental group (scalar: cold-to-warm point speedup).
+    pub incremental: f64,
+    /// Serve group (scalar: p50 round trip).
+    pub serve: f64,
+    /// Sharding group (scalar: wall clock at the highest shard count).
+    pub sharding: f64,
+    /// Multi-tenant group (scalar: small-tenant p50).
+    pub multi_tenant: f64,
+}
+
+impl SpreadPct {
+    /// The noisiest group's spread — the single number to read when
+    /// judging whether a trajectory delta clears the noise floor.
+    pub fn max(&self) -> f64 {
+        [self.throughput, self.cache, self.incremental, self.serve, self.sharding]
+            .into_iter()
+            .chain([self.multi_tenant])
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The median repetition of one timed group plus the spread of its
+/// primary scalar across all repetitions.
+struct Measured<T> {
+    median: T,
+    spread_pct: f64,
+}
+
+/// Runs `f` `runs` times, picks the repetition whose `primary` scalar is
+/// the median, and reports the min-to-max spread as a percentage of that
+/// median (0 when the median is 0 or only one run was taken).
+fn measured<T>(
+    runs: u32,
+    primary: impl Fn(&T) -> f64,
+    mut f: impl FnMut() -> io::Result<T>,
+) -> io::Result<Measured<T>> {
+    let mut samples = Vec::new();
+    for _ in 0..runs.max(1) {
+        samples.push(f()?);
+    }
+    let keys: Vec<f64> = samples.iter().map(&primary).collect();
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]));
+    let mid = order[(order.len() - 1) / 2];
+    let median_key = keys[mid];
+    let (lo, hi) = (keys[order[0]], keys[order[order.len() - 1]]);
+    let spread_pct = if median_key != 0.0 { (hi - lo) / median_key.abs() * 100.0 } else { 0.0 };
+    Ok(Measured { median: samples.swap_remove(mid), spread_pct })
+}
+
 /// Trace-versus-stats reconciliation of one cold+warm batch pair.
 #[derive(Clone, Copy, Debug)]
 pub struct TraceCheck {
@@ -205,6 +273,11 @@ pub struct BenchReport {
     pub quick: bool,
     /// Distinct jobs in the workload batch.
     pub jobs: usize,
+    /// Repetitions each timed group ran; the group fields below hold the
+    /// median repetition.
+    pub runs: u32,
+    /// Per-group run-to-run spread across the repetitions.
+    pub spread: SpreadPct,
     /// Cold throughput at each worker count.
     pub throughput: Vec<ThroughputPoint>,
     /// Cold-versus-warm cache speedup.
@@ -223,8 +296,10 @@ pub struct BenchReport {
 }
 
 /// Identifies the document layout; bumped if fields change shape.
-/// v2 added the `multi_tenant` group; v3 added `incremental`.
-pub const SCHEMA: &str = "bittrans-bench-v3";
+/// v2 added the `multi_tenant` group; v3 added `incremental`; v4 made
+/// every timed group a median-of-[`BENCH_RUNS`] and added the top-level
+/// `runs` count and `spread_pct` noise-floor object.
+pub const SCHEMA: &str = "bittrans-bench-v4";
 
 impl BenchReport {
     /// The report as one pretty-printed JSON document (the committed
@@ -233,8 +308,20 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"quick\": {},\n  \"jobs\": {},\n",
-            self.quick, self.jobs
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"quick\": {},\n  \"jobs\": {},\n  \
+             \"runs\": {},\n",
+            self.quick, self.jobs, self.runs
+        ));
+        out.push_str(&format!(
+            "  \"spread_pct\": {{\"throughput\": {:.1}, \"cache\": {:.1}, \
+             \"incremental\": {:.1}, \"serve\": {:.1}, \"sharding\": {:.1}, \
+             \"multi_tenant\": {:.1}}},\n",
+            self.spread.throughput,
+            self.spread.cache,
+            self.spread.incremental,
+            self.spread.serve,
+            self.spread.sharding,
+            self.spread.multi_tenant,
         ));
         out.push_str("  \"throughput\": [\n");
         for (i, point) in self.throughput.iter().enumerate() {
@@ -321,8 +408,13 @@ impl BenchReport {
     /// A short human-readable summary (the default `bittrans bench`
     /// output when `--json` is not given).
     pub fn summary(&self) -> String {
-        let mut out =
-            format!("bench ({} jobs{}):\n", self.jobs, if self.quick { ", quick" } else { "" });
+        let mut out = format!(
+            "bench ({} jobs{}, median of {} runs, noise floor {:.1}%):\n",
+            self.jobs,
+            if self.quick { ", quick" } else { "" },
+            self.runs,
+            self.spread.max(),
+        );
         for point in &self.throughput {
             out.push_str(&format!(
                 "  {} worker(s): {:.1} jobs/sec\n",
@@ -430,9 +522,13 @@ impl Workload {
     }
 }
 
-/// Runs the whole suite. The trace collector is taken over for the
-/// `trace_check` group (in-memory sink) and released afterwards, so
-/// `bench` should not be combined with a file trace of the same process.
+/// Runs the whole suite: every timed group [`BENCH_RUNS`] times (each
+/// repetition on fresh engines/servers, so counters stay exact), keeping
+/// the median repetition and the cross-run spread. The trace collector
+/// is taken over for the `trace_check` group (in-memory sink) and
+/// released afterwards, so `bench` should not be combined with a file
+/// trace of the same process; that group is a consistency check, not a
+/// timing, and runs once.
 ///
 /// # Errors
 ///
@@ -440,24 +536,51 @@ impl Workload {
 pub fn run(options: &BenchOptions) -> io::Result<BenchReport> {
     let workload = Workload::new(options.quick);
     let jobs = workload.jobs();
+    let runs = BENCH_RUNS;
 
-    let throughput = measure_throughput(&jobs, options.quick);
-    let cache = measure_cache(&jobs);
-    let incremental = measure_incremental(options.quick);
-    let serve = measure_serve(&workload, options.quick)?;
-    let sharding = measure_sharding(&workload)?;
-    let multi_tenant = measure_multi_tenant(&workload, options.quick)?;
+    let throughput = measured(
+        runs,
+        |points: &Vec<ThroughputPoint>| points.last().map_or(0.0, ThroughputPoint::jobs_per_sec),
+        || Ok(measure_throughput(&jobs, options.quick)),
+    )?;
+    let cache = measured(runs, CachePoint::speedup, || Ok(measure_cache(&jobs)))?;
+    let incremental =
+        measured(runs, IncrementalPoint::speedup, || Ok(measure_incremental(options.quick)))?;
+    let serve = measured(
+        runs,
+        |point: &ServePoint| point.p50.as_secs_f64(),
+        || measure_serve(&workload, options.quick),
+    )?;
+    let sharding = measured(
+        runs,
+        |points: &Vec<ShardPoint>| points.last().map_or(0.0, |p| p.elapsed.as_secs_f64()),
+        || measure_sharding(&workload),
+    )?;
+    let multi_tenant = measured(
+        runs,
+        |point: &MultiTenantPoint| point.small_p50.as_secs_f64(),
+        || measure_multi_tenant(&workload, options.quick),
+    )?;
     let trace_check = measure_trace_check(&jobs);
 
     Ok(BenchReport {
         quick: options.quick,
         jobs: jobs.len(),
-        throughput,
-        cache,
-        incremental,
-        serve,
-        sharding,
-        multi_tenant,
+        runs,
+        spread: SpreadPct {
+            throughput: throughput.spread_pct,
+            cache: cache.spread_pct,
+            incremental: incremental.spread_pct,
+            serve: serve.spread_pct,
+            sharding: sharding.spread_pct,
+            multi_tenant: multi_tenant.spread_pct,
+        },
+        throughput: throughput.median,
+        cache: cache.median,
+        incremental: incremental.median,
+        serve: serve.median,
+        sharding: sharding.median,
+        multi_tenant: multi_tenant.median,
         trace_check,
     })
 }
@@ -742,10 +865,47 @@ mod tests {
     use super::*;
 
     #[test]
+    fn measured_picks_the_median_run_and_reports_the_spread() {
+        let samples = [4.0f64, 1.0, 2.0];
+        let mut next = 0usize;
+        let got = measured(
+            3,
+            |v: &f64| *v,
+            || {
+                next += 1;
+                Ok(samples[next - 1])
+            },
+        )
+        .unwrap();
+        assert_eq!(got.median, 2.0);
+        // (4 - 1) / 2 = 150% min-to-max spread around the median.
+        assert!((got.spread_pct - 150.0).abs() < 1e-9, "{}", got.spread_pct);
+
+        let single = measured(1, |v: &f64| *v, || Ok(7.0)).unwrap();
+        assert_eq!(single.median, 7.0);
+        assert_eq!(single.spread_pct, 0.0);
+
+        let zero = measured(3, |v: &f64| *v, || Ok(0.0)).unwrap();
+        assert_eq!(zero.spread_pct, 0.0, "zero median degrades to zero spread");
+    }
+
+    #[test]
     fn quick_bench_produces_a_valid_consistent_document() {
         let report = run(&BenchOptions { quick: true }).expect("quick bench runs");
         assert!(report.quick);
         assert!(report.jobs > 0);
+        assert_eq!(report.runs, BENCH_RUNS);
+        for (group, spread) in [
+            ("throughput", report.spread.throughput),
+            ("cache", report.spread.cache),
+            ("incremental", report.spread.incremental),
+            ("serve", report.spread.serve),
+            ("sharding", report.spread.sharding),
+            ("multi_tenant", report.spread.multi_tenant),
+        ] {
+            assert!(spread.is_finite() && spread >= 0.0, "{group} spread {spread}");
+        }
+        assert!(report.spread.max() >= report.spread.cache);
         assert_eq!(report.throughput.len(), 2);
         assert!(report.throughput.iter().all(|p| p.jobs == report.jobs as u64));
         assert!(report.cache.warm_hits == report.jobs as u64);
@@ -775,7 +935,9 @@ mod tests {
         let json = report.to_json();
         let value: Value = serde_json::from_str(&json).expect("bench JSON parses");
         assert_eq!(value.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(value.get("runs").and_then(Value::as_u64), Some(u64::from(BENCH_RUNS)));
         for group in [
+            "spread_pct",
             "throughput",
             "cache",
             "incremental",

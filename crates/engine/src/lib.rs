@@ -169,7 +169,7 @@ impl Engine {
             self.disk = Some(Mutex::new(DirIndex::open(&dir)?));
             // Verify-stage tokens live in a subdirectory the job-entry
             // scan ignores (it only considers top-level `*.json` files).
-            self.stages.attach_disk(dir.join("stages"));
+            self.stages.attach_disk(dir.join(persist::STAGE_SUBDIR));
         }
         Ok(self)
     }
@@ -267,10 +267,11 @@ impl Engine {
         })?;
         let mut disk = disk.lock().expect("cache index lock");
         let pinned = self.cache.keys().into_iter().collect();
+        let pinned_stages = self.stages.resident_keys();
         let now = std::time::SystemTime::now()
             .duration_since(std::time::SystemTime::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());
-        persist::prune(&mut disk, &policy, &pinned, now)
+        persist::prune(&mut disk, &policy, &pinned, &pinned_stages, now)
     }
 
     /// Computes one comparison: through the memoized stage path

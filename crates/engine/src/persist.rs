@@ -290,7 +290,10 @@ pub struct PrunePolicy {
     pub max_age: Option<Duration>,
 }
 
-/// What an eviction sweep did.
+/// What an eviction sweep did. The `scanned`/`removed`/`kept` family
+/// counts top-level job entries only; the `stage_*` family counts files
+/// in the `stages/` artifact tier, which the same sweep walks under the
+/// same policy (one combined `max_bytes` budget across both tiers).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PruneReport {
     /// Entries in the directory before the sweep.
@@ -306,18 +309,37 @@ pub struct PruneReport {
     /// Entries that were over budget but skipped because a live run pinned
     /// them.
     pub pinned: usize,
+    /// Stage artifact files in `stages/` before the sweep.
+    pub stage_scanned: usize,
+    /// Stage files deleted.
+    pub stage_removed: usize,
+    /// Bytes those stage files occupied.
+    pub stage_freed_bytes: u64,
+    /// Stage files left after the sweep.
+    pub stage_kept: usize,
+    /// Bytes the remaining stage files occupy.
+    pub stage_kept_bytes: u64,
+    /// Stage files that were over budget but skipped because they are
+    /// resident in a live engine's stage memo.
+    pub stage_pinned: usize,
 }
 
 impl serde::Serialize for PruneReport {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
-        let mut st = serializer.serialize_struct("PruneReport", 6)?;
+        let mut st = serializer.serialize_struct("PruneReport", 12)?;
         st.serialize_field("scanned", &self.scanned)?;
         st.serialize_field("removed", &self.removed)?;
         st.serialize_field("freed_bytes", &self.freed_bytes)?;
         st.serialize_field("kept", &self.kept)?;
         st.serialize_field("kept_bytes", &self.kept_bytes)?;
         st.serialize_field("pinned", &self.pinned)?;
+        st.serialize_field("stage_scanned", &self.stage_scanned)?;
+        st.serialize_field("stage_removed", &self.stage_removed)?;
+        st.serialize_field("stage_freed_bytes", &self.stage_freed_bytes)?;
+        st.serialize_field("stage_kept", &self.stage_kept)?;
+        st.serialize_field("stage_kept_bytes", &self.stage_kept_bytes)?;
+        st.serialize_field("stage_pinned", &self.stage_pinned)?;
         st.end()
     }
 }
@@ -332,27 +354,94 @@ impl fmt::Display for PruneReport {
         if self.pinned > 0 {
             write!(f, ", {} pinned by the live run", self.pinned)?;
         }
+        write!(
+            f,
+            "; stages: pruned {} of {} ({} bytes freed), {} kept ({} bytes)",
+            self.stage_removed,
+            self.stage_scanned,
+            self.stage_freed_bytes,
+            self.stage_kept,
+            self.stage_kept_bytes
+        )?;
+        if self.stage_pinned > 0 {
+            write!(f, ", {} pinned by the stage memo", self.stage_pinned)?;
+        }
         Ok(())
     }
 }
 
-/// Runs one eviction sweep over `index`: first drops entries older than
-/// `max_age`, then evicts oldest-first until the remainder fits in
-/// `max_bytes`. Entries in `pinned` are never touched — they belong to a
-/// live run. The index file is rewritten afterwards.
+/// One stage artifact file found under `<dir>/stages/`, as seen by the
+/// prune walk (names only; bodies are never parsed here).
+struct StageRow {
+    path: PathBuf,
+    /// The key parsed from the file stem; `None` for foreign files, which
+    /// can never be pinned and age out like anything else.
+    key: Option<JobKey>,
+    bytes: u64,
+    mtime: u64,
+}
+
+/// Lists the stage artifact files of `dir`'s `stages/` subdirectory:
+/// every regular, non-hidden file — current `<key>.stage` artifacts and
+/// legacy `<key>.json` verify tokens alike — so stale generations age
+/// out instead of accreting. Hidden (dot-prefixed) names are in-flight
+/// spill temp files and stay untouched.
+fn scan_stage_rows(dir: &Path) -> Vec<StageRow> {
+    let stage_dir = dir.join(STAGE_SUBDIR);
+    let Ok(entries) = std::fs::read_dir(&stage_dir) else { return Vec::new() };
+    let mut rows = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if name.starts_with('.') || path.is_dir() {
+            continue;
+        }
+        let meta = std::fs::metadata(&path).ok();
+        rows.push(StageRow {
+            key: path.file_stem().and_then(|s| s.to_str()).and_then(JobKey::from_hex),
+            bytes: meta.as_ref().map_or(0, std::fs::Metadata::len),
+            mtime: meta
+                .and_then(|m| m.modified().ok())
+                .and_then(|t| t.duration_since(SystemTime::UNIX_EPOCH).ok())
+                .map_or(0, |d| d.as_secs()),
+            path,
+        });
+    }
+    // Oldest first; name order breaks mtime ties so sweeps are
+    // deterministic.
+    rows.sort_by(|a, b| (a.mtime, &a.path).cmp(&(b.mtime, &b.path)));
+    rows
+}
+
+/// The stage artifact subdirectory of a cache directory.
+pub(crate) const STAGE_SUBDIR: &str = "stages";
+
+/// Runs one eviction sweep over `index` *and* its `stages/` artifact
+/// tier: first drops files older than `max_age`, then evicts
+/// oldest-first — across both tiers combined — until the remainder fits
+/// in `max_bytes`. Job entries in `pinned` and stage files whose key is
+/// in `pinned_stages` are never touched — they belong to a live run. The
+/// index file is rewritten afterwards (stage files carry no manifest;
+/// the filesystem is their index).
 pub(crate) fn prune(
     index: &mut DirIndex,
     policy: &PrunePolicy,
     pinned: &HashSet<JobKey>,
+    pinned_stages: &HashSet<JobKey>,
     now_secs: u64,
 ) -> io::Result<PruneReport> {
     let mut rows: Vec<(JobKey, EntryMeta)> = index.iter().collect();
     // Oldest first; key order breaks mtime ties so sweeps are deterministic.
     rows.sort_by_key(|&(key, meta)| (meta.mtime, key));
     let scanned = rows.len();
+    let stage_rows = scan_stage_rows(&index.dir);
+    let stage_scanned = stage_rows.len();
+    let stage_pinned_row = |row: &StageRow| row.key.is_some_and(|key| pinned_stages.contains(&key));
 
     let mut evict: Vec<JobKey> = Vec::new();
+    let mut stage_evict: Vec<usize> = Vec::new();
     let mut pinned_over_budget: HashSet<JobKey> = HashSet::new();
+    let mut stage_pinned_over_budget: usize = 0;
     if let Some(max_age) = policy.max_age {
         for &(key, meta) in &rows {
             if now_secs.saturating_sub(meta.mtime) > max_age.as_secs() {
@@ -363,24 +452,63 @@ pub(crate) fn prune(
                 }
             }
         }
+        for (i, row) in stage_rows.iter().enumerate() {
+            if now_secs.saturating_sub(row.mtime) > max_age.as_secs() {
+                if stage_pinned_row(row) {
+                    stage_pinned_over_budget += 1;
+                } else {
+                    stage_evict.push(i);
+                }
+            }
+        }
     }
     if let Some(max_bytes) = policy.max_bytes {
         let evicted: HashSet<JobKey> = evict.iter().copied().collect();
+        let stage_evicted: HashSet<usize> = stage_evict.iter().copied().collect();
         let mut total: u64 =
             rows.iter().filter(|(k, _)| !evicted.contains(k)).map(|(_, m)| m.bytes).sum();
-        for &(key, meta) in &rows {
+        total += stage_rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !stage_evicted.contains(i))
+            .map(|(_, r)| r.bytes)
+            .sum::<u64>();
+        // One oldest-first walk across both tiers: merge the two sorted
+        // row lists by (mtime, tier, tiebreak).
+        let mut merged: Vec<(u64, bool, usize)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (_, meta))| (meta.mtime, false, i))
+            .chain(stage_rows.iter().enumerate().map(|(i, row)| (row.mtime, true, i)))
+            .collect();
+        merged.sort_by_key(|&(mtime, is_stage, i)| (mtime, is_stage, i));
+        for (_, is_stage, i) in merged {
             if total <= max_bytes {
                 break;
             }
-            if evicted.contains(&key) {
-                continue;
+            if is_stage {
+                if stage_evicted.contains(&i) {
+                    continue;
+                }
+                let row = &stage_rows[i];
+                if stage_pinned_row(row) {
+                    stage_pinned_over_budget += 1;
+                    continue;
+                }
+                stage_evict.push(i);
+                total -= row.bytes;
+            } else {
+                let (key, meta) = rows[i];
+                if evicted.contains(&key) {
+                    continue;
+                }
+                if pinned.contains(&key) {
+                    pinned_over_budget.insert(key);
+                    continue;
+                }
+                evict.push(key);
+                total -= meta.bytes;
             }
-            if pinned.contains(&key) {
-                pinned_over_budget.insert(key);
-                continue;
-            }
-            evict.push(key);
-            total -= meta.bytes;
         }
     }
 
@@ -388,7 +516,23 @@ pub(crate) fn prune(
     for &key in &evict {
         freed_bytes += index.remove_entry(key)?;
     }
+    let mut stage_freed_bytes = 0;
+    for &i in &stage_evict {
+        let row = &stage_rows[i];
+        match std::fs::remove_file(&row.path) {
+            Ok(()) => stage_freed_bytes += row.bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
     index.write_if_dirty();
+    let stage_kept = stage_scanned - stage_evict.len();
+    let stage_kept_bytes = stage_rows
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !stage_evict.contains(i))
+        .map(|(_, r)| r.bytes)
+        .sum();
     Ok(PruneReport {
         scanned,
         removed: evict.len(),
@@ -396,6 +540,12 @@ pub(crate) fn prune(
         kept: index.len(),
         kept_bytes: index.iter().map(|(_, m)| m.bytes).sum(),
         pinned: pinned_over_budget.len(),
+        stage_scanned,
+        stage_removed: stage_evict.len(),
+        stage_freed_bytes,
+        stage_kept,
+        stage_kept_bytes,
+        stage_pinned: stage_pinned_over_budget,
     })
 }
 
@@ -539,7 +689,7 @@ mod tests {
         // of them is pinned and must survive.
         let pinned: HashSet<JobKey> = [keys[0]].into_iter().collect();
         let policy = PrunePolicy { max_age: Some(Duration::from_secs(250)), max_bytes: None };
-        let report = prune(&mut index, &policy, &pinned, 1000).unwrap();
+        let report = prune(&mut index, &policy, &pinned, &HashSet::new(), 1000).unwrap();
         assert_eq!(report.scanned, 4);
         assert_eq!(report.removed, 1);
         assert_eq!(report.pinned, 1);
@@ -549,7 +699,7 @@ mod tests {
         // Size bound: budget for one entry evicts oldest-first among the
         // unpinned (keys[2] before keys[3]).
         let policy = PrunePolicy { max_bytes: Some(2 * entry_bytes), max_age: None };
-        let report = prune(&mut index, &policy, &pinned, 1000).unwrap();
+        let report = prune(&mut index, &policy, &pinned, &HashSet::new(), 1000).unwrap();
         assert_eq!(report.removed, 1);
         assert!(!index.contains(&keys[2]) && index.contains(&keys[3]));
         assert_eq!(report.kept, 2);
@@ -561,6 +711,60 @@ mod tests {
         assert_eq!(on_disk, expected);
     }
 
+    fn set_mtime(path: &Path, secs: u64) {
+        let file = std::fs::File::options().write(true).open(path).unwrap();
+        let time = SystemTime::UNIX_EPOCH + Duration::from_secs(secs);
+        file.set_times(std::fs::FileTimes::new().set_modified(time)).unwrap();
+    }
+
+    #[test]
+    fn prune_sweeps_the_stage_tier_with_the_same_policy() {
+        let dir = temp_dir("stage_prune");
+        let cmp = comparison();
+        let job = JobKey::of_bytes(b"job");
+        save(&dir, job, &cmp).unwrap();
+        let stage_dir = dir.join(STAGE_SUBDIR);
+        std::fs::create_dir_all(&stage_dir).unwrap();
+        let (old_key, new_key) = (JobKey::of_bytes(b"old"), JobKey::of_bytes(b"new"));
+        let old_stage = stage_dir.join(format!("{old_key}.stage"));
+        let new_stage = stage_dir.join(format!("{new_key}.stage"));
+        let legacy = stage_dir.join(format!("{}.json", JobKey::of_bytes(b"legacy")));
+        let temp = stage_dir.join(".deadbeef.tmp");
+        for path in [&old_stage, &new_stage, &legacy, &temp] {
+            std::fs::write(path, "bittrans-stage 2 verify ok\n").unwrap();
+        }
+        set_mtime(&old_stage, 100);
+        set_mtime(&legacy, 150);
+        set_mtime(&new_stage, 900);
+
+        // Age pass: the old artifact and the legacy token age out; the
+        // fresh artifact, the job entry, and the dot temp file survive.
+        let mut index = DirIndex::open(&dir).unwrap();
+        let policy = PrunePolicy { max_age: Some(Duration::from_secs(500)), max_bytes: None };
+        let report = prune(&mut index, &policy, &HashSet::new(), &HashSet::new(), 1000).unwrap();
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.stage_scanned, 3, "temp files are not scanned");
+        assert_eq!(report.stage_removed, 2);
+        assert_eq!(report.stage_kept, 1);
+        assert!(report.stage_freed_bytes > 0);
+        assert!(!old_stage.exists() && !legacy.exists());
+        assert!(new_stage.exists() && temp.exists());
+
+        // Size pass with a zero budget: a resident (pinned) stage key
+        // survives; the job entry — older than the pinned stage — goes.
+        set_mtime(&entry_path(&dir, job), 200);
+        let mut index = DirIndex::open(&dir).unwrap();
+        index.entries.get_mut(&job).unwrap().mtime = 200;
+        let pinned_stages: HashSet<JobKey> = [new_key].into_iter().collect();
+        let policy = PrunePolicy { max_bytes: Some(0), max_age: None };
+        let report = prune(&mut index, &policy, &HashSet::new(), &pinned_stages, 1000).unwrap();
+        assert_eq!(report.removed, 1, "job entry evicted by the combined budget");
+        assert_eq!(report.stage_removed, 0);
+        assert_eq!(report.stage_pinned, 1, "resident stage file is pinned");
+        assert!(new_stage.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn default_policy_is_a_no_op() {
         let dir = temp_dir("noop");
@@ -568,7 +772,8 @@ mod tests {
         save(&dir, key, &comparison()).unwrap();
         let mut index = DirIndex::open(&dir).unwrap();
         let report =
-            prune(&mut index, &PrunePolicy::default(), &HashSet::new(), 1_000_000).unwrap();
+            prune(&mut index, &PrunePolicy::default(), &HashSet::new(), &HashSet::new(), 1_000_000)
+                .unwrap();
         assert_eq!(report.removed, 0);
         assert_eq!(report.kept, 1);
         assert!(entry_path(&dir, key).exists());

@@ -48,21 +48,28 @@
 //! are deterministic for a given job set. Errors are cached too —
 //! stages are pure functions of their keys, so a failure is as
 //! reproducible as a success (this mirrors the job cache, which also
-//! serves errors from memory).
+//! serves errors from memory). The memo is bounded: at most
+//! [`STAGE_MEMO_CAPACITY`] slots are resident, evicted oldest-first, so
+//! a long-lived serve process stops growing without limit (an evicted
+//! stage costs at worst one disk load or recompute later).
 //!
-//! The disk tier under `<cache-dir>/stages/` holds **verify stages
-//! only**, as `{"schema":1,"stage":"verify","ok":true}` success tokens
-//! named `<key>.json`. Verification is the one stage that is both
-//! expensive (thousands of co-simulated vectors) and trivially
-//! serializable (its artifact is the fact that it passed). The other
-//! artifacts are `Spec`-shaped, and the spec dump format is explicitly
-//! *not* re-parseable (see `Spec`'s `Display` docs), so persisting them
-//! would need a real codec — a noted follow-on, not a quick win. Tokens
-//! are written via the same hidden-temp-file + atomic-rename idiom as
-//! the job store; a corrupt token is deleted and recomputed, and the
-//! filesystem itself is the index (no manifest to rebuild). The
-//! `stages/` subdirectory is invisible to the job store's directory
-//! scan, which only considers `*.json` files.
+//! The disk tier under `<cache-dir>/stages/` persists **every** stage,
+//! as `<key>.stage` files: a one-line `bittrans-stage 2 <stage> ok`
+//! envelope followed by the artifact's canonical text (the
+//! `to_canonical` / `from_canonical` codec each artifact type carries in
+//! its home crate — `Display` remains the human-oriented, *non*-parseable
+//! dump). A fresh process over a warm directory therefore recomputes
+//! zero stages for an unchanged grid. Files are written via the same
+//! hidden-temp-file + atomic-rename idiom as the job store; a file whose
+//! envelope or body fails to decode — including one written by a *newer*
+//! schema — is deleted and recomputed, never misparsed, and the
+//! recompute's respill repairs it. The filesystem itself is the index
+//! (no manifest to rebuild); the `stages/` subdirectory is invisible to
+//! the job store's directory scan, which only considers top-level
+//! `*.json` files, and is swept by `cache prune` alongside the job
+//! entries (resident stages are pinned). Legacy schema-1 verify tokens
+//! (`<key>.json`, from builds predating the codec) are simply ignored
+//! until pruned.
 //!
 //! Every resolution emits one `stage` trace event whose `provenance`
 //! (`memory` / `disk` / `computed`) reconciles exactly with the
@@ -77,10 +84,19 @@ use bittrans_core::{
     Datapath, Fragmented, Implementation, PipelineError, Schedule,
 };
 use bittrans_ir::Spec;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default bound on resident in-memory stage slots. At roughly a few
+/// kilobytes per artifact this caps the memo in the tens of megabytes;
+/// a serve process that outgrows it falls back to the disk tier.
+pub(crate) const STAGE_MEMO_CAPACITY: usize = 4096;
+
+/// Schema version of the `<key>.stage` disk envelope. Bumping it makes
+/// old files decode-fail (delete → recompute → respill), never misparse.
+const STAGE_FILE_SCHEMA: u32 = 2;
 
 /// One memoized stage output (or the error that producing it raised).
 #[derive(Clone, Debug)]
@@ -133,6 +149,62 @@ impl StageValue {
             _ => unreachable!("stage key resolved to a non-implementation artifact"),
         }
     }
+
+    /// The canonical text spilled as the `<key>.stage` body (empty for
+    /// `Verified`, whose artifact is the fact that it passed).
+    fn to_canonical(&self) -> String {
+        match self {
+            StageValue::Kernel(v) => v.to_canonical(),
+            StageValue::Fragmented(v) => v.to_canonical(),
+            StageValue::Verified => String::new(),
+            StageValue::Schedule(v) => v.to_canonical(),
+            StageValue::Datapath(v) => v.to_canonical(),
+            StageValue::Timed(v) => v.to_canonical(),
+        }
+    }
+}
+
+/// The artifact shape a stage resolves to — what the disk tier must
+/// decode a `<key>.stage` body back into.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StageKind {
+    /// Body is a canonical `Spec`.
+    Kernel,
+    /// Body is a canonical `Fragmented`.
+    Fragmented,
+    /// Body is empty.
+    Verified,
+    /// Body is a canonical `Schedule`.
+    Schedule,
+    /// Body is a canonical `Datapath`.
+    Datapath,
+    /// Body is a canonical `Implementation`.
+    Timed,
+}
+
+impl StageKind {
+    /// Decodes a `<key>.stage` body into the artifact; `None` marks the
+    /// file corrupt (delete → recompute → respill).
+    fn decode(self, body: &str) -> Option<StageValue> {
+        match self {
+            StageKind::Kernel => {
+                Spec::from_canonical(body).ok().map(|v| StageValue::Kernel(Arc::new(v)))
+            }
+            StageKind::Fragmented => {
+                Fragmented::from_canonical(body).ok().map(|v| StageValue::Fragmented(Arc::new(v)))
+            }
+            StageKind::Verified => body.is_empty().then_some(StageValue::Verified),
+            StageKind::Schedule => {
+                Schedule::from_canonical(body).ok().map(|v| StageValue::Schedule(Arc::new(v)))
+            }
+            StageKind::Datapath => {
+                Datapath::from_canonical(body).ok().map(|v| StageValue::Datapath(Arc::new(v)))
+            }
+            StageKind::Timed => {
+                Implementation::from_canonical(body).ok().map(|v| StageValue::Timed(Arc::new(v)))
+            }
+        }
+    }
 }
 
 type Slot = Arc<OnceLock<Result<StageValue, PipelineError>>>;
@@ -144,7 +216,7 @@ enum Provenance {
     /// Another caller already materialized the slot (or is doing so now;
     /// `OnceLock` blocks us until it lands).
     Memory,
-    /// Loaded from a `<cache-dir>/stages/` token.
+    /// Loaded from a `<cache-dir>/stages/` artifact file.
     Disk,
     /// Ran the stage function.
     Computed,
@@ -170,13 +242,50 @@ impl StageTally {
     }
 }
 
-/// The engine's stage memo: in-memory `OnceLock` slots for every stage
-/// artifact, an optional disk tier for verify tokens, and lifetime
-/// counters. One per [`crate::Engine`], shared by every batch and serve
-/// request run through it.
+/// The bounded slot memo: insertion-ordered, evicted oldest-first once
+/// `capacity` is reached. Eviction only drops the memo's reference —
+/// in-flight resolutions hold their own `Arc` and complete normally; a
+/// later request for an evicted key re-resolves through disk or compute.
+#[derive(Debug)]
+struct Memo {
+    map: HashMap<JobKey, Slot>,
+    order: VecDeque<JobKey>,
+    capacity: usize,
+}
+
+impl Default for Memo {
+    fn default() -> Self {
+        Memo { map: HashMap::new(), order: VecDeque::new(), capacity: STAGE_MEMO_CAPACITY }
+    }
+}
+
+impl Memo {
+    fn slot(&mut self, key: JobKey) -> Slot {
+        if let Some(slot) = self.map.get(&key) {
+            return Arc::clone(slot);
+        }
+        while self.map.len() >= self.capacity.max(1) {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        let slot = Slot::default();
+        self.map.insert(key, Arc::clone(&slot));
+        self.order.push_back(key);
+        slot
+    }
+}
+
+/// The engine's stage memo: bounded in-memory `OnceLock` slots for stage
+/// artifacts, an optional disk tier persisting every stage through the
+/// canonical codec, and lifetime counters. One per [`crate::Engine`],
+/// shared by every batch and serve request run through it.
 #[derive(Debug, Default)]
 pub struct StageCache {
-    slots: Mutex<HashMap<JobKey, Slot>>,
+    memo: Mutex<Memo>,
     /// `<cache-dir>/stages`, when a cache directory is attached.
     disk_dir: Option<PathBuf>,
     hits: AtomicU64,
@@ -184,10 +293,24 @@ pub struct StageCache {
 }
 
 impl StageCache {
-    /// Attaches the stage token directory (`<cache-dir>/stages`). The
+    /// Attaches the stage artifact directory (`<cache-dir>/stages`). The
     /// directory is created lazily, on first spill.
     pub(crate) fn attach_disk(&mut self, dir: PathBuf) {
         self.disk_dir = Some(dir);
+    }
+
+    /// Caps the resident slot count (tests exercise small bounds; the
+    /// default is [`STAGE_MEMO_CAPACITY`]).
+    #[cfg(test)]
+    fn set_memo_capacity(&self, capacity: usize) {
+        self.memo.lock().expect("stage cache lock").capacity = capacity;
+    }
+
+    /// Keys currently resident in the memo — `cache prune` pins these so
+    /// an artifact the process is actively sharing is never evicted from
+    /// disk out from under a concurrent reader's repair path.
+    pub(crate) fn resident_keys(&self) -> HashSet<JobKey> {
+        self.memo.lock().expect("stage cache lock").map.keys().copied().collect()
     }
 
     /// Lifetime stage hits across every batch.
@@ -201,32 +324,29 @@ impl StageCache {
     }
 
     /// Resolves one stage: serves the memoized artifact, or probes the
-    /// disk tier (verify tokens only), or runs `compute` — exactly once
-    /// per key, even under concurrency, because every caller funnels
-    /// through the slot's `OnceLock`.
+    /// disk tier, or runs `compute` — exactly once per key, even under
+    /// concurrency, because every caller funnels through the slot's
+    /// `OnceLock`.
     fn resolve(
         &self,
         key: JobKey,
         stage: &'static str,
+        kind: StageKind,
         tally: &StageTally,
-        disk_token: bool,
         compute: impl FnOnce() -> Result<StageValue, PipelineError>,
     ) -> Result<StageValue, PipelineError> {
-        let slot: Slot = {
-            let mut slots = self.slots.lock().expect("stage cache lock");
-            Arc::clone(slots.entry(key).or_default())
-        };
+        let slot: Slot = self.memo.lock().expect("stage cache lock").slot(key);
         let mut provenance = Provenance::Memory;
         let result = slot
             .get_or_init(|| {
-                if disk_token && self.load_token(key) {
+                if let Some(value) = self.load_artifact(key, stage, kind) {
                     provenance = Provenance::Disk;
-                    return Ok(StageValue::Verified);
+                    return Ok(value);
                 }
                 provenance = Provenance::Computed;
                 let value = compute();
-                if disk_token && value.is_ok() {
-                    self.spill_token(key);
+                if let Ok(value) = &value {
+                    self.spill_artifact(key, stage, value);
                 }
                 value
             })
@@ -257,38 +377,39 @@ impl StageCache {
         result
     }
 
-    /// Loads a verify token for `key` from the disk tier. A token that
-    /// exists but does not parse to the expected shape is corrupt: it is
+    /// Loads the artifact for `key` from the disk tier. A file that
+    /// exists but whose envelope or body fails to decode — wrong schema
+    /// (older *or* newer), wrong stage, corrupt canonical text — is
     /// deleted so the recompute's respill repairs it.
-    fn load_token(&self, key: JobKey) -> bool {
-        let Some(dir) = &self.disk_dir else { return false };
-        let path = dir.join(format!("{key}.json"));
-        let Ok(body) = std::fs::read_to_string(&path) else { return false };
-        let parsed: Result<serde_json::Value, _> = serde_json::from_str(&body);
-        let valid = parsed.is_ok_and(|v| {
-            v.get("schema").and_then(serde_json::Value::as_u64) == Some(TOKEN_SCHEMA)
-                && v.get("stage").and_then(serde_json::Value::as_str) == Some("verify")
-                && v.get("ok").and_then(serde_json::Value::as_bool) == Some(true)
-        });
-        if !valid {
+    fn load_artifact(&self, key: JobKey, stage: &str, kind: StageKind) -> Option<StageValue> {
+        let dir = self.disk_dir.as_ref()?;
+        let path = dir.join(format!("{key}.stage"));
+        let text = std::fs::read_to_string(&path).ok()?;
+        let (envelope, body) = text.split_once('\n').unwrap_or((text.as_str(), ""));
+        let expected = format!("bittrans-stage {STAGE_FILE_SCHEMA} {stage} ok");
+        let value = if envelope == expected { kind.decode(body) } else { None };
+        if value.is_none() {
             let _ = std::fs::remove_file(&path);
         }
-        valid
+        value
     }
 
-    /// Best-effort spill of a verify success token: hidden temp file in
-    /// the same directory, then atomic rename, so a reader never sees a
-    /// torn token. A failed write costs a re-verification in some later
-    /// process, never this result.
-    fn spill_token(&self, key: JobKey) {
+    /// Best-effort spill of a successful stage artifact: hidden temp
+    /// file in the same directory, then atomic rename, so a reader never
+    /// sees a torn file. A failed write costs a recompute in some later
+    /// process, never this result. Errors are not spilled — they are
+    /// cheap to reproduce and a schema-visible failure marker would risk
+    /// pinning a transient environment problem.
+    fn spill_artifact(&self, key: JobKey, stage: &str, value: &StageValue) {
         let Some(dir) = &self.disk_dir else { return };
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let body = format!("{{\"schema\":{TOKEN_SCHEMA},\"stage\":\"verify\",\"ok\":true}}\n");
+        let body =
+            format!("bittrans-stage {STAGE_FILE_SCHEMA} {stage} ok\n{}", value.to_canonical());
         let tmp = dir.join(format!(".{key}.{}.tmp", std::process::id()));
         if std::fs::write(&tmp, body).is_ok()
-            && std::fs::rename(&tmp, dir.join(format!("{key}.json"))).is_err()
+            && std::fs::rename(&tmp, dir.join(format!("{key}.stage"))).is_err()
         {
             let _ = std::fs::remove_file(&tmp);
         }
@@ -312,6 +433,7 @@ impl StageCache {
         let spec_text = spec.to_string();
         let balance = u8::from(options.balance);
         let adder = options.adder_arch.code();
+        let chaining = Chaining::ComponentSum.code();
         let timing_bits = format!(
             "{:016x};{:016x}",
             options.timing.delta_ns.to_bits(),
@@ -322,10 +444,10 @@ impl StageCache {
         // Baseline flow (conventional schedule of the original spec).
         let base_sched = self
             .resolve(
-                stage_key(&["sched_base", &spec_text, &lat, "component_sum", &balance.to_string()]),
+                stage_key(&["sched_base", &spec_text, &lat, chaining, &balance.to_string()]),
                 "sched_base",
+                StageKind::Schedule,
                 tally,
-                false,
                 || {
                     stage_schedule_conventional(
                         spec,
@@ -338,14 +460,13 @@ impl StageCache {
             )?
             .into_schedule();
         let base_alloc_material =
-            ["alloc_base", &spec_text, &lat, "component_sum", &balance.to_string(), adder]
-                .join("\x1f");
+            ["alloc_base", &spec_text, &lat, chaining, &balance.to_string(), adder].join("\x1f");
         let base_dp = self
             .resolve(
                 JobKey::of_bytes(base_alloc_material.as_bytes()),
                 "alloc_base",
+                StageKind::Datapath,
                 tally,
-                false,
                 || {
                     Ok(StageValue::Datapath(Arc::new(stage_allocate(
                         spec,
@@ -359,8 +480,8 @@ impl StageCache {
             .resolve(
                 stage_key(&["time_base", &base_alloc_material, &timing_bits]),
                 "time_base",
+                StageKind::Timed,
                 tally,
-                false,
                 || {
                     Ok(StageValue::Timed(Arc::new(stage_time(
                         spec.name(),
@@ -378,30 +499,33 @@ impl StageCache {
         // it keys on the *kernel's* content, so specs that extract to
         // the same kernel share the whole suffix.
         let kernel = self
-            .resolve(stage_key(&["extract", &spec_text]), "extract", tally, false, || {
-                stage_extract(spec).map(|k| StageValue::Kernel(Arc::new(k)))
-            })?
+            .resolve(
+                stage_key(&["extract", &spec_text]),
+                "extract",
+                StageKind::Kernel,
+                tally,
+                || stage_extract(spec).map(|k| StageValue::Kernel(Arc::new(k))),
+            )?
             .into_kernel();
         let kernel_text = kernel.to_string();
         let fragmented = self
             .resolve(
                 stage_key(&["fragment", &kernel_text, &lat]),
                 "fragment",
+                StageKind::Fragmented,
                 tally,
-                false,
                 || stage_fragment(&kernel, latency).map(|f| StageValue::Fragmented(Arc::new(f))),
             )?
             .into_fragmented();
         if options.verify_vectors > 0 {
             // Keyed on the *fragmented* spec's content: two latencies
-            // that fragment identically share one verification — and
-            // verify is the only stage worth a disk token.
+            // that fragment identically share one verification.
             let frag_text = fragmented.spec.to_string();
             self.resolve(
                 stage_key(&["verify", &spec_text, &frag_text, &options.verify_vectors.to_string()]),
                 "verify",
+                StageKind::Verified,
                 tally,
-                true,
                 || {
                     stage_verify(spec, &fragmented.spec, options.verify_vectors)
                         .map(|()| StageValue::Verified)
@@ -412,8 +536,8 @@ impl StageCache {
             .resolve(
                 stage_key(&["sched_frag", &kernel_text, &lat, &balance.to_string()]),
                 "sched_frag",
+                StageKind::Schedule,
                 tally,
-                false,
                 || {
                     stage_schedule_fragments(&fragmented, options.balance)
                         .map(|s| StageValue::Schedule(Arc::new(s)))
@@ -426,8 +550,8 @@ impl StageCache {
             .resolve(
                 JobKey::of_bytes(frag_alloc_material.as_bytes()),
                 "alloc_frag",
+                StageKind::Datapath,
                 tally,
-                false,
                 || {
                     Ok(StageValue::Datapath(Arc::new(stage_allocate(
                         &fragmented.spec,
@@ -444,8 +568,8 @@ impl StageCache {
                 // kernel share everything up to here, but not the label.
                 stage_key(&["time_frag", spec.name(), &frag_alloc_material, &timing_bits]),
                 "time_frag",
+                StageKind::Timed,
                 tally,
-                false,
                 || {
                     Ok(StageValue::Timed(Arc::new(stage_time(
                         spec.name(),
@@ -461,9 +585,6 @@ impl StageCache {
         Ok(Comparison { original: (*original).clone(), optimized: (*optimized).clone() })
     }
 }
-
-/// Schema of the on-disk verify tokens.
-const TOKEN_SCHEMA: u64 = 1;
 
 /// A stage key: the stage-name-tagged parts joined with the same `\x1f`
 /// separator [`crate::key`] uses, FNV-128 hashed.
@@ -561,35 +682,42 @@ mod tests {
     }
 
     #[test]
-    fn verify_tokens_round_trip_through_the_disk_tier() {
-        let dir = tempdir("stage-tokens");
+    fn all_stage_artifacts_round_trip_through_the_disk_tier() {
+        let dir = tempdir("stage-artifacts");
         let spec = three_adds();
         let options = CompareOptions { verify_vectors: 64, ..CompareOptions::default() };
 
         let mut warm = StageCache::default();
         warm.attach_disk(dir.clone());
         let tally = StageTally::default();
-        warm.compare_staged(&spec, 3, &options, &tally).unwrap();
-        let tokens: Vec<_> = std::fs::read_dir(&dir)
+        let first = warm.compare_staged(&spec, 3, &options, &tally).unwrap();
+        let files: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().file_name().into_string().unwrap())
             .collect();
-        assert_eq!(tokens.len(), 1, "one verify token spilled: {tokens:?}");
-        assert!(tokens[0].ends_with(".json"));
+        assert_eq!(files.len(), 9, "all nine stages spilled: {files:?}");
+        assert!(files.iter().all(|f| f.ends_with(".stage")), "{files:?}");
 
         // A fresh cache (fresh process) over the same directory loads
-        // the token instead of re-verifying; its only hit is `verify`.
+        // every artifact instead of recomputing: zero misses, and the
+        // assembled comparison is byte-identical.
         let mut fresh = StageCache::default();
         fresh.attach_disk(dir.clone());
         let fresh_tally = StageTally::default();
-        fresh.compare_staged(&spec, 3, &options, &fresh_tally).unwrap();
-        assert_eq!(fresh_tally.hits(), 1, "verify served from disk");
+        let second = fresh.compare_staged(&spec, 3, &options, &fresh_tally).unwrap();
+        assert_eq!(fresh_tally.misses(), 0, "warm directory recomputes zero stages");
+        assert_eq!(fresh_tally.hits(), 9, "all nine stages served from disk");
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap(),
+            "disk round trip preserves the result byte-for-byte"
+        );
 
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn corrupt_verify_token_is_deleted_and_recomputed() {
+    fn corrupt_stage_files_are_deleted_and_recomputed() {
         let dir = tempdir("stage-corrupt");
         let spec = three_adds();
         let options = CompareOptions { verify_vectors: 64, ..CompareOptions::default() };
@@ -597,20 +725,85 @@ mod tests {
         let mut seed = StageCache::default();
         seed.attach_disk(dir.clone());
         seed.compare_staged(&spec, 3, &options, &StageTally::default()).unwrap();
-        let token = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let paths: Vec<_> = std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+        assert_eq!(paths.len(), 9);
 
-        for corruption in ["", "{\"schema\":999}", "not json at all", "{\"stage\":\"verify\"}"] {
-            std::fs::write(&token, corruption).unwrap();
+        // Each corruption is invalid for *every* stage: empty, future
+        // schema, junk, and a truncated envelope.
+        for corruption in
+            ["", "bittrans-stage 999 verify ok\n", "not a stage file", "bittrans-stage 2\n"]
+        {
+            for path in &paths {
+                std::fs::write(path, corruption).unwrap();
+            }
             let mut fresh = StageCache::default();
             fresh.attach_disk(dir.clone());
             let tally = StageTally::default();
             fresh.compare_staged(&spec, 3, &options, &tally).unwrap();
-            assert_eq!(tally.hits(), 0, "corrupt token {corruption:?} must not hit");
-            // The recompute respilled a valid token.
-            let body = std::fs::read_to_string(&token).unwrap();
-            assert!(body.contains("\"ok\":true"), "respill repaired the token: {body}");
+            assert_eq!(tally.hits(), 0, "corruption {corruption:?} must not hit");
+            // The recompute respilled valid artifacts.
+            for path in &paths {
+                let body = std::fs::read_to_string(path).unwrap();
+                assert!(
+                    body.starts_with("bittrans-stage 2 "),
+                    "respill repaired {path:?}: {body:.40}"
+                );
+            }
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_body_under_valid_envelope_is_recomputed() {
+        let dir = tempdir("stage-corrupt-body");
+        let spec = three_adds();
+        let options = CompareOptions { verify_vectors: 64, ..CompareOptions::default() };
+
+        let mut seed = StageCache::default();
+        seed.attach_disk(dir.clone());
+        seed.compare_staged(&spec, 3, &options, &StageTally::default()).unwrap();
+
+        // Keep each file's own (valid) envelope but garble the body.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let envelope = text.lines().next().unwrap().to_string();
+            std::fs::write(&path, format!("{envelope}\ngarbage body\n")).unwrap();
+        }
+        let mut fresh = StageCache::default();
+        fresh.attach_disk(dir.clone());
+        let tally = StageTally::default();
+        let result = fresh.compare_staged(&spec, 3, &options, &tally).unwrap();
+        // The verify file's body should have been empty, so a garbled
+        // body invalidates it too: everything recomputes.
+        assert_eq!(tally.hits(), 0, "garbled bodies must not hit");
+        assert_eq!(
+            serde_json::to_string(&result).unwrap(),
+            serde_json::to_string(&compare(&spec, 3, &options).unwrap()).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memo_is_bounded_by_the_eviction_policy() {
+        let spec = three_adds();
+        let options = CompareOptions::default();
+        let cache = StageCache::default();
+        cache.set_memo_capacity(4);
+        let tally = StageTally::default();
+        cache.compare_staged(&spec, 3, &options, &tally).unwrap();
+        assert!(
+            cache.resident_keys().len() <= 4,
+            "memo exceeded its bound: {} slots",
+            cache.resident_keys().len()
+        );
+        // Results stay correct under eviction; the evicted prefix simply
+        // recomputes.
+        let again = cache.compare_staged(&spec, 3, &options, &tally).unwrap();
+        assert_eq!(
+            serde_json::to_string(&again).unwrap(),
+            serde_json::to_string(&compare(&spec, 3, &options).unwrap()).unwrap()
+        );
     }
 
     fn tempdir(tag: &str) -> PathBuf {

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod canonical;
 pub mod dot;
 pub mod error;
 pub mod op;
@@ -65,6 +66,7 @@ pub mod prelude {
 }
 
 pub use bits::Bits;
+pub use canonical::CodecError;
 pub use error::{IrError, ParseError};
 pub use op::{OpKind, Operation};
 pub use operand::Operand;

@@ -631,9 +631,13 @@ pub(crate) fn validate_op(spec: &Spec, op: &Operation) -> Result<(), IrError> {
 }
 
 impl fmt::Display for Spec {
-    /// Renders the spec in the textual DSL-like dump format used by the
-    /// examples (not guaranteed to be re-parseable; see `parse` for the
-    /// input grammar).
+    /// Renders the human-oriented DSL-like dump used by the examples and
+    /// diffs. This format is *not* re-parseable (op ids, unnamed
+    /// operations, provenance and glue constructs have no surface
+    /// syntax); for a guaranteed round trip use
+    /// [`Spec::to_canonical`](crate::canonical) /
+    /// [`Spec::from_canonical`], and see `parse` for the hand-written
+    /// input grammar.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "spec {} {{", self.name)?;
         for &input in &self.inputs {

@@ -21,12 +21,6 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Blanks the volatile wall-clock value; everything else must match
-/// byte for byte.
-fn strip_elapsed(json: &str) -> String {
-    bittrans::engine::report::strip_elapsed_ms(json)
-}
-
 /// Additionally blanks `workers`, which legitimately differs once a shard
 /// died (its pool is no longer part of the sum) — the same normalization
 /// `bittrans report normalize` applies.
