@@ -55,8 +55,17 @@ pub fn random_spec(seed: u64, options: &RandomSpecOptions) -> Spec {
         let wc = b.width_of(c);
         let name = format!("n{i}");
         let v = if rng.gen_bool(options.mul_prob) {
-            let w = (wa + wc).min(options.max_width * 2);
-            b.mul(&name, a, c, w, Signedness::Unsigned).expect("valid random mul")
+            // Bound each operand to `max_width` bits (slicing the low bits
+            // of wider intermediates) and declare the result at the
+            // operands' exact product width. The old clamp
+            // `(wa + wc).min(max_width * 2)` kept the *result* in budget by
+            // silently truncating the product once chained ops grew the
+            // operands past `max_width` — a mul narrower than its true
+            // product width, which no IR width rule is meant to permit.
+            let cap = options.max_width.min(u32::MAX / 2);
+            let (oa, wa) = capped(a, wa, cap);
+            let (oc, wc) = capped(c, wc, cap);
+            b.mul(&name, oa, oc, wa + wc, Signedness::Unsigned).expect("valid random mul")
         } else {
             match rng.gen_range(0..6u8) {
                 0 => {
@@ -87,6 +96,16 @@ pub fn random_spec(seed: u64, options: &RandomSpecOptions) -> Spec {
         b.output(format!("out{i}"), *s);
     }
     b.finish().expect("random specs are valid by construction")
+}
+
+/// `v` as a mul operand at most `cap` bits wide: the value itself when it
+/// fits, its low `cap` bits otherwise. Returns the operand and its width.
+fn capped(v: ValueId, w: u32, cap: u32) -> (Operand, u32) {
+    if w > cap {
+        (Operand::slice(v, BitRange::new(0, cap)), cap)
+    } else {
+        (Operand::value(v), w)
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +150,77 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn rejects_zero_ops() {
         random_spec(0, &RandomSpecOptions { ops: 0, ..Default::default() });
+    }
+
+    /// Every generated mul carries its operands' exact product width.
+    fn assert_muls_full_width(s: &Spec) {
+        for op in s.ops() {
+            if op.kind() == OpKind::Mul {
+                let sum: u32 = op.operands().iter().map(|o| s.operand_width(o)).sum();
+                assert_eq!(
+                    op.width(),
+                    sum,
+                    "mul `{:?}` is {} bits for a {}-bit product",
+                    op.name(),
+                    op.width(),
+                    sum
+                );
+            }
+        }
+    }
+
+    /// Regression for the old product clamp `(wa + wc).min(max_width * 2)`:
+    /// once chained ops grow intermediates past `max_width`, the clamp
+    /// truncated the product below the operands' true width. Now operands
+    /// are sliced into budget first and every product is full-width. The
+    /// sliced-operand count proves the seeds below actually reach the path
+    /// the old clamp mishandled.
+    #[test]
+    fn muls_are_never_truncated() {
+        let mut sliced = 0usize;
+        let mul_heavy =
+            RandomSpecOptions { ops: 24, inputs: 3, min_width: 8, max_width: 12, mul_prob: 0.8 };
+        for (shape, seeds) in [(RandomSpecOptions::default(), 64), (mul_heavy, 32)] {
+            for seed in 0..seeds {
+                let s = random_spec(seed, &shape);
+                s.validate().unwrap();
+                assert_muls_full_width(&s);
+                sliced += s
+                    .ops()
+                    .iter()
+                    .filter(|op| op.kind() == OpKind::Mul)
+                    .flat_map(|op| op.operands())
+                    .filter(|o| o.range().is_some())
+                    .count();
+            }
+        }
+        assert!(sliced > 0, "no seed exercised the over-budget operand path");
+    }
+
+    #[test]
+    fn degenerate_shapes_generate_valid_specs() {
+        let shapes = [
+            RandomSpecOptions { ops: 1, inputs: 1, min_width: 4, max_width: 4, mul_prob: 0.5 },
+            RandomSpecOptions { ops: 1, inputs: 1, min_width: 1, max_width: 1, mul_prob: 1.0 },
+            RandomSpecOptions { ops: 3, inputs: 1, min_width: 7, max_width: 7, mul_prob: 0.0 },
+            RandomSpecOptions { ops: 2, inputs: 2, min_width: 1, max_width: 2, mul_prob: 1.0 },
+        ];
+        for (i, shape) in shapes.iter().enumerate() {
+            for seed in 0..16 {
+                let s = random_spec(seed, shape);
+                s.validate().unwrap_or_else(|e| panic!("shape {i} seed {seed}: {e}"));
+                assert_eq!(s.stats().non_glue(), shape.ops);
+                assert!(!s.outputs().is_empty());
+                assert_muls_full_width(&s);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_prob_extremes_are_safe() {
+        let all = random_spec(5, &RandomSpecOptions { mul_prob: 1.0, ..Default::default() });
+        assert!(all.ops().iter().any(|o| o.kind() == OpKind::Mul));
+        let none = random_spec(5, &RandomSpecOptions { mul_prob: 0.0, ..Default::default() });
+        assert!(none.ops().iter().all(|o| o.kind() != OpKind::Mul));
     }
 }

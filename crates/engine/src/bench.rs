@@ -3,7 +3,7 @@
 //! coordinator, reported as one JSON document (`BENCH_<n>.json` in the
 //! repository root tracks it release over release).
 //!
-//! Four metric groups, each exercising a different layer:
+//! Seven timed metric groups, each exercising a different layer:
 //!
 //! * **throughput** — jobs/second of one cold batch at 1, 2 and 4
 //!   workers, on a fresh engine each time ([`crate::executor`] scaling);
@@ -22,7 +22,12 @@
 //!   transport, with scaling efficiency;
 //! * **multi_tenant** — small-tenant round-trip p50/p99 while a large
 //!   grid saturates a width-1 server, the fairness cost the scheduler's
-//!   round-robin interleaving ([`crate::sched`]) is supposed to bound.
+//!   round-robin interleaving ([`crate::sched`]) is supposed to bound;
+//! * **fuzz** — cases/second of a fixed-seed in-process
+//!   [`crate::fuzz`] run (every case is a full grid with cross-
+//!   configuration invariant checks), so the differential fuzzer's
+//!   throughput — what bounds how many seeds a CI budget covers — is
+//!   tracked release over release like any other pipeline cost.
 //!
 //! A final group, **trace_check**, cross-checks the observability layer
 //! against the statistics layer: it runs a cold+warm batch under the
@@ -34,11 +39,11 @@
 //! Numbers come from wall clocks and are machine-dependent. Every timed
 //! group runs [`BENCH_RUNS`] times and reports the median repetition (by
 //! the group's primary scalar) plus the min-to-max spread in percent, so
-//! a committed document carries its own noise estimate — the
-//! prerequisite for CI trajectory gating on `BENCH_<n>.json` deltas. The
-//! committed document is still a trajectory record, not a regression
-//! gate. The `quick` mode shrinks every axis so CI can validate the
-//! schema in seconds.
+//! a committed document carries its own noise estimate. CI gates on
+//! consecutive `BENCH_<n>.json` deltas: a >2× regression beyond the two
+//! documents' combined `spread_pct` allowance fails the job, within it
+//! only warns. The `quick` mode shrinks every axis so CI can validate
+//! the schema in seconds.
 
 use crate::shard::{self, RemoteTransport, ShardOptions, ShardedStudy, Transport};
 use crate::{proto, trace, Engine, EngineOptions, Job, ServeOptions, Server};
@@ -183,6 +188,33 @@ impl IncrementalPoint {
     }
 }
 
+/// Throughput of a fixed-seed in-process fuzz run: full grid cases
+/// checked per second, the number that bounds how many seeds a CI
+/// budget covers.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzPoint {
+    /// Cases (seeds) the run covered.
+    pub cases: u64,
+    /// Grid cells those cases evaluated.
+    pub cells: u64,
+    /// Invariant violations found (must be 0 on a healthy tree).
+    pub violations: u64,
+    /// Wall clock of the whole run.
+    pub elapsed: Duration,
+}
+
+impl FuzzPoint {
+    /// Cases per second (0 for a degenerate zero-duration clock).
+    pub fn cases_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.cases as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Repetitions of every timed metric group; the report carries the
 /// median run and the min-to-max spread across all of them.
 pub const BENCH_RUNS: u32 = 3;
@@ -204,6 +236,8 @@ pub struct SpreadPct {
     pub sharding: f64,
     /// Multi-tenant group (scalar: small-tenant p50).
     pub multi_tenant: f64,
+    /// Fuzz group (scalar: cases/sec).
+    pub fuzz: f64,
 }
 
 impl SpreadPct {
@@ -212,7 +246,7 @@ impl SpreadPct {
     pub fn max(&self) -> f64 {
         [self.throughput, self.cache, self.incremental, self.serve, self.sharding]
             .into_iter()
-            .chain([self.multi_tenant])
+            .chain([self.multi_tenant, self.fuzz])
             .fold(0.0, f64::max)
     }
 }
@@ -291,6 +325,8 @@ pub struct BenchReport {
     pub sharding: Vec<ShardPoint>,
     /// Small-tenant latency behind a saturating large tenant.
     pub multi_tenant: MultiTenantPoint,
+    /// Differential-fuzz throughput.
+    pub fuzz: FuzzPoint,
     /// Trace/stats cross-check.
     pub trace_check: TraceCheck,
 }
@@ -298,8 +334,9 @@ pub struct BenchReport {
 /// Identifies the document layout; bumped if fields change shape.
 /// v2 added the `multi_tenant` group; v3 added `incremental`; v4 made
 /// every timed group a median-of-[`BENCH_RUNS`] and added the top-level
-/// `runs` count and `spread_pct` noise-floor object.
-pub const SCHEMA: &str = "bittrans-bench-v4";
+/// `runs` count and `spread_pct` noise-floor object; v5 added the
+/// `fuzz` throughput group.
+pub const SCHEMA: &str = "bittrans-bench-v5";
 
 impl BenchReport {
     /// The report as one pretty-printed JSON document (the committed
@@ -315,13 +352,14 @@ impl BenchReport {
         out.push_str(&format!(
             "  \"spread_pct\": {{\"throughput\": {:.1}, \"cache\": {:.1}, \
              \"incremental\": {:.1}, \"serve\": {:.1}, \"sharding\": {:.1}, \
-             \"multi_tenant\": {:.1}}},\n",
+             \"multi_tenant\": {:.1}, \"fuzz\": {:.1}}},\n",
             self.spread.throughput,
             self.spread.cache,
             self.spread.incremental,
             self.spread.serve,
             self.spread.sharding,
             self.spread.multi_tenant,
+            self.spread.fuzz,
         ));
         out.push_str("  \"throughput\": [\n");
         for (i, point) in self.throughput.iter().enumerate() {
@@ -394,6 +432,15 @@ impl BenchReport {
         }
         out.push_str("  ],\n");
         out.push_str(&format!(
+            "  \"fuzz\": {{\"cases\": {}, \"cells\": {}, \"violations\": {}, \
+             \"elapsed_ms\": {:.3}, \"cases_per_sec\": {:.1}}},\n",
+            self.fuzz.cases,
+            self.fuzz.cells,
+            self.fuzz.violations,
+            self.fuzz.elapsed.as_secs_f64() * 1e3,
+            self.fuzz.cases_per_sec(),
+        ));
+        out.push_str(&format!(
             "  \"trace_check\": {{\"traced_computed\": {}, \"traced_hits\": {}, \
              \"stats_misses\": {}, \"stats_hits\": {}, \"consistent\": {}}}\n}}\n",
             self.trace_check.traced_computed,
@@ -458,6 +505,12 @@ impl BenchReport {
                 point.elapsed.as_secs_f64() * 1e3
             ));
         }
+        out.push_str(&format!(
+            "  fuzz: {:.1} cases/sec ({} cases, {} violations)\n",
+            self.fuzz.cases_per_sec(),
+            self.fuzz.cases,
+            self.fuzz.violations,
+        ));
         out.push_str(&format!(
             "  trace/stats reconciliation: {}\n",
             if self.trace_check.consistent() { "consistent" } else { "INCONSISTENT" }
@@ -561,6 +614,7 @@ pub fn run(options: &BenchOptions) -> io::Result<BenchReport> {
         |point: &MultiTenantPoint| point.small_p50.as_secs_f64(),
         || measure_multi_tenant(&workload, options.quick),
     )?;
+    let fuzz = measured(runs, FuzzPoint::cases_per_sec, || Ok(measure_fuzz(options.quick)))?;
     let trace_check = measure_trace_check(&jobs);
 
     Ok(BenchReport {
@@ -574,6 +628,7 @@ pub fn run(options: &BenchOptions) -> io::Result<BenchReport> {
             serve: serve.spread_pct,
             sharding: sharding.spread_pct,
             multi_tenant: multi_tenant.spread_pct,
+            fuzz: fuzz.spread_pct,
         },
         throughput: throughput.median,
         cache: cache.median,
@@ -581,6 +636,7 @@ pub fn run(options: &BenchOptions) -> io::Result<BenchReport> {
         serve: serve.median,
         sharding: sharding.median,
         multi_tenant: multi_tenant.median,
+        fuzz: fuzz.median,
         trace_check,
     })
 }
@@ -819,6 +875,25 @@ fn measure_sharding(workload: &Workload) -> io::Result<Vec<ShardPoint>> {
     Ok(points)
 }
 
+/// A fixed-seed in-process [`crate::fuzz`] run, all four spec shapes
+/// covered, no differential (the sharded path spawns worker processes,
+/// which would make the number a process-launch benchmark). Seed 100
+/// keeps the workload disjoint from the seeds the fuzz tests pin.
+fn measure_fuzz(quick: bool) -> FuzzPoint {
+    let options = crate::fuzz::FuzzOptions {
+        count: if quick { 4 } else { 24 },
+        seed: 100,
+        ..crate::fuzz::FuzzOptions::default()
+    };
+    let report = crate::fuzz::run(&options);
+    FuzzPoint {
+        cases: report.count as u64,
+        cells: report.cells as u64,
+        violations: report.total_violations() as u64,
+        elapsed: Duration::from_millis(report.elapsed_ms as u64),
+    }
+}
+
 /// A cold+warm batch pair under the in-memory trace collector, with the
 /// per-job provenance events reconciled against the statistics counters.
 fn measure_trace_check(jobs: &[Job]) -> TraceCheck {
@@ -902,6 +977,7 @@ mod tests {
             ("serve", report.spread.serve),
             ("sharding", report.spread.sharding),
             ("multi_tenant", report.spread.multi_tenant),
+            ("fuzz", report.spread.fuzz),
         ] {
             assert!(spread.is_finite() && spread >= 0.0, "{group} spread {spread}");
         }
@@ -922,6 +998,9 @@ mod tests {
             report.incremental
         );
         assert!(report.serve.requests > 0);
+        assert_eq!(report.fuzz.cases, 4);
+        assert_eq!(report.fuzz.cells, 4 * 24);
+        assert_eq!(report.fuzz.violations, 0, "quick bench fuzz must run clean");
         assert_eq!(report.sharding.len(), 2);
         assert_eq!(report.multi_tenant.small_requests, 2);
         assert!(report.multi_tenant.large_cells > 0);
@@ -944,6 +1023,7 @@ mod tests {
             "serve",
             "multi_tenant",
             "sharding",
+            "fuzz",
             "trace_check",
         ] {
             assert!(value.get(group).is_some(), "missing `{group}` in {json}");

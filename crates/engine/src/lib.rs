@@ -68,6 +68,7 @@
 pub mod bench;
 pub mod cache;
 pub mod executor;
+pub mod fuzz;
 pub mod job;
 pub mod key;
 mod persist;

@@ -186,6 +186,7 @@ impl StudyReport {
         report.stats.workers = 0;
         report.stats.stage_hits = 0;
         report.stats.stage_misses = 0;
+        report.stats.cache_entries = 0;
         report
     }
 
@@ -213,13 +214,20 @@ pub fn strip_elapsed_ms(json: &str) -> String {
 }
 
 /// Blanks every volatile run-shape value — `"elapsed_ms"`, `"workers"`,
-/// `"stage_hits"` and `"stage_misses"` — in a serialized report or
-/// response line (compact or pretty), leaving every other byte intact.
-/// This is the textual counterpart of [`StudyReport::normalized`], for
-/// call sites that only have serialized output in hand (CLI stdout, CI
-/// smoke diffs, raw response lines).
+/// `"stage_hits"`, `"stage_misses"` and `"cache_entries"` — in a
+/// serialized report or response line (compact or pretty), leaving every
+/// other byte intact. This is the textual counterpart of
+/// [`StudyReport::normalized`], for call sites that only have serialized
+/// output in hand (CLI stdout, CI smoke diffs, raw response lines).
+///
+/// `cache_entries` joined the list after differential fuzzing (replay
+/// seed 32 of `fuzz --seed 31`) showed it counts the *whole store* —
+/// when several studies share one result directory, two otherwise
+/// identical runs of the same grid report different resident-entry
+/// totals even though every cell and every hit/miss count agrees. The
+/// store's population is a deployment fact, not a result.
 pub fn normalize_run_shape(json: &str) -> String {
-    ["elapsed_ms", "workers", "stage_hits", "stage_misses"]
+    ["elapsed_ms", "workers", "stage_hits", "stage_misses", "cache_entries"]
         .iter()
         .fold(json.to_string(), |acc, field| blank_number_values(&acc, field))
 }

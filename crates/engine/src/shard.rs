@@ -290,11 +290,8 @@ impl ShardedStudy {
     ///
     /// [`ShardError::Invalid`] when a source does not parse.
     pub fn study(&self) -> Result<Study, ShardError> {
-        let specs: Vec<Spec> = self
-            .sources
-            .iter()
-            .map(|src| Spec::parse(src).map_err(|e| invalid(e.to_string())))
-            .collect::<Result<_, _>>()?;
+        let specs: Vec<Spec> =
+            self.sources.iter().map(|src| parse_source(src)).collect::<Result<_, _>>()?;
         let mut study =
             Study::over(specs).latencies(self.latencies.iter().copied()).base_options(self.base);
         if let Some(archs) = &self.adder_archs {
@@ -358,6 +355,21 @@ pub struct Manifest {
 
 fn parse_adder_code(code: &str) -> Result<AdderArch, ShardError> {
     AdderArch::from_code(code).ok_or_else(|| invalid(format!("unknown adder code `{code}`")))
+}
+
+/// Parses one study source: the bittrans DSL, or — when the text leads
+/// with the canonical-codec magic — the versioned [`Spec::to_canonical`]
+/// encoding. Generated specs (the fuzzer's `random_spec` output) have no
+/// DSL source, so coordinators ship them as canonical text and every
+/// worker process or `serve` endpoint reconstructs the identical spec
+/// here; `from_canonical(to_canonical(s)) == s`, so content keys agree
+/// across processes.
+pub fn parse_source(src: &str) -> Result<Spec, ShardError> {
+    if src.trim_start().starts_with(bittrans_ir::canonical::MAGIC) {
+        Spec::from_canonical(src).map_err(|e| invalid(e.to_string()))
+    } else {
+        Spec::parse(src).map_err(|e| invalid(e.to_string()))
+    }
 }
 
 impl Serialize for Manifest {

@@ -77,7 +77,7 @@ use bittrans::core::report::{render_sweep, render_table1};
 use bittrans::engine::proto;
 use bittrans::engine::serve;
 use bittrans::engine::shard;
-use bittrans::engine::{bench, trace};
+use bittrans::engine::{bench, fuzz, trace};
 use bittrans::prelude::*;
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
@@ -120,6 +120,10 @@ struct Args {
     trace_out: Option<String>,
     emit_vhdl: Option<String>,
     netlist: bool,
+    count: Option<usize>,
+    seed: Option<u64>,
+    mul_prob: Option<f64>,
+    replay: Option<u64>,
 }
 
 impl Args {
@@ -134,14 +138,15 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: bittrans <optimize|compare|sweep|batch|explore|cache|serve|client|bench|report|\
+    "usage: bittrans <optimize|compare|sweep|batch|explore|cache|serve|client|bench|fuzz|report|\
      fragments|check> \
      <file.spec|dir|-> ... [--latency N|A..B] [--from N] [--to M] [--jobs K] \
      [--adder rca|cla|csel] [--adders rca,cla,csel] [--balance on|off|both] \
      [--verify N] [--shards K] [--workers host:port,...] [--timeout SECS] \
      [--cache-dir DIR] [--max-bytes N] [--max-age SECS] \
      [--addr HOST:PORT] [--shutdown] [--stats] [--stream] [--quick] [--trace-out FILE] \
-     [--json] [--emit-vhdl DIR] [--netlist]"
+     [--json] [--emit-vhdl DIR] [--netlist] \
+     [--count N] [--seed S] [--mul-prob P] [--replay SEED]"
         .to_string()
 }
 
@@ -210,6 +215,10 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         emit_vhdl: None,
         netlist: false,
+        count: None,
+        seed: None,
+        mul_prob: None,
+        replay: None,
     };
     while let Some(flag) = argv.next() {
         let mut value =
@@ -282,6 +291,29 @@ fn parse_args() -> Result<Args, String> {
             "--stats" => args.stats = true,
             "--stream" => args.stream = true,
             "--quick" => args.quick = true,
+            "--count" => {
+                let n: usize =
+                    value("--count")?.parse().map_err(|e| format!("bad --count: {e}"))?;
+                if n == 0 {
+                    return Err("--count must be at least 1".into());
+                }
+                args.count = Some(n);
+            }
+            "--seed" => {
+                args.seed = Some(value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?);
+            }
+            "--mul-prob" => {
+                let p: f64 =
+                    value("--mul-prob")?.parse().map_err(|e| format!("bad --mul-prob: {e}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err("--mul-prob must be within 0..=1".into());
+                }
+                args.mul_prob = Some(p);
+            }
+            "--replay" => {
+                args.replay =
+                    Some(value("--replay")?.parse().map_err(|e| format!("bad --replay: {e}"))?);
+            }
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--json" => args.json = true,
             "--emit-vhdl" => args.emit_vhdl = Some(value("--emit-vhdl")?),
@@ -297,6 +329,7 @@ fn parse_args() -> Result<Args, String> {
     // own workload. Everything else needs an operand.
     let fileless = args.command == "serve"
         || args.command == "bench"
+        || args.command == "fuzz"
         || (args.command == "client" && (args.shutdown || args.stats));
     if args.files.is_empty() && !fileless {
         return Err(usage());
@@ -708,6 +741,114 @@ fn run_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `fuzz`: fleet-scale differential fuzzing — seeded random specs through
+/// the full study grid, cross-configuration invariants asserted per case,
+/// optionally cross-checked against the sharded/remote transport.
+fn run_fuzz(args: &Args) -> Result<(), String> {
+    let count = args.count.unwrap_or(100);
+    let seed = args.seed.unwrap_or(0);
+    // The differential (sharded/remote) cross-check engages exactly like
+    // explore's transport selection: --workers for a serve fleet,
+    // --shards for local worker processes.
+    let (differential, ephemeral_dir) = match (&args.workers, args.shards) {
+        (Some(list), _) => {
+            let endpoints = shard::parse_endpoints(list).map_err(|e| e.to_string())?;
+            let Some(dir) = &args.cache_dir else {
+                return Err("fuzz --workers needs --cache-dir: the coordinator and the \
+                            serve fleet must share one result store"
+                    .into());
+            };
+            let shards = args.shards.unwrap_or(endpoints.len());
+            let timeout = args.timeout.map_or(proto::DEFAULT_TIMEOUT, Duration::from_secs);
+            let diff = fuzz::Differential {
+                cache_dir: PathBuf::from(dir),
+                shards,
+                transport: shard::Transport::Remote(shard::RemoteTransport { endpoints, timeout }),
+            };
+            (Some(diff), None)
+        }
+        (None, Some(shards)) => {
+            let worker_binary =
+                std::env::current_exe().map_err(|e| format!("resolving worker binary: {e}"))?;
+            let (cache_dir, ephemeral) = match &args.cache_dir {
+                Some(dir) => (PathBuf::from(dir), None),
+                None => {
+                    let dir =
+                        std::env::temp_dir().join(format!("bittrans_fuzz_{}", std::process::id()));
+                    (dir.clone(), Some(dir))
+                }
+            };
+            let diff = fuzz::Differential {
+                cache_dir,
+                shards,
+                transport: shard::Transport::Local(shard::LocalTransport {
+                    worker_binary,
+                    threads_per_worker: args.jobs.map(|jobs| (jobs / shards.max(1)).max(1)),
+                }),
+            };
+            (Some(diff), ephemeral)
+        }
+        (None, None) => (None, None),
+    };
+    let options = fuzz::FuzzOptions {
+        count,
+        seed,
+        mul_prob: args.mul_prob,
+        workers: args.jobs,
+        differential,
+    };
+    let result = match args.replay {
+        Some(target) => {
+            // A replay seed must come from the run being reproduced:
+            // outside [seed, seed+count) it was never generated.
+            if target.wrapping_sub(seed) >= count as u64 {
+                return Err(format!(
+                    "--replay {target} was never generated by --seed {seed} --count {count}; \
+                     pass the original run's --seed/--count"
+                ));
+            }
+            let outcome = fuzz::run_case(target, &options);
+            println!(
+                "replay seed {target} (shape {}): {} cells, {} feasible, {} violation(s)",
+                outcome.shape.name(),
+                outcome.cells,
+                outcome.feasible,
+                outcome.violations.len()
+            );
+            for v in &outcome.violations {
+                println!("  [{}] {}", v.invariant.name(), v.detail);
+            }
+            if outcome.violations.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("replay of seed {target} reproduced the failure"))
+            }
+        }
+        None => {
+            let report = fuzz::run(&options);
+            if args.json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.total_violations() == 0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "fuzz: {} invariant violation(s); failing seeds: {:?} \
+                     (reproduce with `bittrans fuzz --replay <seed> --seed {seed} --count {count}`)",
+                    report.total_violations(),
+                    report.failing_seeds
+                ))
+            }
+        }
+    };
+    if let Some(dir) = ephemeral_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    result
+}
+
 /// `report normalize`: rewrite a study-report JSON document with the
 /// run-shape fields (`elapsed_ms`, `workers`) blanked, so reports from
 /// runs with different worker counts or timings can be byte-compared.
@@ -779,6 +920,7 @@ fn run_command(args: &Args) -> Result<(), String> {
         "serve" => return run_serve(args),
         "client" => return run_client(args, &options),
         "bench" => return run_bench(args),
+        "fuzz" => return run_fuzz(args),
         "report" => return run_report(args),
         command if args.json && command != "sweep" => {
             return Err(format!("--json is not supported by `{command}`"));
